@@ -1,0 +1,42 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every harness prints a paper-vs-measured table and also writes it to
+``benchmarks/results/<name>.txt`` so results survive pytest's output
+capture. Durations and sweep sizes are scaled for a laptop; set
+``REPRO_BENCH_SCALE`` (default 1.0) to stretch toward the paper's
+5-minute windows, e.g. ``REPRO_BENCH_SCALE=5 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global duration multiplier (1.0 = quick laptop runs).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Default simulated measurement window per run (seconds).
+BASE_DURATION = 35.0 * SCALE
+
+PLATFORMS = ("ethereum", "parity", "hyperledger")
+
+#: Paper reference numbers (Figure 5a, 8 servers x 8 clients).
+PAPER_PEAK_TPS = {"ethereum": 284, "parity": 45, "hyperledger": 1273}
+PAPER_PEAK_TPS_SMALLBANK = {"ethereum": 256, "parity": 46, "hyperledger": 1122}
+PAPER_PEAK_LATENCY = {"ethereum": 92, "parity": 3, "hyperledger": 38}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a harness table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

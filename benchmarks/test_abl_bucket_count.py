@@ -1,0 +1,88 @@
+"""Ablation: Bucket-Merkle tree bucket count (real measurements).
+
+Fabric v0.6's state commitment hashes whole buckets: a write marks its
+bucket dirty, and the per-block ``root_hash()`` re-digests every dirty
+bucket plus a log-depth path above it. The bucket count is therefore a
+real tuning knob with a real trade-off:
+
+* **too few buckets** — every bucket holds many keys, so each dirty
+  bucket re-digest rehashes a large sorted run of entries;
+* **too many buckets** — per-bucket digests are cheap but a block's
+  writes scatter across many buckets, so more Merkle paths recompute,
+  and the static tree itself grows.
+
+The harness loads a fixed state, then times batched write+commit
+rounds (the per-block pattern Hyperledger executes) across bucket
+counts. Unlike the simulated macro benches, these are wall-clock
+measurements of the real data structure — the same measurement class
+as Figures 11 and 12.
+"""
+
+import random
+import time
+
+from repro.crypto.bucket_tree import BucketTree
+from repro.core import format_table
+
+from _common import SCALE, emit, once
+
+BUCKET_COUNTS = (16, 128, 1024, 8192)
+
+#: Keys preloaded into the state before measurement.
+PRELOAD_KEYS = int(20_000 * SCALE)
+
+#: Write+commit rounds measured (one round ~ one block).
+ROUNDS = 50
+WRITES_PER_ROUND = 100
+
+
+def _measure(n_buckets: int) -> dict:
+    rng = random.Random(7)
+    tree = BucketTree(n_buckets=n_buckets)
+    for i in range(PRELOAD_KEYS):
+        tree.put(f"key-{i}".encode(), b"v" * 100)
+    tree.root_hash()  # flush the preload outside the timed window
+
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        for _ in range(WRITES_PER_ROUND):
+            key = f"key-{rng.randrange(PRELOAD_KEYS)}".encode()
+            tree.put(key, rng.randbytes(100))
+        tree.root_hash()
+    elapsed = time.perf_counter() - started
+    return {
+        "commit_ms": 1000.0 * elapsed / ROUNDS,
+        "keys_per_bucket": PRELOAD_KEYS / n_buckets,
+    }
+
+
+def test_abl_bucket_count(benchmark):
+    def run():
+        return {n: _measure(n) for n in BUCKET_COUNTS}
+
+    results = once(benchmark, run)
+    rows = [
+        [
+            n,
+            f"{data['keys_per_bucket']:.0f}",
+            f"{data['commit_ms']:.2f}",
+        ]
+        for n, data in results.items()
+    ]
+    table = format_table(
+        ["buckets", "keys/bucket", "per-block commit (ms)"],
+        rows,
+        title=(
+            f"Ablation: Bucket-Merkle bucket count, {PRELOAD_KEYS} keys, "
+            f"{WRITES_PER_ROUND} writes/block (real wall-clock)"
+        ),
+    )
+    emit("abl_bucket_count", table)
+
+    # The coarse end rehashes ~1/16th of the whole state per block —
+    # it must be the slowest configuration measured.
+    commit = {n: results[n]["commit_ms"] for n in BUCKET_COUNTS}
+    assert commit[16] > commit[1024]
+    # Fabric's 1024-bucket default should sit in the efficient regime:
+    # within 3x of the best configuration in this sweep.
+    assert commit[1024] <= 3.0 * min(commit.values())

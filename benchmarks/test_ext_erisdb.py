@@ -1,0 +1,155 @@
+"""Extension: ErisDB (Tendermint + EVM), the paper's fourth backend.
+
+Section 3.2 lists ErisDB integration as "under development"; this
+harness completes the comparison the paper could not run. There are no
+paper numbers to match, so the assertions are structural:
+
+* ErisDB throughput lands in the *BFT class*: the same order of
+  magnitude as Hyperledger and several times Ethereum. It shares
+  Hyperledger's consensus class (one BFT decision per batch, immediate
+  finality) but Ethereum's execution class (EVM bytecode, priced ~1.7x
+  native chaincode per unit of gas). At saturation it can even edge
+  past Hyperledger: Tendermint rotates proposers per round and has no
+  view-change subprotocol, so it avoids the view-change churn PBFT
+  v0.6 exhibits under overload.
+* Like the other BFT platform, it never forks.
+* The publish/subscribe block feed (the Section 3.2 footnote) confirms
+  transactions with fewer RPC messages and no polling-interval delay,
+  so subscribe-mode latency <= polling latency.
+"""
+
+from repro.core import ExperimentSpec, format_table, run_experiment
+from repro.platforms import build_cluster
+from repro.workloads import YCSBConfig, YCSBWorkload
+from repro.core import Driver, DriverConfig
+
+from _common import BASE_DURATION, PAPER_PEAK_TPS, emit, once
+
+ALL_PLATFORMS = ("ethereum", "parity", "hyperledger", "erisdb")
+
+
+def _run(platform, rate, subscribe=False, seed=5):
+    return run_experiment(
+        ExperimentSpec(
+            platform=platform,
+            workload="ycsb",
+            n_servers=8,
+            n_clients=8,
+            request_rate_tx_s=rate,
+            duration_s=BASE_DURATION,
+            subscribe=subscribe,
+            seed=seed,
+        )
+    )
+
+
+def test_ext_erisdb_four_platform_peak(benchmark):
+    def run():
+        rows = []
+        measured = {}
+        for platform in ALL_PLATFORMS:
+            result = _run(platform, rate=256)
+            measured[platform] = result
+            rows.append(
+                [
+                    platform,
+                    f"{result.throughput:.0f}",
+                    PAPER_PEAK_TPS.get(platform, "n/a"),
+                    f"{result.latency:.1f}",
+                    result.total_blocks - result.main_branch_blocks,
+                ]
+            )
+        return rows, measured
+
+    rows, measured = once(benchmark, run)
+    table = format_table(
+        ["platform", "tx/s", "paper tx/s", "latency (s)", "fork blocks"],
+        rows,
+        title="Extension: four-platform peak, 8 servers x 8 clients, YCSB",
+    )
+    emit("ext_erisdb_peak", table)
+
+    # Structural expectations (the paper has no ErisDB numbers):
+    # BFT-class throughput — several times Ethereum, within 2x of
+    # Hyperledger either way (Tendermint's rotation can edge past PBFT
+    # v0.6 at saturation because it has no view-change churn).
+    erisdb = measured["erisdb"].throughput
+    assert erisdb > 2 * measured["ethereum"].throughput
+    assert 0.5 < erisdb / measured["hyperledger"].throughput < 2.0
+    # BFT finality: no forks, ever.
+    assert measured["erisdb"].total_blocks == measured["erisdb"].main_branch_blocks
+
+
+def test_ext_erisdb_pubsub_vs_polling(benchmark):
+    """Push-based confirmation vs getLatestBlock polling (Section 3.2)."""
+
+    def run():
+        rows = []
+        results = {}
+        for mode, subscribe in (("polling", False), ("subscribe", True)):
+            result = _run("erisdb", rate=64, subscribe=subscribe, seed=11)
+            results[mode] = result
+            rows.append(
+                [
+                    mode,
+                    f"{result.throughput:.0f}",
+                    f"{result.latency:.2f}",
+                    f"{result.summary.latency_p99_s:.2f}",
+                ]
+            )
+        return rows, results
+
+    rows, results = once(benchmark, run)
+    table = format_table(
+        ["confirmation mode", "tx/s", "latency (s)", "p99 (s)"],
+        rows,
+        title="Extension: ErisDB pub/sub feed vs polling, 8x8, YCSB",
+    )
+    emit("ext_erisdb_pubsub", table)
+
+    # Same chain, so throughput agrees; push can only shave latency
+    # (no polling-interval quantization on the confirmation path).
+    polling, pushed = results["polling"], results["subscribe"]
+    assert abs(pushed.throughput - polling.throughput) / polling.throughput < 0.1
+    assert pushed.latency <= polling.latency + 0.05
+
+
+def test_ext_erisdb_message_overhead(benchmark):
+    """Subscribe mode removes the poll RPC stream entirely."""
+
+    def run():
+        counts = {}
+        for mode, subscribe in (("polling", False), ("subscribe", True)):
+            cluster = build_cluster("erisdb", 4, seed=7)
+            workload = YCSBWorkload(YCSBConfig(record_count=100))
+            driver = Driver(
+                cluster,
+                workload,
+                DriverConfig(
+                    n_clients=4,
+                    request_rate_tx_s=32,
+                    duration_s=BASE_DURATION,
+                    subscribe=subscribe,
+                ),
+            )
+            stats = driver.run()
+            counts[mode] = {
+                "messages": cluster.network.stats.messages_sent,
+                "confirmed": stats.confirmed,
+            }
+            cluster.close()
+        return counts
+
+    counts = once(benchmark, run)
+    rows = [
+        [mode, data["messages"], data["confirmed"]]
+        for mode, data in counts.items()
+    ]
+    table = format_table(
+        ["mode", "network messages", "confirmed tx"],
+        rows,
+        title="Extension: total network messages, polling vs subscribe",
+    )
+    emit("ext_erisdb_messages", table)
+
+    assert counts["subscribe"]["messages"] < counts["polling"]["messages"]

@@ -1,0 +1,63 @@
+"""Figure 6: client request-queue length at 8 tx/s and 512 tx/s.
+
+Expected shape: at 8 tx/s per client the Ethereum and Hyperledger
+queues stay flat while Parity's grows (offered 64 tx/s exceeds its ~45
+tx/s signing rate). Under 512 tx/s everything grows, but Parity's
+queue grows the slowest because its intake throttle rejects work back
+to the client threads.
+"""
+
+from repro.core import Driver, DriverConfig, format_table
+from repro.platforms import build_cluster
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+from _common import BASE_DURATION, PLATFORMS, emit, once
+
+RATES = (8, 512)
+
+
+def _queue_growth(platform, rate):
+    cluster = build_cluster(platform, 8, seed=6)
+    driver = Driver(
+        cluster,
+        YCSBWorkload(YCSBConfig(record_count=500)),
+        DriverConfig(n_clients=8, request_rate_tx_s=rate, duration_s=BASE_DURATION),
+    )
+    driver.run()
+    series = driver.queue_series()
+    cluster.close()
+    if len(series) < 4:
+        return series, 0.0
+    # Growth rate over the second half of the run (queue entries / s).
+    half = len(series) // 2
+    (t0, q0), (t1, q1) = series[half], series[-1]
+    growth = (q1 - q0) / max(1e-9, t1 - t0)
+    return series, growth
+
+
+def test_fig06_client_queue(benchmark):
+    def run():
+        rows = []
+        growths = {}
+        for rate in RATES:
+            for platform in PLATFORMS:
+                series, growth = _queue_growth(platform, rate)
+                final = series[-1][1] if series else 0
+                rows.append([f"{rate} tx/s", platform, final, f"{growth:+.1f}"])
+                growths[(rate, platform)] = growth
+        return rows, growths
+
+    rows, growths = once(benchmark, run)
+    emit(
+        "fig06_queue",
+        format_table(
+            ["request rate", "platform", "final queue", "growth (req/s)"],
+            rows,
+            title="Figure 6: client request queue (8 clients x 8 servers)",
+        ),
+    )
+    # Shapes: Parity's queue grows even at 8 tx/s per client; at 512 the
+    # Ethereum/Hyperledger queues grow much faster than Parity's.
+    assert growths[(8, "parity")] > 1.0
+    assert growths[(8, "hyperledger")] < 5.0
+    assert growths[(512, "ethereum")] > growths[(512, "parity")]

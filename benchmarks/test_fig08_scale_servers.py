@@ -1,0 +1,59 @@
+"""Figure 8: scalability with a fixed 8 clients, 8..32 servers.
+
+Paper shape: performance degrades for Ethereum and Hyperledger as
+servers are added (more difficulty / more communication) while offered
+load stays fixed; Hyperledger *survives* here — the collapse of
+Figure 7 needs client count to scale too. Parity stays constant.
+"""
+
+from repro.core import ExperimentSpec, format_table, run_experiment
+
+from _common import BASE_DURATION, PLATFORMS, emit, once
+
+SIZES = (8, 16, 32)
+RATE = 256  # 8 clients near the 8-server peak, as in the paper
+
+
+def test_fig08_fixed_clients(benchmark):
+    def run():
+        rows = []
+        measured = {}
+        for platform in PLATFORMS:
+            for size in SIZES:
+                result = run_experiment(
+                    ExperimentSpec(
+                        platform=platform,
+                        workload="ycsb",
+                        n_servers=size,
+                        n_clients=8,
+                        request_rate_tx_s=RATE,
+                        duration_s=BASE_DURATION,
+                        seed=8,
+                    )
+                )
+                measured[(platform, size)] = result
+                rows.append(
+                    [platform, size, f"{result.throughput:.0f}",
+                     f"{result.latency:.1f}"]
+                )
+        return rows, measured
+
+    rows, measured = once(benchmark, run)
+    emit(
+        "fig08_scale_servers",
+        format_table(
+            ["platform", "servers", "tx/s", "latency (s)"],
+            rows,
+            title="Figure 8: scalability with 8 clients fixed",
+        ),
+    )
+    # Hyperledger survives at 32 servers with 8 clients (unlike Fig 7).
+    assert measured[("hyperledger", 32)].throughput > 300
+    # Ethereum throughput decays with size (difficulty + gossip reach).
+    assert (
+        measured[("ethereum", 32)].throughput
+        < measured[("ethereum", 8)].throughput
+    )
+    # Parity unaffected by server count.
+    parity = [measured[("parity", s)].throughput for s in SIZES]
+    assert max(parity) < 2.5 * max(1e-9, min(parity))

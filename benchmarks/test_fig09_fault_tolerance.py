@@ -1,0 +1,90 @@
+"""Figure 9: crash 4 servers mid-run at 12 and 16 servers.
+
+Paper shape: Ethereum nearly unaffected; Parity unaffected (surviving
+authorities pick up the slots); Hyperledger-12 stops producing blocks
+entirely (quorum 9 > 8 alive) while Hyperledger-16 continues at a
+lower rate after stabilizing views.
+"""
+
+from repro.core import (
+    CrashFault,
+    Driver,
+    DriverConfig,
+    FaultSchedule,
+    format_table,
+)
+from repro.platforms import build_cluster
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+from _common import BASE_DURATION, PLATFORMS, emit, once
+
+CRASH_COUNT = 4
+
+
+def _run(platform, n_servers):
+    duration = max(80.0, 2 * BASE_DURATION)
+    crash_at = duration / 2
+    cluster = build_cluster(platform, n_servers, seed=9)
+    driver = Driver(
+        cluster,
+        YCSBWorkload(YCSBConfig(record_count=500)),
+        DriverConfig(n_clients=8, request_rate_tx_s=40, duration_s=duration),
+    )
+    driver.prepare()
+    # Crash from the head (includes the PBFT view-0 leader — the harder
+    # case) except on Parity, where node 0 holds the signing account and
+    # killing it is a different failure than the paper's experiment.
+    FaultSchedule(
+        crashes=[
+            CrashFault(
+                at_time=crash_at,
+                count=CRASH_COUNT,
+                include_leader=platform != "parity",
+            )
+        ]
+    ).arm(cluster)
+    stats = driver.run()
+    # Commit rates before and after the crash (skip a settling window).
+    before = sum(1 for t in stats.confirm_times if t <= crash_at) / crash_at
+    settle = crash_at + 15.0
+    after_window = duration - settle
+    after = sum(1 for t in stats.confirm_times if t > settle) / max(
+        1e-9, after_window
+    )
+    cluster.close()
+    return before, after
+
+
+def test_fig09_crash_tolerance(benchmark):
+    def run():
+        rows = []
+        measured = {}
+        for platform in PLATFORMS:
+            for n_servers in (12, 16):
+                before, after = _run(platform, n_servers)
+                measured[(platform, n_servers)] = (before, after)
+                verdict = "halted" if after < 0.05 * max(before, 1e-9) else "survived"
+                rows.append(
+                    [platform, n_servers, f"{before:.0f}", f"{after:.0f}", verdict]
+                )
+        return rows, measured
+
+    rows, measured = once(benchmark, run)
+    emit(
+        "fig09_fault_tolerance",
+        format_table(
+            ["platform", "servers", "tx/s before", "tx/s after", "verdict"],
+            rows,
+            title=f"Figure 9: {CRASH_COUNT} servers crashed mid-run",
+        ),
+    )
+    # Hyperledger-12 halts; Hyperledger-16 keeps going (slower or equal).
+    hlf12_before, hlf12_after = measured[("hyperledger", 12)]
+    hlf16_before, hlf16_after = measured[("hyperledger", 16)]
+    assert hlf12_after < 0.05 * hlf12_before
+    assert hlf16_after > 0.3 * hlf16_before
+    # Ethereum and Parity survive at both sizes.
+    for platform in ("ethereum", "parity"):
+        for size in (12, 16):
+            before, after = measured[(platform, size)]
+            assert after > 0.5 * before

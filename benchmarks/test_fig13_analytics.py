@@ -1,0 +1,136 @@
+"""Figure 13: analytics queries (a, b) and the DoNothing workload (c).
+
+13a — Q1 latency is similar on all platforms (same number of RPCs).
+13b — Q2 is ~10x faster on Hyperledger: one chaincode invocation
+      (VersionKVStore, paper Figure 20) vs one getBalance RPC per block.
+13c — DoNothing vs YCSB vs Smallbank throughput isolates consensus
+      cost: the paper measures Ethereum ~10% faster on DoNothing and
+      Parity identical everywhere (its bottleneck is transaction
+      signing, paid even by empty transactions).
+
+      Measured deviation (documented in EXPERIMENTS.md): on our
+      Ethereum the PoW interval and gossip reach dominate so completely
+      that the execution layer contributes no measurable difference —
+      DoNothing equals YCSB instead of beating it by 10%. geth's +10%
+      comes from mining and execution sharing the same cores, a
+      coupling our simulator does not model (mining is a timer, not a
+      CPU consumer). The execution-layer signal the paper reads from
+      this figure does appear on Hyperledger, whose pipeline *is*
+      CPU-bound: Smallbank pays a clear penalty against YCSB.
+"""
+
+from repro.core import ExperimentSpec, format_table, run_experiment
+from repro.platforms import build_cluster
+from repro.workloads import preload_history, run_q1, run_q2
+
+from _common import BASE_DURATION, PLATFORMS, SCALE, emit, once
+
+N_BLOCKS = int(1000 * SCALE)
+SCANS = (1, 10, 100)
+
+
+def _analytics(platform):
+    cluster = build_cluster(platform, 2, seed=13)
+    preload = preload_history(
+        cluster, n_blocks=N_BLOCKS, txs_per_block=3, n_accounts=200
+    )
+    account = preload.account_names[0]
+    out = []
+    for scan in SCANS:
+        q1 = run_q1(cluster, N_BLOCKS - scan, N_BLOCKS, tag=f"-{scan}")
+        q2 = run_q2(cluster, account, N_BLOCKS - scan, N_BLOCKS, tag=f"-{scan}")
+        out.append((scan, q1, q2))
+    cluster.close()
+    return out
+
+
+def test_fig13ab_analytics(benchmark):
+    def run():
+        return {platform: _analytics(platform) for platform in PLATFORMS}
+
+    results = once(benchmark, run)
+    rows = []
+    for platform, entries in results.items():
+        for scan, q1, q2 in entries:
+            rows.append(
+                [
+                    platform,
+                    scan,
+                    f"{q1.latency_s * 1000:.1f}",
+                    q1.rpc_count,
+                    f"{q2.latency_s * 1000:.1f}",
+                    q2.rpc_count,
+                ]
+            )
+    emit(
+        "fig13ab_analytics",
+        format_table(
+            ["platform", "blocks", "Q1 ms", "Q1 RPCs", "Q2 ms", "Q2 RPCs"],
+            rows,
+            title="Figure 13a/b: analytics query latency",
+        ),
+    )
+    biggest = SCANS[-1]
+    eth = next(e for e in results["ethereum"] if e[0] == biggest)
+    hlf = next(e for e in results["hyperledger"] if e[0] == biggest)
+    par = next(e for e in results["parity"] if e[0] == biggest)
+    # Q1: similar across platforms (same RPC count).
+    assert eth[1].rpc_count == hlf[1].rpc_count == par[1].rpc_count
+    assert eth[1].latency_s < 3 * hlf[1].latency_s
+    assert hlf[1].latency_s < 3 * eth[1].latency_s
+    # Q2: Hyperledger uses 1 RPC and is much faster at large scans.
+    assert hlf[2].rpc_count == 1
+    assert eth[2].rpc_count > biggest / 2
+    assert eth[2].latency_s > 5 * hlf[2].latency_s
+
+
+def test_fig13c_donothing(benchmark):
+    def run():
+        rows = []
+        measured = {}
+        for platform in PLATFORMS:
+            for workload in ("smallbank", "ycsb", "donothing"):
+                result = run_experiment(
+                    ExperimentSpec(
+                        platform=platform,
+                        workload=workload,
+                        n_servers=8,
+                        n_clients=8,
+                        request_rate_tx_s=256,
+                        duration_s=BASE_DURATION,
+                        seed=13,
+                    )
+                )
+                measured[(platform, workload)] = result.throughput
+                rows.append([platform, workload, f"{result.throughput:.0f}"])
+        return rows, measured
+
+    rows, measured = once(benchmark, run)
+    emit(
+        "fig13c_donothing",
+        format_table(
+            ["platform", "workload", "tx/s"],
+            rows,
+            title="Figure 13c: DoNothing isolates the consensus layer",
+        ),
+    )
+    # Ethereum: consensus-bound — DoNothing matches YCSB (no execution
+    # regression; see the module docstring for why the paper's +10%
+    # does not emerge from this cost model).
+    assert (
+        measured[("ethereum", "donothing")]
+        >= 0.97 * measured[("ethereum", "ycsb")]
+    )
+    # Parity: no difference — the signing stage dominates everything.
+    parity = [measured[("parity", w)] for w in ("smallbank", "ycsb", "donothing")]
+    assert max(parity) < 1.3 * min(parity)
+    # Hyperledger is CPU-bound, so the execution layer is visible here:
+    # Smallbank pays a clear penalty and DoNothing never loses to YCSB.
+    assert (
+        measured[("hyperledger", "smallbank")]
+        <= 0.97 * measured[("hyperledger", "ycsb")]
+    )
+    assert (
+        measured[("hyperledger", "donothing")]
+        >= 0.97 * measured[("hyperledger", "ycsb")]
+    )

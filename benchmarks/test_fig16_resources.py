@@ -1,0 +1,57 @@
+"""Figure 16: CPU and network utilization per platform.
+
+Paper shape: Ethereum is CPU-bound (PoW saturates all 8 cores);
+Hyperledger "uses CPU sparingly and spends the rest of the time on
+network communication" (PBFT is communication-bound); Parity has the
+lowest footprint on both axes.
+"""
+
+from repro.core import ExperimentSpec, format_table, run_experiment
+
+from _common import BASE_DURATION, PLATFORMS, emit, once
+
+
+def test_fig16_resource_utilization(benchmark):
+    def run():
+        results = {}
+        for platform in PLATFORMS:
+            results[platform] = run_experiment(
+                ExperimentSpec(
+                    platform=platform,
+                    workload="ycsb",
+                    n_servers=8,
+                    n_clients=8,
+                    request_rate_tx_s=128,
+                    duration_s=BASE_DURATION,
+                    seed=16,
+                    with_monitor=True,
+                )
+            )
+        return results
+
+    results = once(benchmark, run)
+    rows = [
+        [
+            platform,
+            f"{result.mean_cpu_pct:.1f}",
+            f"{result.mean_net_mbps:.2f}",
+        ]
+        for platform, result in results.items()
+    ]
+    emit(
+        "fig16_resources",
+        format_table(
+            ["platform", "CPU %", "network Mbps"],
+            rows,
+            title="Figure 16: resource utilization (8 servers, YCSB)",
+        ),
+    )
+    eth, par, hlf = (results[p] for p in ("ethereum", "parity", "hyperledger"))
+    # Ethereum: CPU-bound — mining pins the cores.
+    assert eth.mean_cpu_pct > 60.0
+    assert eth.mean_cpu_pct > 3 * hlf.mean_cpu_pct
+    # Hyperledger: communication-bound — the most network traffic.
+    assert hlf.mean_net_mbps > eth.mean_net_mbps
+    assert hlf.mean_net_mbps > par.mean_net_mbps
+    # Parity: modest on both axes.
+    assert par.mean_cpu_pct < eth.mean_cpu_pct

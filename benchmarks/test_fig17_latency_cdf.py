@@ -1,0 +1,64 @@
+"""Figure 17: latency distributions (CDF) for YCSB and Smallbank.
+
+Paper shape: Ethereum has both the highest latency and the highest
+variance (PoW block intervals are exponential); Parity has the lowest
+variance (its server throttles request intake, so accepted requests see
+an almost deterministic pipeline).
+"""
+
+from repro.core import ExperimentSpec, format_table, run_experiment
+
+from _common import BASE_DURATION, PLATFORMS, emit, once
+
+
+def test_fig17_latency_distribution(benchmark):
+    def run():
+        results = {}
+        for platform in PLATFORMS:
+            for workload in ("ycsb", "smallbank"):
+                results[(platform, workload)] = run_experiment(
+                    ExperimentSpec(
+                        platform=platform,
+                        workload=workload,
+                        n_servers=8,
+                        n_clients=8,
+                        request_rate_tx_s=64,
+                        duration_s=BASE_DURATION,
+                        seed=17,
+                    )
+                )
+        return results
+
+    results = once(benchmark, run)
+    rows = []
+    spreads = {}
+    for (platform, workload), result in results.items():
+        stats = result.stats
+        p10 = stats.latency_percentile(10)
+        p50 = stats.latency_percentile(50)
+        p90 = stats.latency_percentile(90)
+        spread = (p90 - p10) / max(p50, 1e-9)
+        spreads[(platform, workload)] = spread
+        rows.append(
+            [platform, workload, f"{p10:.2f}", f"{p50:.2f}", f"{p90:.2f}",
+             f"{spread:.2f}"]
+        )
+    emit(
+        "fig17_latency_cdf",
+        format_table(
+            ["platform", "workload", "p10 (s)", "p50 (s)", "p90 (s)",
+             "spread (p90-p10)/p50"],
+            rows,
+            title="Figure 17: latency distribution (CDF percentiles)",
+        ),
+    )
+    # Ethereum's relative spread beats Parity's (PoW randomness).
+    assert spreads[("ethereum", "ycsb")] > spreads[("parity", "ycsb")]
+    # Ethereum is the slowest of the three at the median.
+    eth_p50 = results[("ethereum", "ycsb")].stats.latency_percentile(50)
+    for platform in ("parity", "hyperledger"):
+        assert eth_p50 > results[(platform, "ycsb")].stats.latency_percentile(50)
+
+    # CDF curves are exported for plotting.
+    cdf = results[("ethereum", "ycsb")].stats.latency_cdf(20)
+    assert cdf[-1][1] == 1.0

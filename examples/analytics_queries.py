@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Analytics: historical queries over chain data (Figures 13a, 13b).
+
+Q1 (total transferred value in a block range) costs one RPC per block
+on every platform. Q2 (largest transfer involving one account) costs
+one RPC per block on Ethereum/Parity but a *single* chaincode query on
+Hyperledger thanks to the VersionKVStore contract (paper Figure 20) —
+the network round trips are the whole difference.
+
+Run:  python examples/analytics_queries.py
+"""
+
+from repro.core import format_table
+from repro.platforms import build_cluster
+from repro.workloads import preload_history, run_q1, run_q2
+
+N_BLOCKS = 400
+SCAN = 100  # blocks scanned by each query
+
+
+def main() -> None:
+    rows = []
+    for platform in ("ethereum", "parity", "hyperledger"):
+        cluster = build_cluster(platform, 2, seed=11)
+        preload = preload_history(
+            cluster, n_blocks=N_BLOCKS, txs_per_block=3, n_accounts=120
+        )
+        account = preload.account_names[0]
+        q1 = run_q1(cluster, N_BLOCKS - SCAN, N_BLOCKS)
+        q2 = run_q2(cluster, account, N_BLOCKS - SCAN, N_BLOCKS)
+        rows.append(
+            [
+                platform,
+                f"{q1.latency_s * 1000:.1f}",
+                q1.rpc_count,
+                f"{q2.latency_s * 1000:.1f}",
+                q2.rpc_count,
+            ]
+        )
+        cluster.close()
+    print(
+        format_table(
+            ["platform", "Q1 ms", "Q1 RPCs", "Q2 ms", "Q2 RPCs"],
+            rows,
+            title=f"Analytics over {SCAN} blocks (paper Fig. 13a/13b)",
+        )
+    )
+    print("\nHyperledger's Q2 runs as one chaincode query (Figure 20);"
+          "\nEthereum/Parity must fetch one balance per block.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""BLOCKBENCH reproduction: a framework for analyzing private blockchains.
+
+Reproduces Dinh et al., *BLOCKBENCH: A Framework for Analyzing Private
+Blockchains* (SIGMOD 2017) as a self-contained Python library: the
+benchmarking framework itself (driver, connectors, workloads, metrics,
+fault and attack injection) plus faithful simulators of the paper's
+platforms — Ethereum (PoW), Parity (PoA), Hyperledger Fabric v0.6
+(PBFT) and ErisDB (Tendermint) — built layer by layer on a
+deterministic discrete-event kernel.
+
+Quickstart::
+
+    from repro import ExperimentSpec, run_experiment
+
+    result = run_experiment(
+        ExperimentSpec(platform="hyperledger", workload="ycsb",
+                       n_servers=8, n_clients=8,
+                       request_rate_tx_s=256, duration_s=30)
+    )
+    print(result.throughput, result.latency)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record.
+"""
+
+from .core import (
+    Driver,
+    DriverConfig,
+    ExperimentResult,
+    ExperimentSpec,
+    FaultSchedule,
+    StatsCollector,
+    StatsSummary,
+    Workload,
+    format_table,
+    run_experiment,
+    run_partition_attack,
+)
+from .errors import ReproError
+from .platforms import build_cluster
+from .workloads import make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Driver",
+    "DriverConfig",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FaultSchedule",
+    "StatsCollector",
+    "StatsSummary",
+    "Workload",
+    "format_table",
+    "run_experiment",
+    "run_partition_attack",
+    "ReproError",
+    "build_cluster",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Transactions and receipts.
+
+A blockchain transaction here matches the paper's definition — "a
+sequence of operations applied on some states" — encoded as a contract
+invocation: target contract, function name, arguments, and an optional
+money transfer. Every transaction is signed by its sender; platforms
+charge CPU for signature work where their real counterparts do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..crypto.hashing import hash_items, short_hex
+from ..crypto.signatures import Signature
+
+_tx_counter = itertools.count()
+
+
+def _encode_args(args: tuple[Any, ...]) -> bytes:
+    return repr(args).encode()
+
+
+@dataclass
+class Transaction:
+    """One signed state transition request."""
+
+    tx_id: str
+    sender: str
+    contract: str
+    function: str
+    args: tuple[Any, ...]
+    value: int = 0
+    nonce: int = 0
+    signature: Signature | None = None
+    submitted_at: float = 0.0
+
+    @classmethod
+    def create(
+        cls,
+        sender: str,
+        contract: str,
+        function: str,
+        args: tuple[Any, ...] = (),
+        value: int = 0,
+        nonce: int | None = None,
+        submitted_at: float = 0.0,
+    ) -> "Transaction":
+        """Build a transaction with a content-derived id."""
+        if nonce is None:
+            nonce = next(_tx_counter)
+        digest = hash_items(
+            sender.encode(),
+            contract.encode(),
+            function.encode(),
+            _encode_args(args),
+            value.to_bytes(16, "big", signed=True),
+            nonce.to_bytes(16, "big"),
+        )
+        return cls(
+            tx_id=digest.hex(),
+            sender=sender,
+            contract=contract,
+            function=function,
+            args=args,
+            value=value,
+            nonce=nonce,
+            submitted_at=submitted_at,
+        )
+
+    def signing_payload(self) -> bytes:
+        """Bytes covered by the sender's signature."""
+        return self.tx_id.encode()
+
+    def encode(self) -> bytes:
+        """Canonical encoding used for Merkle leaves."""
+        return self.tx_id.encode()
+
+    def size_bytes(self) -> int:
+        """Approximate wire size (fields + signature)."""
+        return (
+            110  # fixed header: ids, nonce, value, framing
+            + len(self.sender)
+            + len(self.contract)
+            + len(self.function)
+            + len(_encode_args(self.args))
+            + (self.signature.size_bytes() if self.signature else 0)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tx {self.tx_id[:8]} {self.contract}.{self.function}>"
+
+
+@dataclass
+class Receipt:
+    """Outcome of executing one transaction inside a committed block."""
+
+    tx_id: str
+    block_height: int
+    success: bool
+    gas_used: int = 0
+    output: Any = None
+    error: str = ""
+    committed_at: float = 0.0
+
+
+@dataclass
+class TxStatus:
+    """Client-side view of a submitted transaction's lifecycle."""
+
+    tx: Transaction
+    submitted_at: float
+    confirmed_at: float | None = None
+    receipt: Receipt | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.confirmed_at is None:
+            return None
+        return self.confirmed_at - self.submitted_at

@@ -1,0 +1,306 @@
+"""Command-line interface to the BLOCKBENCH framework.
+
+Three subcommands cover the framework's day-to-day entry points:
+
+``blockbench run``
+    One macro-benchmark experiment (the Driver pipeline of Figure 4):
+    pick a platform, a workload, cluster and client counts, and get the
+    paper's metrics — throughput, latency percentiles, queue growth.
+
+``blockbench attack``
+    The Section 4.1.3 partition attack: split the network in half for a
+    window and report the fork exposure (total vs main-branch blocks).
+
+``blockbench list``
+    The available platforms and workloads.
+
+Examples
+--------
+::
+
+    blockbench run --platform hyperledger --workload ycsb \
+        --servers 8 --clients 8 --rate 256 --duration 60
+    blockbench run --platform erisdb --workload smallbank --subscribe
+    blockbench attack --platform ethereum --start 100 --length 150
+    blockbench list
+
+``main`` returns an exit code instead of calling ``sys.exit`` so tests
+(and other programs) can drive the CLI in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .core import (
+    ExperimentSpec,
+    FaultSchedule,
+    CrashFault,
+    Driver,
+    DriverConfig,
+    format_table,
+    run_experiment,
+    run_partition_attack,
+)
+from .errors import ReproError
+
+#: Platform names accepted by ``repro.platforms.build_cluster``.
+PLATFORM_NAMES = ("ethereum", "parity", "hyperledger", "erisdb")
+
+#: Workload names accepted by ``repro.workloads.make_workload``.
+WORKLOAD_NAMES = (
+    "ycsb",
+    "smallbank",
+    "etherid",
+    "doubler",
+    "wavespresale",
+    "donothing",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blockbench",
+        description="BLOCKBENCH: a framework for analyzing private blockchains",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one macro-benchmark experiment")
+    run.add_argument("--platform", choices=PLATFORM_NAMES, default="hyperledger")
+    run.add_argument("--workload", choices=WORKLOAD_NAMES, default="ycsb")
+    run.add_argument("--servers", type=int, default=8)
+    run.add_argument("--clients", type=int, default=8)
+    run.add_argument(
+        "--rate", type=float, default=100.0,
+        help="request rate per client (tx/s)",
+    )
+    run.add_argument("--duration", type=float, default=30.0, help="seconds")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--blocking", action="store_true",
+        help="one outstanding transaction per client (latency mode)",
+    )
+    run.add_argument(
+        "--subscribe", action="store_true",
+        help="confirm via the pub/sub block feed (ErisDB only)",
+    )
+    run.add_argument(
+        "--crash", type=int, default=0, metavar="N",
+        help="crash N servers at mid-run (Figure 9 style)",
+    )
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument(
+        "--export-dir", metavar="DIR",
+        help="write plot-ready CSV series (summary, queue, CDF, commits)",
+    )
+
+    attack = sub.add_parser(
+        "attack", help="partition the network in half and measure forks"
+    )
+    attack.add_argument("--platform", choices=PLATFORM_NAMES, default="ethereum")
+    attack.add_argument("--servers", type=int, default=8)
+    attack.add_argument("--clients", type=int, default=8)
+    attack.add_argument("--rate", type=float, default=20.0)
+    attack.add_argument("--start", type=float, default=100.0, help="attack start (s)")
+    attack.add_argument("--length", type=float, default=150.0, help="attack length (s)")
+    attack.add_argument(
+        "--total", type=float, default=0.0,
+        help="total run length (default: start + length + 100)",
+    )
+    attack.add_argument("--seed", type=int, default=42)
+    attack.add_argument("--json", action="store_true")
+
+    sub.add_parser("list", help="list platforms and workloads")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    faults = None
+    if args.crash:
+        faults = FaultSchedule(
+            crashes=[CrashFault(at_time=args.duration / 2, count=args.crash)]
+        )
+    result = run_experiment(
+        ExperimentSpec(
+            platform=args.platform,
+            workload=args.workload,
+            n_servers=args.servers,
+            n_clients=args.clients,
+            request_rate_tx_s=args.rate,
+            duration_s=args.duration,
+            seed=args.seed,
+            blocking=args.blocking,
+            subscribe=args.subscribe,
+            faults=faults,
+        )
+    )
+    summary = result.summary
+    if args.export_dir:
+        from pathlib import Path
+
+        from .core import (
+            export_commit_series,
+            export_latency_cdf,
+            export_queue_series,
+            export_summary,
+            write_csv,
+        )
+
+        out = Path(args.export_dir)
+        export_summary(out / "summary.csv", [summary])
+        export_queue_series(out / "queue.csv", result.stats)
+        export_latency_cdf(out / "latency_cdf.csv", result.stats)
+        export_commit_series(out / "commits.csv", result.stats)
+        write_csv(
+            out / "run.csv",
+            ["platform", "workload", "servers", "clients", "rate_tx_s",
+             "duration_s", "seed"],
+            [[args.platform, args.workload, args.servers, args.clients,
+              args.rate, args.duration, args.seed]],
+        )
+        print(f"wrote CSV series to {out}/", file=sys.stderr)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "platform": args.platform,
+                    "workload": args.workload,
+                    "servers": args.servers,
+                    "clients": args.clients,
+                    "rate_tx_s": args.rate,
+                    "duration_s": args.duration,
+                    "throughput_tx_s": summary.throughput_tx_s,
+                    "latency_avg_s": summary.latency_avg_s,
+                    "latency_p50_s": summary.latency_p50_s,
+                    "latency_p99_s": summary.latency_p99_s,
+                    "submitted": summary.submitted,
+                    "confirmed": summary.confirmed,
+                    "chain_height": result.chain_height,
+                    "total_blocks": result.total_blocks,
+                    "main_branch_blocks": result.main_branch_blocks,
+                    "view_changes": result.view_changes,
+                }
+            )
+        )
+        return 0
+    rows = [
+        ["throughput (tx/s)", f"{summary.throughput_tx_s:.1f}"],
+        ["latency avg (s)", f"{summary.latency_avg_s:.3f}"],
+        ["latency p50 (s)", f"{summary.latency_p50_s:.3f}"],
+        ["latency p99 (s)", f"{summary.latency_p99_s:.3f}"],
+        ["submitted", summary.submitted],
+        ["confirmed", summary.confirmed],
+        ["chain height", result.chain_height],
+        ["fork blocks", result.total_blocks - result.main_branch_blocks],
+        ["view changes", result.view_changes],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"{args.platform} / {args.workload}: {args.servers} servers, "
+                f"{args.clients} clients @ {args.rate:g} tx/s for "
+                f"{args.duration:g}s"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    # Imported here so `blockbench list` works even if platform deps
+    # grow heavier later; keeps CLI startup light.
+    from .platforms import build_cluster
+    from .workloads import DoNothingWorkload
+
+    total = args.total or (args.start + args.length + 100.0)
+    cluster = build_cluster(args.platform, args.servers, seed=args.seed)
+    driver = Driver(
+        cluster,
+        DoNothingWorkload(),
+        DriverConfig(
+            n_clients=args.clients,
+            request_rate_tx_s=args.rate,
+            duration_s=total,
+        ),
+    )
+    driver.prepare()
+    for client in driver.clients:
+        client.start(total)
+    report = run_partition_attack(
+        cluster,
+        attack_start=args.start,
+        attack_duration=args.length,
+        total_duration=total,
+    )
+    cluster.close()
+    last = report.samples[-1] if report.samples else None
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "platform": args.platform,
+                    "attack_start_s": args.start,
+                    "attack_length_s": args.length,
+                    "total_blocks": last.total_blocks if last else 0,
+                    "main_branch_blocks": last.main_branch_blocks if last else 0,
+                    "fork_blocks": report.final_fork_blocks(),
+                    "fork_ratio": report.fork_ratio(),
+                    "peak_fork_fraction": report.peak_fork_fraction(),
+                }
+            )
+        )
+        return 0
+    rows = [
+        ["total blocks", last.total_blocks if last else 0],
+        ["main branch blocks", last.main_branch_blocks if last else 0],
+        ["fork blocks", report.final_fork_blocks()],
+        ["fork ratio (main/total)", f"{report.fork_ratio():.3f}"],
+        ["peak fork fraction", f"{report.peak_fork_fraction():.3f}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"partition attack on {args.platform}: "
+                f"{args.start:g}s..{args.start + args.length:g}s of {total:g}s"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("platforms:")
+    for name in PLATFORM_NAMES:
+        print(f"  {name}")
+    print("workloads:")
+    for name in WORKLOAD_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+_COMMANDS = {"run": _cmd_run, "attack": _cmd_attack, "list": _cmd_list}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns an exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

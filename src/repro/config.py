@@ -1,0 +1,240 @@
+"""Platform configuration and calibration constants.
+
+Every absolute cost in the simulation lives here, in one place, so the
+calibration is auditable. The constants were chosen so the three
+platforms land near the paper's peak numbers at the reference setup
+(8 servers, 8 clients, YCSB — Figure 5a):
+
+============  =================  ==========================
+platform      paper peak (tx/s)  dominant limit
+============  =================  ==========================
+Ethereum      284                ~2.5 s PoW interval x gasLimit-bounded blocks
+Parity        45                 single signer at ~22 ms per transaction
+Hyperledger   1273               ~0.75 ms of CPU per transaction across
+                                 ingress + validation + execution stages
+============  =================  ==========================
+
+*Shapes* (scalability curves, collapse points, fork windows) emerge
+from the protocol implementations; these constants only set scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .consensus.pbft import PBFTConfig
+from .consensus.poa import PoAConfig
+from .consensus.pow import PoWConfig
+from .consensus.tendermint import TendermintConfig
+
+
+@dataclass(frozen=True)
+class ExecutionCosts:
+    """CPU-time model for one platform's execution engine."""
+
+    #: Seconds of CPU per unit of gas when executing a transaction.
+    seconds_per_gas: float
+    #: Per-transaction signature verification when validating a block.
+    verify_cost_s: float
+    #: Cost of accepting one client submission (RPC deserialization,
+    #: signature check, pool insert).
+    tx_ingress_cost_s: float
+    #: Cost of receiving one peer-gossiped transaction (already
+    #: verified upstream; re-checked cheaply).
+    tx_gossip_cost_s: float
+    #: Sender-side cost of serializing one gossip copy to one peer
+    #: (gRPC stream write). Charged (fan-out x this) at admission, so
+    #: broadcasting to N-1 peers is O(N) work for the admitting server
+    #: — the per-transaction cost that grows with cluster size.
+    tx_broadcast_send_cost_s: float
+    #: Base cost of handling one consensus control message.
+    consensus_msg_cost_s: float
+    #: Cost of serving one RPC request (excluding payload size effects).
+    rpc_cost_s: float = 0.0002
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything needed to instantiate one platform node."""
+
+    name: str
+    execution: ExecutionCosts
+    #: Bounded message channel; None = unbounded.
+    inbox_capacity: int | None
+    #: Mempool capacity (transactions).
+    mempool_capacity: int | None
+    #: Gas budget per block (None = count-limited only).
+    block_gas_limit: int | None
+    #: Storage backend: "memory" for macro runs, "lsm" for IOHeavy.
+    storage_backend: str = "memory"
+    #: In-memory state cap in bytes (Parity's OOM behaviour); None = off.
+    memory_cap_bytes: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# Ethereum (geth v1.4.18)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EthereumConfig(PlatformConfig):
+    pow: PoWConfig = field(default_factory=PoWConfig)
+
+
+def ethereum_config(**overrides) -> EthereumConfig:
+    """geth v1.4.18 private-testnet preset.
+
+    Difficulty tuned for ~2.5 s blocks at 8 nodes (Section 4); the
+    gasLimit bounds blocks at roughly 700 YCSB transactions, giving the
+    ~284 tx/s peak.
+    """
+    defaults = dict(
+        name="ethereum",
+        execution=ExecutionCosts(
+            seconds_per_gas=2.0e-8,
+            verify_cost_s=0.0001,
+            tx_ingress_cost_s=0.00015,
+            tx_gossip_cost_s=0.00008,
+            tx_broadcast_send_cost_s=0.00002,
+            consensus_msg_cost_s=0.0002,
+        ),
+        inbox_capacity=None,  # geth queues; latency grows instead of dropping
+        mempool_capacity=None,
+        block_gas_limit=20_000_000,
+        pow=PoWConfig(
+            base_block_interval=2.5,
+            reference_nodes=8,
+            difficulty_exponent=1.45,
+            confirmation_depth=5,
+            max_txs_per_block=800,
+            mining_cores=8,
+        ),
+    )
+    defaults.update(overrides)
+    return EthereumConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Parity v1.6.0
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParityConfig(PlatformConfig):
+    poa: PoAConfig = field(default_factory=PoAConfig)
+    #: Single-threaded server-side signing cost per transaction — the
+    #: paper's Parity bottleneck (Sections 4.1.1, 4.2.3).
+    signing_cost_s: float = 0.022
+    #: Bounded signing queue; overflow is rejected back to the client,
+    #: which is why Parity's latency stays flat while its client queue
+    #: grows (Figures 5, 6).
+    signing_queue_capacity: int = 128
+    #: Per-server intake throttle ("a maximum client request rate at
+    #: around 80 tx/s", Section 4.1.1).
+    intake_rate_tx_s: float = 80.0
+
+
+def parity_config(**overrides) -> ParityConfig:
+    defaults = dict(
+        name="parity",
+        execution=ExecutionCosts(
+            seconds_per_gas=1.2e-8,
+            verify_cost_s=0.00008,
+            tx_ingress_cost_s=0.0001,
+            tx_gossip_cost_s=0.00006,
+            tx_broadcast_send_cost_s=0.00002,
+            consensus_msg_cost_s=0.00015,
+        ),
+        inbox_capacity=None,
+        mempool_capacity=None,
+        block_gas_limit=None,  # "gasLimit is not applicable to local transactions"
+        poa=PoAConfig(
+            step_duration=1.0,
+            confirmation_depth=2,
+            max_txs_per_block=1000,
+        ),
+    )
+    defaults.update(overrides)
+    return ParityConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Hyperledger Fabric v0.6.0-preview
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class HyperledgerConfig(PlatformConfig):
+    pbft: PBFTConfig = field(default_factory=PBFTConfig)
+
+
+def hyperledger_config(**overrides) -> HyperledgerConfig:
+    """Fabric v0.6 preset: PBFT with batch size 500 and the bounded
+    message channel whose overflow causes the >16-node collapse."""
+    defaults = dict(
+        name="hyperledger",
+        execution=ExecutionCosts(
+            seconds_per_gas=1.2e-8,
+            verify_cost_s=0.0002,
+            tx_ingress_cost_s=0.0003,
+            tx_gossip_cost_s=0.00012,
+            tx_broadcast_send_cost_s=0.0001,
+            consensus_msg_cost_s=0.0002,
+        ),
+        inbox_capacity=650,  # the fatal bounded channel (Section 4.1.2)
+        mempool_capacity=None,
+        block_gas_limit=None,
+        pbft=PBFTConfig(
+            batch_size=500,
+            batch_interval=0.25,
+            view_timeout=2.5,
+        ),
+    )
+    defaults.update(overrides)
+    return HyperledgerConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# ErisDB (Monax / eris-db — the paper's "under development" backend)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErisDBConfig(PlatformConfig):
+    tendermint: TendermintConfig = field(default_factory=TendermintConfig)
+
+
+def erisdb_config(**overrides) -> ErisDBConfig:
+    """eris-db preset: Tendermint BFT consensus over an EVM engine.
+
+    The paper never benchmarks ErisDB, so there is no peak to calibrate
+    against; the costs are composed from the measured platforms. The
+    consensus side is PBFT-class (two all-to-all vote phases priced
+    like Hyperledger's control messages); the execution side is
+    EVM-class (ErisDB runs Solidity bytecode, so per-gas and
+    verification costs follow Ethereum's profile). The expectation the
+    extension benchmark checks is therefore structural: ErisDB lands
+    between Hyperledger (native execution) and Ethereum (PoW).
+    """
+    defaults = dict(
+        name="erisdb",
+        execution=ExecutionCosts(
+            seconds_per_gas=2.0e-8,  # EVM, as on Ethereum
+            verify_cost_s=0.0001,
+            tx_ingress_cost_s=0.0002,
+            tx_gossip_cost_s=0.0001,
+            tx_broadcast_send_cost_s=0.0001,
+            consensus_msg_cost_s=0.0002,
+        ),
+        # Tendermint's Go channels are bounded but generous; the PBFT
+        # collapse ablation is where channel pressure is studied.
+        inbox_capacity=4096,
+        mempool_capacity=None,
+        block_gas_limit=None,
+        tendermint=TendermintConfig(
+            max_txs_per_block=500,
+            commit_interval=0.25,
+        ),
+    )
+    defaults.update(overrides)
+    return ErisDBConfig(**defaults)
+
+
+PLATFORM_PRESETS = {
+    "ethereum": ethereum_config,
+    "parity": parity_config,
+    "hyperledger": hyperledger_config,
+    "erisdb": erisdb_config,
+}

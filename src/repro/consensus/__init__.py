@@ -1,0 +1,21 @@
+"""Consensus layer: PoW (Ethereum), PoA (Parity), PBFT (Hyperledger),
+Tendermint (ErisDB)."""
+
+from .base import ConsensusHost, ConsensusProtocol
+from .pbft import PBFT, PBFTConfig
+from .poa import PoAConfig, ProofOfAuthority
+from .pow import PoWConfig, ProofOfWork
+from .tendermint import Tendermint, TendermintConfig
+
+__all__ = [
+    "ConsensusHost",
+    "ConsensusProtocol",
+    "PBFT",
+    "PBFTConfig",
+    "PoAConfig",
+    "ProofOfAuthority",
+    "PoWConfig",
+    "ProofOfWork",
+    "Tendermint",
+    "TendermintConfig",
+]

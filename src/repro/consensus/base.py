@@ -1,0 +1,112 @@
+"""Consensus protocol interface.
+
+A protocol instance runs inside one platform node. It never touches the
+network or chain directly — everything goes through the
+:class:`ConsensusHost`, which the platform node implements. That keeps
+the protocols independently testable against fake hosts and lets the
+four platforms share one protocol implementation each with different
+tuning.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Protocol
+
+from ..chain.block import Block
+from ..chain.blockchain import Blockchain
+from ..sim.events import Event
+
+
+class ConsensusHost(Protocol):
+    """Services a platform node offers to its consensus protocol."""
+
+    node_id: str
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        ...
+
+    def set_timer(self, delay: float, fn: Any, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds; returns the
+        event handle (cancellable)."""
+        ...
+
+    def send_to(
+        self, recipient: str, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Send one message to one peer over the simulated network."""
+        ...
+
+    def broadcast_to_peers(
+        self, kind: str, payload: Any, size_bytes: int
+    ) -> None:
+        """Send one message to every peer (not to ourselves)."""
+        ...
+
+    def peer_ids(self) -> list[str]:
+        """Node ids of every other node in the deployment."""
+        ...
+
+    def rng(self) -> random.Random:
+        """This node's deterministic random stream (mining races)."""
+        ...
+
+    def consume_cpu(self, seconds: float) -> None:
+        """Occupy the node's CPU — backpressures message processing."""
+        ...
+
+    def chain(self) -> Blockchain:
+        """The node's local copy of the blockchain."""
+        ...
+
+    def pending_count(self) -> int:
+        """Transactions waiting in the local mempool."""
+        ...
+
+    def oldest_request_age(self) -> float:
+        """Seconds the oldest pending transaction has waited (drives
+        Fabric v0.6's request-timeout watchdog)."""
+        ...
+
+    def assemble_block(
+        self, parent: Block, consensus_meta: dict[str, Any], max_txs: int | None
+    ) -> Block:
+        """Batch pending transactions into a candidate block on top of
+        ``parent``; ``consensus_meta`` is stamped into the header."""
+        ...
+
+    def deliver_block(self, block: Block, execute: bool = True) -> bool:
+        """Append a decided block to the local chain (and execute it at
+        confirmation); returns whether the main branch changed."""
+        ...
+
+
+class ConsensusProtocol(ABC):
+    """Base class for PoW, PoA, PBFT, and Tendermint."""
+
+    #: Message kinds this protocol consumes (the node routes on these).
+    message_kinds: tuple[str, ...] = ()
+
+    def __init__(self, host: ConsensusHost) -> None:
+        self.host = host
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin participating (arm timers, start mining, ...)."""
+
+    @abstractmethod
+    def on_message(self, kind: str, payload: Any, sender: str) -> None:
+        """Handle one consensus message routed by the platform node."""
+
+    def on_new_pending_tx(self) -> None:
+        """Hook: a transaction entered the local mempool."""
+
+    def stop(self) -> None:
+        """Stop participating (crash injection support)."""
+
+    def describe(self) -> str:
+        """Human-readable protocol name for reports."""
+        return type(self).__name__

@@ -1,0 +1,50 @@
+"""Smart contracts: every workload of the paper's Table 1."""
+
+from .base import (
+    Contract,
+    DictState,
+    GasMeter,
+    InvocationResult,
+    MeteredState,
+    StateAccess,
+    TxContext,
+    decode_int,
+    encode_int,
+)
+from .doubler import DoublerContract
+from .etherid import EtherIdContract
+from .kvstore import KVStoreContract
+from .micro import (
+    VALUE_SIZE,
+    CPUHeavyContract,
+    DoNothingContract,
+    IOHeavyContract,
+)
+from .registry import available_contracts, create_contract
+from .smallbank import SmallbankContract
+from .versionkv import VersionKVStoreContract
+from .wavespresale import WavesPresaleContract
+
+__all__ = [
+    "Contract",
+    "DictState",
+    "GasMeter",
+    "InvocationResult",
+    "MeteredState",
+    "StateAccess",
+    "TxContext",
+    "decode_int",
+    "encode_int",
+    "DoublerContract",
+    "EtherIdContract",
+    "KVStoreContract",
+    "VALUE_SIZE",
+    "CPUHeavyContract",
+    "DoNothingContract",
+    "IOHeavyContract",
+    "available_contracts",
+    "create_contract",
+    "SmallbankContract",
+    "VersionKVStoreContract",
+    "WavesPresaleContract",
+]

@@ -1,0 +1,185 @@
+"""Smart-contract runtime interface (the paper's execution layer).
+
+Contracts here are the *native* implementations — the semantics shared
+by the Solidity versions (Ethereum/Parity) and the Go chaincode
+versions (Hyperledger) in Table 1. They program against the
+``putState``/``getState`` key-value interface Hyperledger exposes
+(Section 3.1.3), which is also sufficient to express the Ethereum data
+model in this codebase.
+
+Gas is metered against the Ethereum schedule regardless of platform;
+platforms translate gas to CPU time with their own engine factor, which
+is how one contract implementation yields the paper's EVM-vs-native
+execution gap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from ..errors import ContractRevert
+from ..evm.gas import INTRINSIC_TX_GAS, SLOAD_COST, sstore_cost
+
+
+class StateAccess(Protocol):
+    """Persistent contract state, namespaced per contract by platforms."""
+
+    def get_state(self, key: bytes) -> bytes | None:
+        """Read this contract's value for ``key`` (None if absent)."""
+        ...
+
+    def put_state(self, key: bytes, value: bytes) -> None:
+        """Write this contract's value for ``key``."""
+        ...
+
+    def delete_state(self, key: bytes) -> None:
+        """Remove ``key`` from this contract's storage."""
+        ...
+
+
+class DictState:
+    """In-memory StateAccess for tests and standalone execution."""
+
+    def __init__(self) -> None:
+        self.data: dict[bytes, bytes] = {}
+
+    def get_state(self, key: bytes) -> bytes | None:
+        """Dict-backed read."""
+        return self.data.get(key)
+
+    def put_state(self, key: bytes, value: bytes) -> None:
+        """Dict-backed write."""
+        self.data[key] = value
+
+    def delete_state(self, key: bytes) -> None:
+        """Dict-backed delete."""
+        self.data.pop(key, None)
+
+
+@dataclass
+class TxContext:
+    """Transaction environment visible to a contract invocation."""
+
+    sender: str = "anonymous"
+    value: int = 0
+    block_height: int = 0
+    timestamp: float = 0.0
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one contract call."""
+
+    output: Any
+    gas_used: int
+    reads: int = 0
+    writes: int = 0
+
+
+class GasMeter:
+    """Accumulates gas for a native invocation using the EVM schedule."""
+
+    def __init__(self) -> None:
+        self.gas = INTRINSIC_TX_GAS
+        self.reads = 0
+        self.writes = 0
+
+    def charge(self, amount: int) -> None:
+        """Add a flat gas amount."""
+        self.gas += amount
+
+    def charge_compute(self, units: int) -> None:
+        """Arithmetic/logic work: ~3 gas per elementary operation."""
+        self.gas += 3 * units
+
+    def charge_read(self) -> None:
+        """Charge one storage read (SLOAD)."""
+        self.reads += 1
+        self.gas += SLOAD_COST
+
+    def charge_write(self, was_present: bool, is_delete: bool = False) -> None:
+        """Charge one storage write with EVM SSTORE set/reset/clear
+        pricing."""
+        self.writes += 1
+        old = 1 if was_present else 0
+        new = 0 if is_delete else 1
+        self.gas += sstore_cost(old, new)
+
+
+class MeteredState:
+    """StateAccess wrapper that charges a GasMeter for every touch."""
+
+    def __init__(self, state: StateAccess, meter: GasMeter) -> None:
+        self._state = state
+        self._meter = meter
+
+    def get_state(self, key: bytes) -> bytes | None:
+        """Metered read."""
+        self._meter.charge_read()
+        return self._state.get_state(key)
+
+    def put_state(self, key: bytes, value: bytes) -> None:
+        """Metered write (plus byte-proportional surcharge)."""
+        was_present = self._state.get_state(key) is not None
+        self._meter.charge_write(was_present)
+        # Byte-proportional surcharge, mirroring calldata/storage costs.
+        self._meter.charge(8 * (len(value) // 32))
+        self._state.put_state(key, value)
+
+    def delete_state(self, key: bytes) -> None:
+        """Metered delete (refund-eligible SSTORE clear)."""
+        was_present = self._state.get_state(key) is not None
+        self._meter.charge_write(was_present, is_delete=True)
+        self._state.delete_state(key)
+
+
+class Contract(ABC):
+    """Base class: dispatches function calls to ``op_<name>`` methods."""
+
+    #: Registry name, e.g. "kvstore"; set by subclasses.
+    name: str = ""
+
+    def invoke(
+        self,
+        state: StateAccess,
+        function: str,
+        args: tuple[Any, ...],
+        ctx: TxContext | None = None,
+    ) -> InvocationResult:
+        """Run ``function(*args)`` against ``state`` with gas metering."""
+        ctx = ctx or TxContext()
+        handler = getattr(self, f"op_{function}", None)
+        if handler is None:
+            raise ContractRevert(f"{self.name}: unknown function {function!r}")
+        meter = GasMeter()
+        metered = MeteredState(state, meter)
+        output = handler(metered, ctx, meter, *args)
+        return InvocationResult(
+            output=output,
+            gas_used=meter.gas,
+            reads=meter.reads,
+            writes=meter.writes,
+        )
+
+    def functions(self) -> list[str]:
+        """Names of all invocable functions."""
+        return sorted(
+            name[3:] for name in dir(self) if name.startswith("op_")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Integer codec shared by contracts (big-endian, fixed width like EVM words)
+# ---------------------------------------------------------------------------
+def encode_int(value: int) -> bytes:
+    """Encode an int as a 32-byte big-endian EVM-style word."""
+    return value.to_bytes(32, "big", signed=True)
+
+
+def decode_int(blob: bytes | None, default: int = 0) -> int:
+    """Decode a 32-byte word; ``default`` for absent state."""
+    if blob is None:
+        return default
+    return int.from_bytes(blob, "big", signed=True)

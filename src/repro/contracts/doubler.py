@@ -1,0 +1,84 @@
+"""Doubler pyramid-scheme contract (Table 1: "Ponzi scheme", Figure 2).
+
+Participants send money in; early participants are paid 2x their
+contribution out of later deposits. The participant list is stored as
+indexed key-value entries — exactly the translation the paper describes
+for the Hyperledger port ("we need to translate the list operations
+into key-value semantics, making the chaincode more bulky").
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ContractRevert
+from .base import Contract, GasMeter, MeteredState, TxContext, decode_int, encode_int
+
+_COUNT = b"participant_count"
+_BALANCE = b"balance"
+_PAYOUT_IDX = b"payout_idx"
+
+
+def _participant_key(index: int) -> bytes:
+    return b"participant:" + str(index).encode()
+
+
+def _payout_key(user: str) -> bytes:
+    return b"paid:" + user.encode()
+
+
+class DoublerContract(Contract):
+    name = "doubler"
+
+    def op_enter(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter
+    ) -> list[str]:
+        """Join the scheme with ``ctx.value``; pays out early entrants.
+
+        Returns the list of participants paid out by this entry.
+        """
+        if ctx.value <= 0:
+            raise ContractRevert("doubler: must send a positive amount")
+        count = decode_int(state.get_state(_COUNT))
+        state.put_state(
+            _participant_key(count),
+            json.dumps({"address": ctx.sender, "amount": ctx.value}).encode(),
+        )
+        state.put_state(_COUNT, encode_int(count + 1))
+        balance = decode_int(state.get_state(_BALANCE)) + ctx.value
+        payout_idx = decode_int(state.get_state(_PAYOUT_IDX))
+        paid: list[str] = []
+        # Pay entrants as long as the pot covers 2x their contribution.
+        while payout_idx < count + 1:
+            blob = state.get_state(_participant_key(payout_idx))
+            entrant = json.loads(blob)
+            owed = 2 * entrant["amount"]
+            meter.charge_compute(2)
+            if balance < owed:
+                break
+            balance -= owed
+            credit = decode_int(state.get_state(_payout_key(entrant["address"])))
+            state.put_state(
+                _payout_key(entrant["address"]), encode_int(credit + owed)
+            )
+            paid.append(entrant["address"])
+            payout_idx += 1
+        state.put_state(_BALANCE, encode_int(balance))
+        state.put_state(_PAYOUT_IDX, encode_int(payout_idx))
+        return paid
+
+    def op_participant_count(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter
+    ) -> int:
+        return decode_int(state.get_state(_COUNT))
+
+    def op_pot_balance(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter
+    ) -> int:
+        return decode_int(state.get_state(_BALANCE))
+
+    def op_payout_of(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, user: str
+    ) -> int:
+        """Total amount ever paid out to ``user``."""
+        return decode_int(state.get_state(_payout_key(user)))

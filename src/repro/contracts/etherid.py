@@ -1,0 +1,118 @@
+"""EtherId domain-name registrar contract (Table 1: "Name registrar").
+
+Mirrors the real EtherId contract the paper ports: domain creation,
+value modification, and paid ownership transfer. As in the paper's
+Hyperledger port, two key-value namespaces coexist — one for domain
+records, one for user balances — and transfers check the requester's
+funds before updating ownership (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ContractRevert
+from .base import Contract, GasMeter, MeteredState, TxContext, decode_int, encode_int
+
+
+def _domain_key(domain: str) -> bytes:
+    return b"domain:" + domain.encode()
+
+
+def _balance_key(user: str) -> bytes:
+    return b"balance:" + user.encode()
+
+
+class EtherIdContract(Contract):
+    name = "etherid"
+
+    # ------------------------------------------------------------------
+    def _get_domain(self, state: MeteredState, domain: str) -> dict | None:
+        blob = state.get_state(_domain_key(domain))
+        return json.loads(blob) if blob is not None else None
+
+    def _put_domain(self, state: MeteredState, domain: str, record: dict) -> None:
+        state.put_state(_domain_key(domain), json.dumps(record).encode())
+
+    # ------------------------------------------------------------------
+    def op_fund(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        user: str, amount: int,
+    ) -> int:
+        """Pre-allocate a user balance ('to simulate real workloads')."""
+        balance = decode_int(state.get_state(_balance_key(user))) + amount
+        state.put_state(_balance_key(user), encode_int(balance))
+        return balance
+
+    def op_balance_of(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, user: str
+    ) -> int:
+        return decode_int(state.get_state(_balance_key(user)))
+
+    def op_register(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        domain: str, value: str = "", price: int = 0,
+    ) -> bool:
+        """Create a domain owned by the sender; fails if taken."""
+        if self._get_domain(state, domain) is not None:
+            raise ContractRevert(f"etherid: domain {domain!r} already registered")
+        self._put_domain(
+            state,
+            domain,
+            {"owner": ctx.sender, "value": value, "price": price},
+        )
+        return True
+
+    def op_set_value(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        domain: str, value: str,
+    ) -> bool:
+        record = self._get_domain(state, domain)
+        if record is None:
+            raise ContractRevert(f"etherid: unknown domain {domain!r}")
+        if record["owner"] != ctx.sender:
+            raise ContractRevert("etherid: only the owner can modify a domain")
+        record["value"] = value
+        self._put_domain(state, domain, record)
+        return True
+
+    def op_set_price(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        domain: str, price: int,
+    ) -> bool:
+        record = self._get_domain(state, domain)
+        if record is None:
+            raise ContractRevert(f"etherid: unknown domain {domain!r}")
+        if record["owner"] != ctx.sender:
+            raise ContractRevert("etherid: only the owner can set a price")
+        record["price"] = price
+        self._put_domain(state, domain, record)
+        return True
+
+    def op_buy(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, domain: str
+    ) -> bool:
+        """Transfer ownership by paying the current owner's price."""
+        record = self._get_domain(state, domain)
+        if record is None:
+            raise ContractRevert(f"etherid: unknown domain {domain!r}")
+        price = record["price"]
+        if price <= 0:
+            raise ContractRevert(f"etherid: domain {domain!r} is not for sale")
+        buyer_balance = decode_int(state.get_state(_balance_key(ctx.sender)))
+        if buyer_balance < price:
+            raise ContractRevert("etherid: insufficient funds")
+        seller = record["owner"]
+        seller_balance = decode_int(state.get_state(_balance_key(seller)))
+        meter.charge_compute(2)
+        state.put_state(_balance_key(ctx.sender), encode_int(buyer_balance - price))
+        state.put_state(_balance_key(seller), encode_int(seller_balance + price))
+        record["owner"] = ctx.sender
+        record["price"] = 0
+        self._put_domain(state, domain, record)
+        return True
+
+    def op_lookup(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, domain: str
+    ) -> dict | None:
+        return self._get_domain(state, domain)

@@ -1,0 +1,47 @@
+"""YCSB key-value store contract (Table 1: "Key-value store").
+
+The macro-benchmark workhorse: read/write/delete/scan on opaque keys,
+matching the YCSB driver's operation mix.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ContractRevert
+from .base import Contract, GasMeter, MeteredState, TxContext
+
+
+class KVStoreContract(Contract):
+    name = "kvstore"
+
+    def op_write(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        key: str, value: str,
+    ) -> bool:
+        state.put_state(key.encode(), value.encode())
+        return True
+
+    def op_read(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, key: str
+    ) -> str | None:
+        blob = state.get_state(key.encode())
+        return blob.decode() if blob is not None else None
+
+    def op_delete(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, key: str
+    ) -> bool:
+        state.delete_state(key.encode())
+        return True
+
+    def op_read_modify_write(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        key: str, value: str,
+    ) -> bool:
+        """YCSB workload F: read a record then update it."""
+        existing = state.get_state(key.encode())
+        if existing is None:
+            raise ContractRevert(f"kvstore: read-modify-write on missing key {key!r}")
+        meter.charge_compute(len(existing) // 32 + 1)
+        state.put_state(key.encode(), value.encode())
+        return True

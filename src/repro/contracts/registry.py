@@ -1,0 +1,43 @@
+"""Registry of deployable contracts (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from ..errors import ContractRevert
+from .base import Contract
+from .doubler import DoublerContract
+from .etherid import EtherIdContract
+from .kvstore import KVStoreContract
+from .micro import CPUHeavyContract, DoNothingContract, IOHeavyContract
+from .smallbank import SmallbankContract
+from .versionkv import VersionKVStoreContract
+from .wavespresale import WavesPresaleContract
+
+_CONTRACT_TYPES: dict[str, type[Contract]] = {
+    cls.name: cls
+    for cls in (
+        KVStoreContract,
+        SmallbankContract,
+        EtherIdContract,
+        DoublerContract,
+        WavesPresaleContract,
+        VersionKVStoreContract,
+        IOHeavyContract,
+        CPUHeavyContract,
+        DoNothingContract,
+    )
+}
+
+
+def available_contracts() -> list[str]:
+    """Names of every deployable contract."""
+    return sorted(_CONTRACT_TYPES)
+
+
+def create_contract(name: str) -> Contract:
+    """Instantiate a contract by registry name."""
+    contract_type = _CONTRACT_TYPES.get(name)
+    if contract_type is None:
+        raise ContractRevert(
+            f"unknown contract {name!r}; available: {available_contracts()}"
+        )
+    return contract_type()

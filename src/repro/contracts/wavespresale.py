@@ -1,0 +1,75 @@
+"""WavesPresale token-sale contract (Table 1: "Crowd sale").
+
+Maintains the total number of tokens sold and a list of sale records
+supporting creation, ownership transfer, and point queries — the
+composite-structure workload that is trivial in Solidity but requires
+separate key-value namespaces on Hyperledger (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ContractRevert
+from .base import Contract, GasMeter, MeteredState, TxContext, decode_int, encode_int
+
+_TOTAL_TOKENS = b"total_tokens"
+_SALE_COUNT = b"sale_count"
+
+
+def _sale_key(sale_id: int) -> bytes:
+    return b"sale:" + str(sale_id).encode()
+
+
+class WavesPresaleContract(Contract):
+    name = "wavespresale"
+
+    def op_new_sale(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, tokens: int
+    ) -> int:
+        """Record a token purchase; returns the new sale's id."""
+        if tokens <= 0:
+            raise ContractRevert("wavespresale: token amount must be positive")
+        sale_id = decode_int(state.get_state(_SALE_COUNT))
+        record = {
+            "buyer": ctx.sender,
+            "tokens": tokens,
+            "timestamp": ctx.timestamp,
+        }
+        state.put_state(_sale_key(sale_id), json.dumps(record).encode())
+        state.put_state(_SALE_COUNT, encode_int(sale_id + 1))
+        total = decode_int(state.get_state(_TOTAL_TOKENS)) + tokens
+        state.put_state(_TOTAL_TOKENS, encode_int(total))
+        return sale_id
+
+    def op_transfer_sale(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter,
+        sale_id: int, new_owner: str,
+    ) -> bool:
+        """Transfer ownership of a previous sale."""
+        blob = state.get_state(_sale_key(sale_id))
+        if blob is None:
+            raise ContractRevert(f"wavespresale: unknown sale {sale_id}")
+        record = json.loads(blob)
+        if record["buyer"] != ctx.sender:
+            raise ContractRevert("wavespresale: only the owner can transfer")
+        record["buyer"] = new_owner
+        state.put_state(_sale_key(sale_id), json.dumps(record).encode())
+        return True
+
+    def op_get_sale(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter, sale_id: int
+    ) -> dict | None:
+        """Query a specific sale record."""
+        blob = state.get_state(_sale_key(sale_id))
+        return json.loads(blob) if blob is not None else None
+
+    def op_total_tokens(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter
+    ) -> int:
+        return decode_int(state.get_state(_TOTAL_TOKENS))
+
+    def op_sale_count(
+        self, state: MeteredState, ctx: TxContext, meter: GasMeter
+    ) -> int:
+        return decode_int(state.get_state(_SALE_COUNT))

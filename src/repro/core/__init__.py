@@ -1,0 +1,62 @@
+"""BLOCKBENCH core: the paper's primary contribution (Figure 4).
+
+Connector and workload interfaces, the asynchronous driver with its
+outstanding-transaction queue and polling loop, statistics collection,
+fault and attack injection, and experiment orchestration.
+"""
+
+from .connector import IBlockchainConnector, RPCClient, SimChainConnector
+from .driver import BenchClient, Driver, DriverConfig
+from .export import (
+    export_commit_series,
+    export_latency_cdf,
+    export_queue_series,
+    export_summary,
+    write_csv,
+)
+from .faults import (
+    CorruptionFault,
+    CrashFault,
+    DelayFault,
+    FaultSchedule,
+    PartitionFault,
+)
+from .report import SUMMARY_HEADERS, format_table, summary_row
+from .runner import ExperimentResult, ExperimentSpec, run_experiment
+from .security import AttackReport, ForkMonitor, ForkSample, run_partition_attack
+from .stats import StatsCollector, StatsSummary, merge_collectors
+from .workload import Workload, preload_state
+
+__all__ = [
+    "IBlockchainConnector",
+    "RPCClient",
+    "SimChainConnector",
+    "BenchClient",
+    "Driver",
+    "DriverConfig",
+    "export_commit_series",
+    "export_latency_cdf",
+    "export_queue_series",
+    "export_summary",
+    "write_csv",
+    "CorruptionFault",
+    "CrashFault",
+    "DelayFault",
+    "FaultSchedule",
+    "PartitionFault",
+    "SUMMARY_HEADERS",
+    "format_table",
+    "summary_row",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "run_experiment",
+    "AttackReport",
+    "ForkMonitor",
+    "ForkSample",
+    "run_partition_attack",
+    "StatsCollector",
+    "StatsSummary",
+    "merge_collectors",
+    "Workload",
+    "preload_state",
+]

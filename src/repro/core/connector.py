@@ -1,0 +1,247 @@
+"""Blockchain connector interface (the paper's IBlockchainConnector).
+
+"The interface contains operations for deploying application, invoking
+it by sending a transaction, and for querying the blockchain's states"
+(Section 3.2). The simulation connector speaks the platforms' RPC
+message protocol from a client-side SimNode; a new backend integrates
+by implementing this interface, exactly as in Figure 4.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, TYPE_CHECKING
+
+from ..chain import Transaction
+from ..errors import ConnectorError
+from ..sim import Message, SimNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platforms.cluster import Cluster
+
+
+class IBlockchainConnector(ABC):
+    """Backend-facing operations BLOCKBENCH needs."""
+
+    @abstractmethod
+    def deploy_application(self, contract_name: str) -> None:
+        """Install a smart contract on the backend."""
+
+    @abstractmethod
+    def send_transaction(
+        self, tx: Transaction, on_reply: Callable[[dict], None]
+    ) -> None:
+        """Submit asynchronously; ``on_reply`` gets {accepted, tx_id}."""
+
+    @abstractmethod
+    def get_latest_block(
+        self, from_height: int, on_reply: Callable[[dict], None]
+    ) -> None:
+        """Confirmed blocks in (from_height, tip] — the polling call."""
+
+    @abstractmethod
+    def query(
+        self, contract: str, function: str, args: tuple,
+        on_reply: Callable[[dict], None],
+    ) -> None:
+        """Read-only contract query (no consensus round)."""
+
+    def subscribe_new_blocks(
+        self, from_height: int, on_block: Callable[[dict], None]
+    ) -> None:
+        """Push-based alternative to :meth:`get_latest_block`.
+
+        Only backends with a publish/subscribe interface (ErisDB,
+        Section 3.2) implement this; the default refuses.
+        """
+        raise ConnectorError(
+            f"{type(self).__name__} backend does not support block subscriptions"
+        )
+
+
+class RPCClient(SimNode):
+    """Client-side endpoint: correlates requests with async replies.
+
+    This is the process the paper's WorkloadClient runs in; it lives on
+    the simulated network so every interaction pays real round trips —
+    the effect that decides the analytics Q2 result (one RPC per block
+    vs one RPC total, Figure 13b).
+    """
+
+    def __init__(self, node_id, scheduler, network) -> None:
+        super().__init__(node_id, scheduler, network)
+        self._next_req = 0
+        self._callbacks: dict[int, Callable[[dict], None]] = {}
+        # Persistent callbacks for push-based subscriptions; unlike
+        # request callbacks these survive across events.
+        self._subscriptions: dict[int, Callable[[dict], None]] = {}
+
+    def request(
+        self,
+        server: str,
+        kind: str,
+        payload: dict,
+        on_reply: Callable[[dict], None],
+        size_bytes: int = 192,
+        timeout_s: float | None = None,
+    ) -> int:
+        """Send one RPC and register ``on_reply`` for its answer."""
+        req_id = self._next_req
+        self._next_req += 1
+        self._callbacks[req_id] = on_reply
+        payload = dict(payload)
+        payload["req_id"] = req_id
+        self.send(server, kind, payload, size_bytes)
+        if timeout_s is not None:
+            self.set_timer(timeout_s, self._expire, req_id)
+        return req_id
+
+    def _expire(self, req_id: int) -> None:
+        """Fire a timeout reply if the server never answered (e.g. the
+        request was dropped at a full inbox)."""
+        callback = self._callbacks.pop(req_id, None)
+        if callback is not None:
+            callback({"accepted": False, "timeout": True, "req_id": req_id})
+
+    def subscribe(
+        self,
+        server: str,
+        kind: str,
+        payload: dict,
+        on_event: Callable[[dict], None],
+        size_bytes: int = 128,
+    ) -> int:
+        """Open a push subscription; ``on_event`` fires per event."""
+        sub_id = self._next_req
+        self._next_req += 1
+        self._subscriptions[sub_id] = on_event
+        payload = dict(payload)
+        payload["req_id"] = sub_id
+        self.send(server, kind, payload, size_bytes)
+        return sub_id
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Drop a push subscription registered with :meth:`subscribe`."""
+        self._subscriptions.pop(sub_id, None)
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch replies to request callbacks and events to subs."""
+        if message.corrupted:
+            return
+        if message.kind == "rpc/event":
+            callback = self._subscriptions.get(message.payload.get("sub_id"))
+            if callback is not None:
+                callback(message.payload)
+            return
+        if message.kind != "rpc/reply":
+            return
+        req_id = message.payload.get("req_id")
+        callback = self._callbacks.pop(req_id, None)
+        if callback is not None:
+            callback(message.payload)
+
+    def outstanding_requests(self) -> int:
+        """RPCs sent but not yet answered."""
+        return len(self._callbacks)
+
+
+class SimChainConnector(IBlockchainConnector):
+    """Connector binding one RPCClient to one server of a cluster."""
+
+    def __init__(self, cluster: "Cluster", client: RPCClient, server_id: str) -> None:
+        if server_id not in cluster.node_ids():
+            raise ConnectorError(f"unknown server {server_id!r}")
+        self.cluster = cluster
+        self.client = client
+        self.server_id = server_id
+
+    def deploy_application(self, contract_name: str) -> None:
+        """Install the contract on every node of the testnet."""
+        for node in self.cluster.nodes:
+            node.deploy(contract_name)
+
+    #: Client-side submission timeout: a request dropped at a saturated
+    #: server is retried rather than blocking its worker thread forever.
+    SUBMIT_TIMEOUT_S = 5.0
+
+    def send_transaction(
+        self, tx: Transaction, on_reply: Callable[[dict], None]
+    ) -> None:
+        """Submit one transaction to this connector's server."""
+        self.client.request(
+            self.server_id,
+            "rpc/send_tx",
+            {"tx": tx},
+            on_reply,
+            size_bytes=tx.size_bytes() + 48,
+            timeout_s=self.SUBMIT_TIMEOUT_S,
+        )
+
+    def get_latest_block(
+        self, from_height: int, on_reply: Callable[[dict], None]
+    ) -> None:
+        """The paper's getLatestBlock(h): confirmed blocks in (h, t]."""
+        self.client.request(
+            self.server_id,
+            "rpc/get_blocks",
+            {"from_height": from_height},
+            on_reply,
+            size_bytes=96,
+        )
+
+    def get_block_transactions(
+        self, height: int, on_reply: Callable[[dict], None]
+    ) -> None:
+        """Fetch one block's transaction bodies (analytics Q1)."""
+        self.client.request(
+            self.server_id,
+            "rpc/get_block_txs",
+            {"height": height},
+            on_reply,
+            size_bytes=96,
+        )
+
+    def get_balance(
+        self, contract: str, key: bytes, height: int,
+        on_reply: Callable[[dict], None],
+    ) -> None:
+        """Historical state read at a block height (analytics Q2)."""
+        self.client.request(
+            self.server_id,
+            "rpc/get_balance",
+            {"contract": contract, "key": key, "height": height},
+            on_reply,
+            size_bytes=128,
+        )
+
+    def query(
+        self, contract: str, function: str, args: tuple,
+        on_reply: Callable[[dict], None],
+    ) -> None:
+        """Read-only contract invocation (no consensus round)."""
+        self.client.request(
+            self.server_id,
+            "rpc/query",
+            {"contract": contract, "function": function, "args": args},
+            on_reply,
+            size_bytes=192,
+        )
+
+    def subscribe_new_blocks(
+        self, from_height: int, on_block: Callable[[dict], None]
+    ) -> None:
+        """ErisDB-style push feed: one event per executed block."""
+        server = next(
+            node for node in self.cluster.nodes if node.node_id == self.server_id
+        )
+        if not getattr(server, "supports_subscription", False):
+            raise ConnectorError(
+                f"platform {self.cluster.platform!r} has no "
+                "publish/subscribe interface; use get_latest_block polling"
+            )
+        self.client.subscribe(
+            self.server_id,
+            "rpc/subscribe",
+            {"from_height": from_height},
+            lambda event: on_block(event["block"]),
+        )

@@ -1,0 +1,246 @@
+"""The asynchronous BLOCKBENCH driver (Section 3.2).
+
+One :class:`BenchClient` is a WorkloadClient: it submits transactions
+to its assigned server at a configured request rate, keeps "a queue of
+outstanding transactions that have not been confirmed", and a polling
+loop "periodically invokes getLatestBlock(h) ... extracts transaction
+lists from the confirmed blocks' content and removes matching ones in
+the local queue" — exactly the paper's driver architecture.
+
+Rejected submissions (Parity's intake throttle and signing-queue
+overflow) stay in the client's local backlog and are retried, so the
+queue-length series reproduces Figure 6's growth curves.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from ..chain import Transaction
+from ..sim import Scheduler
+from .connector import RPCClient, SimChainConnector
+from .stats import StatsCollector, merge_collectors
+from .workload import Workload
+
+
+@dataclass
+class DriverConfig:
+    """Per-run driver knobs (the paper's 'user-defined configuration')."""
+
+    n_clients: int = 8
+    request_rate_tx_s: float = 100.0
+    duration_s: float = 60.0
+    poll_interval_s: float = 0.5
+    retry_interval_s: float = 0.25
+    queue_sample_interval_s: float = 1.0
+    #: Worker threads per client ("multiple clients and threads per
+    #: clients to saturate the blockchain", Section 3.3). Each thread
+    #: has one submission RPC in flight at a time, so a saturated
+    #: server back-pressures the client instead of being flooded.
+    threads_per_client: int = 32
+    #: Blocking mode: one outstanding transaction at a time (the
+    #: paper's latency-measurement mode).
+    blocking: bool = False
+    #: Use the backend's publish/subscribe block feed instead of
+    #: getLatestBlock polling (ErisDB only — Section 3.2). Confirmation
+    #: events arrive pushed, saving one RPC round trip per poll.
+    subscribe: bool = False
+
+
+class BenchClient:
+    """One workload client bound to one server."""
+
+    def __init__(
+        self,
+        index: int,
+        cluster,
+        workload: Workload,
+        config: DriverConfig,
+        rng: random.Random,
+    ) -> None:
+        self.index = index
+        self.cluster = cluster
+        self.workload = workload
+        self.config = config
+        self.rng = rng
+        self.scheduler: Scheduler = cluster.scheduler
+        server_ids = cluster.node_ids()
+        self.server_id = server_ids[index % len(server_ids)]
+        self.rpc = RPCClient(f"client-{index}", cluster.scheduler, cluster.network)
+        self.connector = SimChainConnector(cluster, self.rpc, self.server_id)
+        self.stats = StatsCollector(cluster.platform, workload.name)
+        # Outstanding = submitted, awaiting confirmation.
+        self.outstanding: dict[str, float] = {}
+        # Backlog = generated/rejected, awaiting (re)submission.
+        self.backlog: deque[Transaction] = deque()
+        self._poll_height = 0
+        self._running = False
+        self._deadline = 0.0
+        # Submission RPCs currently awaiting a server reply (one per
+        # simulated worker thread).
+        self._inflight_submissions = 0
+
+    # ------------------------------------------------------------------
+    def start(self, duration_s: float) -> None:
+        now = self.scheduler.now
+        self._running = True
+        self._deadline = now + duration_s
+        self.stats.begin(now)
+        if self.config.blocking:
+            self._submit_blocking()
+        else:
+            self.scheduler.schedule(0.0, self._tick_submit)
+        if self.config.subscribe:
+            self.connector.subscribe_new_blocks(0, self._on_block_event)
+        else:
+            self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
+        self.scheduler.schedule(
+            self.config.queue_sample_interval_s, self._tick_sample
+        )
+        self.scheduler.schedule(duration_s, self._stop)
+
+    def _stop(self) -> None:
+        self._running = False
+        self.stats.finish(self.scheduler.now)
+
+    def queue_length(self) -> int:
+        return len(self.outstanding) + len(self.backlog)
+
+    # ------------------------------------------------------------------
+    # Submission paths
+    # ------------------------------------------------------------------
+    def _next_tx(self) -> Transaction:
+        return self.workload.next_transaction(
+            f"client-{self.index}", self.rng, self.scheduler.now
+        )
+
+    def _tick_submit(self) -> None:
+        if not self._running:
+            return
+        # Offered load: one new transaction per tick, regardless of
+        # whether a worker thread is free. When all threads are blocked
+        # on submission RPCs the backlog grows — Figure 6's curves.
+        self.backlog.append(self._next_tx())
+        if self._inflight_submissions < self.config.threads_per_client:
+            self._submit(self.backlog.popleft())
+        interval = 1.0 / self.config.request_rate_tx_s
+        self.scheduler.schedule(interval, self._tick_submit)
+
+    def _submit_blocking(self) -> None:
+        if not self._running:
+            return
+        self._submit(self._next_tx())
+
+    def _submit(self, tx: Transaction) -> None:
+        submit_time = self.scheduler.now
+        self.stats.record_submission()
+        self._inflight_submissions += 1
+
+        def on_reply(reply: dict) -> None:
+            self._inflight_submissions -= 1
+            if reply.get("accepted"):
+                self.outstanding[tx.tx_id] = submit_time
+                # A freed worker thread immediately drains the backlog.
+                if (
+                    not self.config.blocking
+                    and self._running
+                    and self.backlog
+                    and self._inflight_submissions < self.config.threads_per_client
+                ):
+                    self._submit(self.backlog.popleft())
+            else:
+                # Rejected (throttle/full queue): back off before retrying,
+                # like a real client facing HTTP 429-style pushback.
+                self.stats.record_rejection()
+                self.backlog.append(tx)
+                self.scheduler.schedule(
+                    self.config.retry_interval_s, self._retry_backlog
+                )
+
+        self.connector.send_transaction(tx, on_reply)
+
+    def _retry_backlog(self) -> None:
+        if (
+            self._running
+            and self.backlog
+            and self._inflight_submissions < self.config.threads_per_client
+        ):
+            self._submit(self.backlog.popleft())
+
+    # ------------------------------------------------------------------
+    # Polling loop (getLatestBlock)
+    # ------------------------------------------------------------------
+    def _process_block_summary(self, block: dict) -> None:
+        """Match one confirmed block's transactions against outstanding."""
+        self._poll_height = max(self._poll_height, block["height"])
+        for tx_id in block["tx_ids"]:
+            submitted_at = self.outstanding.pop(tx_id, None)
+            if submitted_at is not None:
+                confirmed_at = self.scheduler.now
+                if submitted_at <= self._deadline:
+                    self.stats.record_confirmation(submitted_at, confirmed_at)
+                if self.config.blocking and self._running:
+                    self._submit_blocking()
+
+    def _tick_poll(self) -> None:
+        # Keep polling briefly past the deadline to drain confirmations.
+        if self.scheduler.now > self._deadline + 10 * self.config.poll_interval_s:
+            return
+
+        def on_reply(reply: dict) -> None:
+            for block in reply.get("blocks", []):
+                self._process_block_summary(block)
+
+        self.connector.get_latest_block(self._poll_height, on_reply)
+        self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
+
+    def _on_block_event(self, block: dict) -> None:
+        """Push-based confirmation path (subscribe mode)."""
+        self._process_block_summary(block)
+
+    def _tick_sample(self) -> None:
+        if not self._running:
+            return
+        self.stats.record_queue_length(self.scheduler.now, self.queue_length())
+        self.scheduler.schedule(
+            self.config.queue_sample_interval_s, self._tick_sample
+        )
+
+
+class Driver:
+    """The paper's Driver: spawns clients, runs, aggregates statistics."""
+
+    def __init__(self, cluster, workload: Workload, config: DriverConfig) -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.config = config
+        self.clients: list[BenchClient] = []
+
+    def prepare(self) -> None:
+        """Deploy contracts and preload state."""
+        for contract in self.workload.required_contracts:
+            for node in self.cluster.nodes:
+                node.deploy(contract)
+        self.workload.preload(self.cluster)
+        for index in range(self.config.n_clients):
+            rng = self.cluster.rng.stream(f"client-{index}")
+            self.clients.append(
+                BenchClient(index, self.cluster, self.workload, self.config, rng)
+            )
+
+    def run(self, extra_drain_s: float = 5.0) -> StatsCollector:
+        """Run the configured duration; returns merged statistics."""
+        if not self.clients:
+            self.prepare()
+        for client in self.clients:
+            client.start(self.config.duration_s)
+        self.cluster.run_until(
+            self.cluster.scheduler.now + self.config.duration_s + extra_drain_s
+        )
+        return merge_collectors([c.stats for c in self.clients])
+
+    def queue_series(self) -> list[tuple[float, int]]:
+        """Summed client queue lengths over time (Figures 6 and 18)."""
+        return merge_collectors([c.stats for c in self.clients]).queue_samples

@@ -1,0 +1,107 @@
+"""Export experiment results for plotting.
+
+The benchmark harnesses print ASCII tables; researchers regenerating
+the paper's *figures* need the underlying series. This module writes
+them as plain CSV (no dependencies), one file per curve:
+
+* :func:`export_summary` — the headline metrics of one or more runs
+  (one row per run: the Figure 5-style bar charts).
+* :func:`export_queue_series` — queue length over time (Figures 6, 18).
+* :func:`export_latency_cdf` — the latency CDF (Figure 17).
+* :func:`export_commit_series` — commits per time bucket (Figures 9,
+  10's time axes).
+
+Every function returns the path it wrote, so callers can log it.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .stats import StatsCollector, StatsSummary
+
+__all__ = [
+    "write_csv",
+    "export_summary",
+    "export_queue_series",
+    "export_latency_cdf",
+    "export_commit_series",
+]
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Iterable[Sequence]
+) -> Path:
+    """Write one CSV file; parent directories are created as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_summary(path: str | Path, summaries: Iterable[StatsSummary]) -> Path:
+    """One row of headline metrics per run (Figure 5-style data)."""
+    headers = [
+        "platform",
+        "workload",
+        "duration_s",
+        "submitted",
+        "rejected",
+        "confirmed",
+        "throughput_tx_s",
+        "latency_avg_s",
+        "latency_p50_s",
+        "latency_p95_s",
+        "latency_p99_s",
+        "final_queue_length",
+    ]
+    rows = [
+        [
+            s.platform,
+            s.workload,
+            s.duration_s,
+            s.submitted,
+            s.rejected,
+            s.confirmed,
+            s.throughput_tx_s,
+            s.latency_avg_s,
+            s.latency_p50_s,
+            s.latency_p95_s,
+            s.latency_p99_s,
+            s.final_queue_length,
+        ]
+        for s in summaries
+    ]
+    return write_csv(path, headers, rows)
+
+
+def export_queue_series(path: str | Path, stats: StatsCollector) -> Path:
+    """Queue length over time — the curves of Figures 6 and 18."""
+    return write_csv(
+        path, ["time_s", "queue_length"], stats.queue_samples
+    )
+
+
+def export_latency_cdf(
+    path: str | Path, stats: StatsCollector, points: int = 50
+) -> Path:
+    """The latency CDF of Figure 17."""
+    return write_csv(
+        path, ["latency_s", "cumulative_fraction"], stats.latency_cdf(points)
+    )
+
+
+def export_commit_series(
+    path: str | Path, stats: StatsCollector, bucket_s: float = 10.0
+) -> Path:
+    """Commits per ``bucket_s`` window — Figure 9/10's time axes."""
+    return write_csv(
+        path,
+        ["bucket_start_s", "commits"],
+        stats.commits_per_bucket(bucket_s),
+    )

@@ -1,0 +1,100 @@
+"""Fault-injection schedules (Section 3.3's three failure modes).
+
+"In Blockbench we simulate three failure modes: crash failure in which
+a node simply stops, network delay in which we inject arbitrary delays
+into messages, and random response in which we corrupt the messages
+exchanged among the nodes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platforms.cluster import Cluster
+
+
+@dataclass
+class CrashFault:
+    """Kill ``count`` nodes at ``at_time`` (Figure 9)."""
+
+    at_time: float
+    count: int
+    include_leader: bool = True
+
+
+@dataclass
+class DelayFault:
+    """Inject ``extra_s`` message delay during [at_time, until_time)."""
+
+    at_time: float
+    until_time: float
+    extra_s: float
+    nodes: list[str] | None = None
+
+
+@dataclass
+class CorruptionFault:
+    """Corrupt messages at ``rate`` during [at_time, until_time)."""
+
+    at_time: float
+    until_time: float
+    rate: float
+
+
+@dataclass
+class PartitionFault:
+    """Split the network in half during [at_time, until_time) — the
+    double-spending attack window of Section 4.1.3."""
+
+    at_time: float
+    until_time: float
+
+
+@dataclass
+class FaultSchedule:
+    """A set of faults armed against one cluster."""
+
+    crashes: list[CrashFault] = field(default_factory=list)
+    delays: list[DelayFault] = field(default_factory=list)
+    corruptions: list[CorruptionFault] = field(default_factory=list)
+    partitions: list[PartitionFault] = field(default_factory=list)
+    crashed_node_ids: list[str] = field(default_factory=list)
+
+    def arm(self, cluster: "Cluster") -> None:
+        """Schedule every fault on the cluster's event loop."""
+        scheduler = cluster.scheduler
+        for crash in self.crashes:
+            scheduler.schedule_at(
+                crash.at_time, self._do_crash, cluster, crash
+            )
+        for delay in self.delays:
+            scheduler.schedule_at(
+                delay.at_time,
+                cluster.network.inject_delay,
+                delay.extra_s,
+                delay.nodes,
+            )
+            scheduler.schedule_at(
+                delay.until_time, cluster.network.inject_delay, 0.0, None
+            )
+        for corruption in self.corruptions:
+            scheduler.schedule_at(
+                corruption.at_time,
+                cluster.network.inject_corruption,
+                corruption.rate,
+            )
+            scheduler.schedule_at(
+                corruption.until_time, cluster.network.inject_corruption, 0.0
+            )
+        for partition in self.partitions:
+            scheduler.schedule_at(
+                partition.at_time, lambda c=cluster: c.partition_halves()
+            )
+            scheduler.schedule_at(partition.until_time, cluster.network.heal)
+
+    def _do_crash(self, cluster: "Cluster", crash: CrashFault) -> None:
+        self.crashed_node_ids.extend(
+            cluster.crash_nodes(crash.count, crash.include_leader)
+        )

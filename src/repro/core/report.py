@@ -1,0 +1,68 @@
+"""ASCII reporting helpers for benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .stats import StatsSummary
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+".join("-" * (w + 2) for w in widths)
+    border = f"+{border}+"
+    header_line = "|".join(f" {h:<{w}} " for h, w in zip(headers, widths))
+    lines.append(border)
+    lines.append(f"|{header_line}|")
+    lines.append(border)
+    for row in str_rows:
+        line = "|".join(f" {cell:<{w}} " for cell, w in zip(row, widths))
+        lines.append(f"|{line}|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def summary_row(summary: StatsSummary) -> list[Any]:
+    """Standard row rendering for one run's StatsSummary."""
+    return [
+        summary.platform,
+        summary.workload,
+        summary.confirmed,
+        summary.throughput_tx_s,
+        summary.latency_avg_s,
+        summary.latency_p99_s,
+        summary.final_queue_length,
+    ]
+
+
+SUMMARY_HEADERS = [
+    "platform",
+    "workload",
+    "confirmed",
+    "tx/s",
+    "lat avg (s)",
+    "lat p99 (s)",
+    "queue",
+]

@@ -1,0 +1,115 @@
+"""One-call experiment orchestration.
+
+Builds a cluster, attaches a workload and N clients, arms any fault
+schedule, runs for the configured duration, and returns everything the
+benchmark harnesses need — the whole Figure 4 pipeline in one function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..platforms.cluster import Cluster, build_cluster
+from .driver import Driver, DriverConfig
+from .faults import FaultSchedule
+from .stats import StatsCollector, StatsSummary
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything defining one benchmark run."""
+
+    platform: str = "hyperledger"
+    workload: str = "ycsb"
+    workload_params: dict[str, Any] = field(default_factory=dict)
+    n_servers: int = 8
+    n_clients: int = 8
+    request_rate_tx_s: float = 100.0
+    duration_s: float = 60.0
+    seed: int = 42
+    blocking: bool = False
+    #: Confirm via the backend's push feed instead of polling (ErisDB).
+    subscribe: bool = False
+    with_monitor: bool = False
+    faults: FaultSchedule | None = None
+    config: Any = None  # platform config override
+    drain_s: float = 5.0
+
+
+@dataclass
+class ExperimentResult:
+    """Run outputs: stats + cluster-level measurements."""
+
+    spec: ExperimentSpec
+    summary: StatsSummary
+    stats: StatsCollector
+    queue_series: list[tuple[float, int]]
+    chain_height: int
+    total_blocks: int
+    main_branch_blocks: int
+    mean_cpu_pct: float
+    mean_net_mbps: float
+    view_changes: int = 0
+    #: Blocks executed at confirmation depth but later reorged away —
+    #: the realized double-spend exposure (confirmation-depth ablation).
+    stale_executions: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.summary.throughput_tx_s
+
+    @property
+    def latency(self) -> float:
+        return self.summary.latency_avg_s
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one macro-benchmark run end to end."""
+    # Imported here: repro.workloads imports repro.core for the
+    # Workload/connector interfaces, so a module-level import would be
+    # circular.
+    from ..workloads import make_workload
+
+    cluster = build_cluster(
+        spec.platform,
+        spec.n_servers,
+        seed=spec.seed,
+        config=spec.config,
+        with_monitor=spec.with_monitor,
+    )
+    workload = make_workload(spec.workload, **spec.workload_params)
+    driver = Driver(
+        cluster,
+        workload,
+        DriverConfig(
+            n_clients=spec.n_clients,
+            request_rate_tx_s=spec.request_rate_tx_s,
+            duration_s=spec.duration_s,
+            blocking=spec.blocking,
+            subscribe=spec.subscribe,
+        ),
+    )
+    driver.prepare()
+    if spec.faults is not None:
+        spec.faults.arm(cluster)
+    stats = driver.run(extra_drain_s=spec.drain_s)
+    total, main = cluster.global_block_stats()
+    view_changes = 0
+    for node in cluster.nodes:
+        view_changes += getattr(node.protocol, "view_changes_started", 0)
+    result = ExperimentResult(
+        spec=spec,
+        summary=stats.summary(),
+        stats=stats,
+        queue_series=driver.queue_series(),
+        chain_height=cluster.chain_height(),
+        total_blocks=total,
+        main_branch_blocks=main,
+        mean_cpu_pct=cluster.monitor.mean_cpu_pct() if cluster.monitor else 0.0,
+        mean_net_mbps=cluster.monitor.mean_net_mbps() if cluster.monitor else 0.0,
+        view_changes=view_changes,
+        stale_executions=cluster.stale_executions(),
+    )
+    cluster.close()
+    return result

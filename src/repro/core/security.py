@@ -1,0 +1,115 @@
+"""Security evaluation: partition attacks and the fork metric (§3.3).
+
+"Security is then measured by the ratio between the total number of
+blocks included in the main branch and the total number of blocks
+confirmed by the users. The lower the ratio, the less vulnerable the
+system is from double spending or selfish mining."
+
+(The paper's sentence inverts once: operationally, *fewer* fork blocks
+means less exposure; ``fork_ratio`` here is main/total so 1.0 = safe.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platforms.cluster import Cluster
+
+
+@dataclass
+class ForkSample:
+    """One sample of the global block census (Figure 10's two curves)."""
+
+    time: float
+    total_blocks: int  # X-total
+    main_branch_blocks: int  # X-bc
+
+    @property
+    def delta(self) -> int:
+        return self.total_blocks - self.main_branch_blocks
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one partition attack."""
+
+    samples: list[ForkSample] = field(default_factory=list)
+    attack_start: float = 0.0
+    attack_end: float = 0.0
+
+    def final_fork_blocks(self) -> int:
+        return self.samples[-1].delta if self.samples else 0
+
+    def fork_ratio(self) -> float:
+        """main-branch / total — 1.0 means no vulnerability window."""
+        if not self.samples:
+            return 1.0
+        last = self.samples[-1]
+        if last.total_blocks == 0:
+            return 1.0
+        return last.main_branch_blocks / last.total_blocks
+
+    def peak_fork_fraction(self) -> float:
+        """Largest fraction of produced blocks sitting on forks."""
+        best = 0.0
+        for sample in self.samples:
+            if sample.total_blocks:
+                best = max(best, sample.delta / sample.total_blocks)
+        return best
+
+
+class ForkMonitor:
+    """Samples the cluster-wide block census on a fixed interval."""
+
+    def __init__(self, cluster: "Cluster", interval_s: float = 5.0) -> None:
+        self.cluster = cluster
+        self.interval_s = interval_s
+        self.report = AttackReport()
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.cluster.scheduler.schedule(self.interval_s, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        total, main = self.cluster.global_block_stats()
+        self.report.samples.append(
+            ForkSample(
+                time=self.cluster.scheduler.now,
+                total_blocks=total,
+                main_branch_blocks=main,
+            )
+        )
+        self.cluster.scheduler.schedule(self.interval_s, self._tick)
+
+
+def run_partition_attack(
+    cluster: "Cluster",
+    attack_start: float,
+    attack_duration: float,
+    total_duration: float,
+    sample_interval: float = 5.0,
+) -> AttackReport:
+    """Arm the Figure 10 attack and run the cluster to completion.
+
+    The caller is expected to have started a workload (the attack is
+    only interesting under load for PoW, which needs transactions to
+    mine — though empty blocks fork all the same).
+    """
+    monitor = ForkMonitor(cluster, sample_interval)
+    monitor.start()
+    scheduler = cluster.scheduler
+    scheduler.schedule_at(attack_start, lambda: cluster.partition_halves())
+    scheduler.schedule_at(attack_start + attack_duration, cluster.heal)
+    cluster.run_until(total_duration)
+    monitor.stop()
+    monitor.report.attack_start = attack_start
+    monitor.report.attack_end = attack_start + attack_duration
+    return monitor.report

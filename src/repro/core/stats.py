@@ -1,0 +1,173 @@
+"""Statistics collection (the paper's StatsCollector, Figure 4).
+
+Collects everything Section 3.3 defines: throughput (successful
+transactions per second), latency (submission to confirmation),
+client-side queue length over time, and per-second commit series for
+the fault-tolerance timelines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatsSummary:
+    """Headline numbers for one experiment run."""
+
+    platform: str
+    workload: str
+    duration_s: float
+    submitted: int
+    rejected: int
+    confirmed: int
+    throughput_tx_s: float
+    latency_avg_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    final_queue_length: int
+
+
+class StatsCollector:
+    """Accumulates per-transaction and time-series measurements."""
+
+    def __init__(self, platform: str = "", workload: str = "") -> None:
+        self.platform = platform
+        self.workload = workload
+        self.submitted = 0
+        self.rejected = 0
+        self.latencies: list[float] = []
+        self.confirm_times: list[float] = []
+        self.queue_samples: list[tuple[float, int]] = []
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin(self, now: float) -> None:
+        """Mark the start of the measurement window."""
+        self.start_time = now
+
+    def finish(self, now: float) -> None:
+        """Mark the end of the measurement window."""
+        self.end_time = now
+
+    def record_submission(self) -> None:
+        """Count one transaction offered to the backend."""
+        self.submitted += 1
+
+    def record_rejection(self) -> None:
+        """Count one submission the backend refused (throttle/full)."""
+        self.rejected += 1
+
+    def record_confirmation(self, submitted_at: float, confirmed_at: float) -> None:
+        """Record one confirmed transaction and its latency."""
+        self.latencies.append(confirmed_at - submitted_at)
+        self.confirm_times.append(confirmed_at)
+
+    def record_queue_length(self, now: float, length: int) -> None:
+        """Sample the client's outstanding-transaction queue."""
+        self.queue_samples.append((now, length))
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def confirmed(self) -> int:
+        """Transactions confirmed inside the measurement window."""
+        return len(self.latencies)
+
+    def duration(self) -> float:
+        """Measured window length (never zero, for safe division)."""
+        return max(1e-9, self.end_time - self.start_time)
+
+    def throughput(self) -> float:
+        """Successful transactions per second (Section 3.3)."""
+        return self.confirmed / self.duration()
+
+    def latency_avg(self) -> float:
+        """Mean confirmation latency in seconds."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, pct: float) -> float:
+        """Order-statistic percentile of confirmation latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, math.ceil(pct / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def latency_cdf(self, points: int = 50) -> list[tuple[float, float]]:
+        """(latency, cumulative fraction) pairs — Figure 17's curves."""
+        if not self.latencies:
+            return []
+        ordered = sorted(self.latencies)
+        n = len(ordered)
+        step = max(1, n // points)
+        cdf = [
+            (ordered[i], (i + 1) / n) for i in range(0, n, step)
+        ]
+        if cdf[-1][1] < 1.0:
+            cdf.append((ordered[-1], 1.0))
+        return cdf
+
+    def commits_per_bucket(self, bucket_s: float = 1.0) -> list[tuple[float, int]]:
+        """Per-interval commit counts — Figure 9's timeline."""
+        if not self.confirm_times:
+            return []
+        end = max(self.confirm_times)
+        n_buckets = int(end / bucket_s) + 1
+        counts = [0] * n_buckets
+        for t in self.confirm_times:
+            counts[int(t / bucket_s)] += 1
+        return [(i * bucket_s, c) for i, c in enumerate(counts)]
+
+    def final_queue_length(self) -> int:
+        """Queue length at the last sample (backlog at window end)."""
+        return self.queue_samples[-1][1] if self.queue_samples else 0
+
+    def summary(self) -> StatsSummary:
+        """Freeze the headline metrics into a StatsSummary."""
+        return StatsSummary(
+            platform=self.platform,
+            workload=self.workload,
+            duration_s=self.duration(),
+            submitted=self.submitted,
+            rejected=self.rejected,
+            confirmed=self.confirmed,
+            throughput_tx_s=self.throughput(),
+            latency_avg_s=self.latency_avg(),
+            latency_p50_s=self.latency_percentile(50),
+            latency_p95_s=self.latency_percentile(95),
+            latency_p99_s=self.latency_percentile(99),
+            final_queue_length=self.final_queue_length(),
+        )
+
+
+def merge_collectors(collectors: list[StatsCollector]) -> StatsCollector:
+    """Combine per-client collectors into one network-wide view."""
+    merged = StatsCollector(
+        platform=collectors[0].platform if collectors else "",
+        workload=collectors[0].workload if collectors else "",
+    )
+    for collector in collectors:
+        merged.submitted += collector.submitted
+        merged.rejected += collector.rejected
+        merged.latencies.extend(collector.latencies)
+        merged.confirm_times.extend(collector.confirm_times)
+        merged.start_time = min(
+            (c.start_time for c in collectors), default=0.0
+        )
+        merged.end_time = max((c.end_time for c in collectors), default=0.0)
+    # Queue samples: sum per timestamp across clients.
+    by_time: dict[float, int] = {}
+    for collector in collectors:
+        for t, length in collector.queue_samples:
+            by_time[t] = by_time.get(t, 0) + length
+    merged.queue_samples = sorted(by_time.items())
+    return merged

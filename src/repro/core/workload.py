@@ -1,0 +1,56 @@
+"""Workload connector interface (the paper's IWorkloadConnector).
+
+"This interface essentially wraps the workload's operations into
+transactions to be sent to the blockchain. Specifically, it has a
+getNextTransaction method which returns a new blockchain transaction"
+(Section 3.2). ``preload`` covers the store-population step the
+benchmarks perform before measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from ..chain import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platforms.cluster import Cluster
+
+
+class Workload(ABC):
+    """Generates the transaction stream for one benchmark."""
+
+    #: Registry/driver name, e.g. "ycsb".
+    name: str = ""
+    #: Contract(s) this workload requires deployed.
+    required_contracts: tuple[str, ...] = ()
+
+    def preload(self, cluster: "Cluster") -> None:
+        """Populate state before measurement begins.
+
+        Preloading writes directly into every node's state (bypassing
+        consensus), mirroring how the paper populates stores before the
+        measured window.
+        """
+
+    @abstractmethod
+    def next_transaction(
+        self, client_id: str, rng: random.Random, now: float
+    ) -> Transaction:
+        """The next transaction for ``client_id`` (getNextTransaction)."""
+
+
+def preload_state(cluster: "Cluster", contract: str, items) -> int:
+    """Helper: write (key, value) byte pairs into a contract's namespace
+    on every node. Returns the number of records written per node."""
+    count = 0
+    prefix = contract.encode() + b"/"
+    for key, value in items:
+        for node in cluster.nodes:
+            node.state.put(prefix + key, value)
+        count += 1
+    for node in cluster.nodes:
+        node.state.commit_block(0)
+    return count

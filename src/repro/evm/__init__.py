@@ -1,0 +1,42 @@
+"""Execution layer: the miniature EVM, gas schedule, and assembler."""
+
+from .assembler import assemble
+from .gas import INTRINSIC_TX_GAS, OPCODE_GAS, SLOAD_COST, SSTORE_RESET, SSTORE_SET, sstore_cost
+from .programs import (
+    CPUHEAVY_ASM,
+    DONOTHING_ASM,
+    cpuheavy_code,
+    donothing_code,
+    kvstore_read_code,
+    kvstore_write_code,
+)
+from .vm import (
+    EVM,
+    CallContext,
+    DictStorage,
+    ExecutionResult,
+    Profile,
+    StorageBackend,
+)
+
+__all__ = [
+    "assemble",
+    "INTRINSIC_TX_GAS",
+    "OPCODE_GAS",
+    "SLOAD_COST",
+    "SSTORE_RESET",
+    "SSTORE_SET",
+    "sstore_cost",
+    "CPUHEAVY_ASM",
+    "DONOTHING_ASM",
+    "cpuheavy_code",
+    "donothing_code",
+    "kvstore_read_code",
+    "kvstore_write_code",
+    "EVM",
+    "CallContext",
+    "DictStorage",
+    "ExecutionResult",
+    "Profile",
+    "StorageBackend",
+]

@@ -1,0 +1,101 @@
+"""Two-pass assembler for the miniature EVM.
+
+Source format, one instruction per line::
+
+    ; comments start with a semicolon
+    start:              ; labels end with a colon
+        PUSH 5
+        PUSH @start     ; @label pushes the label's bytecode offset
+        JUMP
+
+Labels assemble to a ``JUMPDEST`` at their position, so jumping to a
+label is always valid. ``PUSH`` takes a decimal or ``0x``-hex
+immediate, or a ``@label`` reference.
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblerError
+from . import opcodes as op
+
+
+def assemble(source: str) -> bytes:
+    """Assemble ``source`` text into bytecode."""
+    instructions = _parse(source)
+    labels = _collect_labels(instructions)
+    code = bytearray()
+    for kind, payload, line_no in instructions:
+        if kind == "label":
+            code.append(op.JUMPDEST)
+        elif kind == "op":
+            code.append(payload)
+        elif kind == "push":
+            code.append(op.PUSH)
+            value, is_label = payload
+            if is_label:
+                if value not in labels:
+                    raise AssemblerError(f"line {line_no}: unknown label @{value}")
+                immediate = labels[value]
+            else:
+                immediate = value
+            if not 0 <= immediate < (1 << (8 * op.PUSH_IMMEDIATE_BYTES)):
+                raise AssemblerError(
+                    f"line {line_no}: immediate {immediate} out of range"
+                )
+            code += immediate.to_bytes(op.PUSH_IMMEDIATE_BYTES, "big")
+    return bytes(code)
+
+
+def _parse(source: str) -> list[tuple[str, object, int]]:
+    instructions: list[tuple[str, object, int]] = []
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            instructions.append(("label", label, line_no))
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic == "PUSH":
+            if len(parts) != 2:
+                raise AssemblerError(f"line {line_no}: PUSH needs one operand")
+            operand = parts[1]
+            if operand.startswith("@"):
+                instructions.append(("push", (operand[1:], True), line_no))
+            else:
+                try:
+                    value = int(operand, 0)
+                except ValueError as exc:
+                    raise AssemblerError(
+                        f"line {line_no}: bad immediate {operand!r}"
+                    ) from exc
+                instructions.append(("push", (value, False), line_no))
+            continue
+        opcode = op.NAME_TO_OPCODE.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        if len(parts) != 1:
+            raise AssemblerError(f"line {line_no}: {mnemonic} takes no operand")
+        instructions.append(("op", opcode, line_no))
+    return instructions
+
+
+def _collect_labels(instructions: list[tuple[str, object, int]]) -> dict[str, int]:
+    labels: dict[str, int] = {}
+    offset = 0
+    for kind, payload, line_no in instructions:
+        if kind == "label":
+            name = str(payload)
+            if name in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {name!r}")
+            labels[name] = offset
+            offset += 1  # the JUMPDEST byte
+        elif kind == "op":
+            offset += 1
+        elif kind == "push":
+            offset += 1 + op.PUSH_IMMEDIATE_BYTES
+    return labels

@@ -1,0 +1,73 @@
+"""Gas schedule for the miniature EVM.
+
+Costs follow the spirit of Ethereum's yellow-paper schedule: storage
+writes dominate, storage reads are expensive, arithmetic is cheap, and
+every transaction pays a flat intrinsic cost. The absolute values match
+the 2016-era (pre-EIP-150) schedule where an equivalent operation
+exists, because that is the codebase generation the paper benchmarked.
+"""
+
+from __future__ import annotations
+
+from . import opcodes as op
+
+#: Flat cost charged to every transaction before execution.
+INTRINSIC_TX_GAS = 21_000
+
+#: Storage costs (pre-EIP-150 values).
+SSTORE_SET = 20_000  # zero -> non-zero
+SSTORE_RESET = 5_000  # non-zero -> non-zero (or -> zero)
+SLOAD_COST = 50
+SHA3_COST = 30
+MEMORY_WORD_COST = 3  # charged on first touch of each memory word
+
+_VERY_LOW = 3
+_LOW = 5
+_MID = 8
+
+#: Per-opcode base costs. SLOAD/SSTORE/SHA3/memory are charged by the
+#: VM with the context-dependent values above; their entries here are
+#: the base dispatch cost only.
+OPCODE_GAS: dict[int, int] = {
+    op.STOP: 0,
+    op.ADD: _VERY_LOW,
+    op.MUL: _LOW,
+    op.SUB: _VERY_LOW,
+    op.DIV: _LOW,
+    op.MOD: _LOW,
+    op.LT: _VERY_LOW,
+    op.GT: _VERY_LOW,
+    op.EQ: _VERY_LOW,
+    op.ISZERO: _VERY_LOW,
+    op.AND: _VERY_LOW,
+    op.OR: _VERY_LOW,
+    op.XOR: _VERY_LOW,
+    op.NOT: _VERY_LOW,
+    op.SHA3: SHA3_COST,
+    op.CALLER: 2,
+    op.CALLVALUE: 2,
+    op.CALLDATALOAD: _VERY_LOW,
+    op.POP: 2,
+    op.MLOAD: _VERY_LOW,
+    op.MSTORE: _VERY_LOW,
+    op.SLOAD: SLOAD_COST,
+    op.SSTORE: 0,  # charged contextually
+    op.JUMP: _MID,
+    op.JUMPI: 10,
+    op.PC: 2,
+    op.GAS: 2,
+    op.JUMPDEST: 1,
+    op.PUSH: _VERY_LOW,
+    op.RETURN: 0,
+    op.REVERT: 0,
+}
+for _i in range(16):
+    OPCODE_GAS[op.DUP1 + _i] = _VERY_LOW
+    OPCODE_GAS[op.SWAP1 + _i] = _VERY_LOW
+
+
+def sstore_cost(old_value: int | None, new_value: int) -> int:
+    """Contextual SSTORE cost: creating a slot costs 4x an update."""
+    if (old_value is None or old_value == 0) and new_value != 0:
+        return SSTORE_SET
+    return SSTORE_RESET

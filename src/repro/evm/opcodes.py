@@ -1,0 +1,113 @@
+"""Instruction set for the miniature EVM.
+
+A word-oriented stack machine closely modeled on the Ethereum Virtual
+Machine: 256-bit words, a data stack, word-addressed scratch memory,
+and persistent contract storage behind ``SLOAD``/``SSTORE``. Opcode
+numbering follows the real EVM where an equivalent exists so the
+bytecode reads familiarly in dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD_BITS = 256
+WORD_MASK = (1 << WORD_BITS) - 1
+
+# Control
+STOP = 0x00
+# Arithmetic
+ADD = 0x01
+MUL = 0x02
+SUB = 0x03
+DIV = 0x04
+MOD = 0x06
+# Comparison / bitwise
+LT = 0x10
+GT = 0x11
+EQ = 0x14
+ISZERO = 0x15
+AND = 0x16
+OR = 0x17
+XOR = 0x18
+NOT = 0x19
+# Hashing
+SHA3 = 0x20
+# Environment
+CALLER = 0x30
+CALLVALUE = 0x34
+CALLDATALOAD = 0x35
+# Stack / memory / storage / flow
+POP = 0x50
+MLOAD = 0x51
+MSTORE = 0x52
+SLOAD = 0x54
+SSTORE = 0x55
+JUMP = 0x56
+JUMPI = 0x57
+PC = 0x58
+GAS = 0x5A
+JUMPDEST = 0x5B
+# Push (single width: 8-byte big-endian immediate)
+PUSH = 0x60
+# DUP1..DUP16 / SWAP1..SWAP16
+DUP1 = 0x80
+SWAP1 = 0x90
+# Termination
+RETURN = 0xF3
+REVERT = 0xFD
+
+#: Immediate width for PUSH, in bytes.
+PUSH_IMMEDIATE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    name: str
+    pops: int
+    pushes: int
+
+
+_BASE_OPS: dict[int, OpInfo] = {
+    STOP: OpInfo("STOP", 0, 0),
+    ADD: OpInfo("ADD", 2, 1),
+    MUL: OpInfo("MUL", 2, 1),
+    SUB: OpInfo("SUB", 2, 1),
+    DIV: OpInfo("DIV", 2, 1),
+    MOD: OpInfo("MOD", 2, 1),
+    LT: OpInfo("LT", 2, 1),
+    GT: OpInfo("GT", 2, 1),
+    EQ: OpInfo("EQ", 2, 1),
+    ISZERO: OpInfo("ISZERO", 1, 1),
+    AND: OpInfo("AND", 2, 1),
+    OR: OpInfo("OR", 2, 1),
+    XOR: OpInfo("XOR", 2, 1),
+    NOT: OpInfo("NOT", 1, 1),
+    SHA3: OpInfo("SHA3", 1, 1),
+    CALLER: OpInfo("CALLER", 0, 1),
+    CALLVALUE: OpInfo("CALLVALUE", 0, 1),
+    CALLDATALOAD: OpInfo("CALLDATALOAD", 1, 1),
+    POP: OpInfo("POP", 1, 0),
+    MLOAD: OpInfo("MLOAD", 1, 1),
+    MSTORE: OpInfo("MSTORE", 2, 0),
+    SLOAD: OpInfo("SLOAD", 1, 1),
+    SSTORE: OpInfo("SSTORE", 2, 0),
+    JUMP: OpInfo("JUMP", 1, 0),
+    JUMPI: OpInfo("JUMPI", 2, 0),
+    PC: OpInfo("PC", 0, 1),
+    GAS: OpInfo("GAS", 0, 1),
+    JUMPDEST: OpInfo("JUMPDEST", 0, 0),
+    PUSH: OpInfo("PUSH", 0, 1),
+    RETURN: OpInfo("RETURN", 1, 0),
+    REVERT: OpInfo("REVERT", 0, 0),
+}
+
+OPCODES: dict[int, OpInfo] = dict(_BASE_OPS)
+for _i in range(16):
+    OPCODES[DUP1 + _i] = OpInfo(f"DUP{_i + 1}", _i + 1, _i + 2)
+    OPCODES[SWAP1 + _i] = OpInfo(f"SWAP{_i + 1}", _i + 2, _i + 2)
+
+#: Reverse lookup used by the assembler.
+NAME_TO_OPCODE: dict[str, int] = {info.name: op for op, info in OPCODES.items()}

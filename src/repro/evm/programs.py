@@ -1,0 +1,276 @@
+"""EVM assembly programs for the execution-layer microbenchmarks.
+
+These are the Solidity-analogue contract bodies the paper deploys on
+Ethereum and Parity: CPUHeavy (quicksort over a descending array),
+DoNothing (accept and return), and a key-value store body used to
+validate gas parity with the native contract runtime.
+
+Stack notation in the comments is bottom-to-top: ``[a, b, c]`` means
+``c`` is on top. Operand conventions (see ``vm.py``):
+
+* ``LT``/``GT``/``SUB`` pop top as the *right* operand: ``[a, b] SUB``
+  leaves ``a - b``.
+* ``MSTORE`` pops the address from the top, then the value:
+  ``[value, addr] MSTORE`` performs ``mem[addr] = value``.
+* ``JUMPI`` pops the target from the top, then the condition.
+"""
+
+from __future__ import annotations
+
+from .assembler import assemble
+
+# ---------------------------------------------------------------------------
+# DoNothing: "accepts a transaction and returns immediately" (Section 3.4.2)
+# ---------------------------------------------------------------------------
+DONOTHING_ASM = """
+    PUSH 1
+    RETURN
+"""
+
+# ---------------------------------------------------------------------------
+# KVStore: write args[1] under key args[0].
+# ---------------------------------------------------------------------------
+KVSTORE_WRITE_ASM = """
+    PUSH 1
+    CALLDATALOAD      ; [value]
+    PUSH 0
+    CALLDATALOAD      ; [value, key]
+    SSTORE            ; storage[key] = value
+    PUSH 1
+    RETURN
+"""
+
+KVSTORE_READ_ASM = """
+    PUSH 0
+    CALLDATALOAD
+    SLOAD
+    RETURN
+"""
+
+# ---------------------------------------------------------------------------
+# CPUHeavy: mem[0..n-1] initialized descending (mem[i] = n - i), then
+# quicksorted in place with an explicit segment stack; returns mem[0],
+# which equals 1 after a correct sort. args[0] = n, requires n >= 1.
+#
+# Memory layout: [0..n-1] the array; [n+1..] the segment stack of
+# (lo, hi) pairs. The stack-pointer ``sp`` names the next free slot and
+# lives on the data stack as the main loop's single invariant entry.
+# ---------------------------------------------------------------------------
+CPUHEAVY_ASM = """
+    ; ---- init: for i in 0..n-1: mem[i] = n - i ----
+    PUSH 0            ; [i=0]
+init_loop:
+    DUP1              ; [i, i]
+    PUSH 0
+    CALLDATALOAD      ; [i, i, n]
+    LT                ; [i, i<n]
+    ISZERO
+    PUSH @init_done
+    JUMPI             ; [i]
+    PUSH 0
+    CALLDATALOAD      ; [i, n]
+    DUP2              ; [i, n, i]
+    SUB               ; [i, n-i]
+    DUP2              ; [i, n-i, i]
+    MSTORE            ; mem[i] = n-i -> [i]
+    PUSH 1
+    ADD               ; [i+1]
+    PUSH @init_loop
+    JUMP
+init_done:
+    POP               ; []
+
+    ; ---- push initial segment (0, n-1); sp starts at n+3 ----
+    PUSH 0            ; [0]
+    PUSH 0
+    CALLDATALOAD
+    PUSH 1
+    ADD               ; [0, n+1]
+    MSTORE            ; mem[n+1] = 0
+    PUSH 0
+    CALLDATALOAD
+    PUSH 1
+    SUB               ; [n-1]
+    PUSH 0
+    CALLDATALOAD
+    PUSH 2
+    ADD               ; [n-1, n+2]
+    MSTORE            ; mem[n+2] = n-1
+    PUSH 0
+    CALLDATALOAD
+    PUSH 3
+    ADD               ; [sp = n+3]
+
+main_loop:
+    ; invariant stack: [sp]
+    DUP1              ; [sp, sp]
+    PUSH 0
+    CALLDATALOAD
+    PUSH 1
+    ADD               ; [sp, sp, n+1]
+    EQ                ; [sp, sp==n+1]
+    PUSH @done
+    JUMPI             ; [sp]
+    ; pop pair: hi = mem[sp-1], lo = mem[sp-2]
+    PUSH 1
+    SUB               ; [sp-1]
+    DUP1
+    MLOAD             ; [sp-1, hi]
+    SWAP1             ; [hi, sp-1]
+    PUSH 1
+    SUB               ; [hi, sp-2]
+    DUP1
+    MLOAD             ; [hi, sp-2, lo]
+    SWAP1             ; [hi, lo, sp']
+    SWAP2             ; [sp', lo, hi]
+    ; if not (lo < hi): segment of size <= 1, skip
+    DUP2              ; [sp', lo, hi, lo]
+    DUP2              ; [sp', lo, hi, lo, hi]
+    LT                ; [sp', lo, hi, lo<hi]
+    ISZERO
+    PUSH @skip_segment
+    JUMPI             ; [sp', lo, hi]
+
+    ; ---- pivot selection: move the middle element to hi so the
+    ;      descending input does not trigger quadratic behaviour ----
+    DUP2              ; [sp', lo, hi, lo]
+    DUP2              ; [sp', lo, hi, lo, hi]
+    ADD               ; [sp', lo, hi, lo+hi]
+    PUSH 2
+    DIV               ; [sp', lo, hi, mid]
+    DUP1
+    MLOAD             ; [.., mid, mem_mid]
+    DUP3              ; [.., mid, mem_mid, hi]
+    MLOAD             ; [.., mid, mem_mid, mem_hi]
+    DUP3              ; [.., mid, mem_mid, mem_hi, mid]
+    MSTORE            ; mem[mid] = mem_hi -> [sp', lo, hi, mid, mem_mid]
+    DUP3              ; [.., mid, mem_mid, hi]
+    MSTORE            ; mem[hi] = mem_mid -> [sp', lo, hi, mid]
+    POP               ; [sp', lo, hi]
+
+    ; ---- partition (Lomuto): pivot = mem[hi]; i = lo-1; j = lo ----
+    DUP1              ; [sp', lo, hi, hi]
+    MLOAD             ; [sp', lo, hi, pivot]
+    DUP3              ; [sp', lo, hi, pivot, lo]
+    PUSH 1
+    SUB               ; [sp', lo, hi, pivot, i]   (i = lo-1, may wrap; only
+                      ; ever used after +1, which unwraps)
+    DUP4              ; [sp', lo, hi, pivot, i, j=lo]
+part_loop:
+    DUP1              ; [.., i, j, j]
+    DUP5              ; [.., i, j, j, hi]
+    LT                ; [.., i, j, j<hi]
+    ISZERO
+    PUSH @part_done
+    JUMPI             ; [sp', lo, hi, pivot, i, j]
+    DUP1
+    MLOAD             ; [.., i, j, mem_j]
+    DUP4              ; [.., i, j, mem_j, pivot]
+    GT                ; [.., i, j, mem_j>pivot]
+    PUSH @part_next
+    JUMPI             ; [sp', lo, hi, pivot, i, j]
+    ; mem[j] <= pivot: i += 1, swap mem[i] <-> mem[j]
+    SWAP1             ; [.., pivot, j, i]
+    PUSH 1
+    ADD               ; [.., pivot, j, i+1]
+    SWAP1             ; [.., pivot, i, j]   (i renamed)
+    DUP2              ; [.., i, j, i]
+    MLOAD             ; [.., i, j, mem_i]
+    DUP2              ; [.., i, j, mem_i, j]
+    MLOAD             ; [.., i, j, mem_i, mem_j]
+    DUP4              ; [.., i, j, mem_i, mem_j, i]
+    MSTORE            ; mem[i] = mem_j -> [.., i, j, mem_i]
+    DUP2              ; [.., i, j, mem_i, j]
+    MSTORE            ; mem[j] = mem_i -> [sp', lo, hi, pivot, i, j]
+part_next:
+    PUSH 1
+    ADD               ; [.., i, j+1]
+    PUSH @part_loop
+    JUMP
+part_done:
+    ; stack: [sp', lo, hi, pivot, i, j]
+    POP               ; [sp', lo, hi, pivot, i]
+    PUSH 1
+    ADD               ; [sp', lo, hi, pivot, p]
+    SWAP1
+    POP               ; [sp', lo, hi, p]
+    ; swap mem[p] <-> mem[hi]
+    DUP1
+    MLOAD             ; [.., p, mem_p]
+    DUP3              ; [.., p, mem_p, hi]
+    MLOAD             ; [.., p, mem_p, mem_hi]
+    DUP3              ; [.., p, mem_p, mem_hi, p]
+    MSTORE            ; mem[p] = mem_hi -> [sp', lo, hi, p, mem_p]
+    DUP3              ; [.., p, mem_p, hi]
+    MSTORE            ; mem[hi] = mem_p -> [sp', lo, hi, p]
+
+    ; ---- push left segment (lo, p-1) only when lo < p (avoids wrap) ----
+    DUP1              ; [sp', lo, hi, p, p]
+    DUP4              ; [sp', lo, hi, p, p, lo]
+    SWAP1             ; [sp', lo, hi, p, lo, p]
+    LT                ; [sp', lo, hi, p, lo<p]
+    ISZERO
+    PUSH @no_left
+    JUMPI             ; [sp', lo, hi, p]
+    DUP3              ; [.., p, lo]
+    DUP5              ; [.., p, lo, sp']
+    MSTORE            ; mem[sp'] = lo -> [sp', lo, hi, p]
+    DUP1
+    PUSH 1
+    SUB               ; [.., p, p-1]
+    DUP5              ; [.., p, p-1, sp']
+    PUSH 1
+    ADD               ; [.., p, p-1, sp'+1]
+    MSTORE            ; mem[sp'+1] = p-1 -> [sp', lo, hi, p]
+    SWAP3             ; [p, lo, hi, sp']
+    PUSH 2
+    ADD               ; [p, lo, hi, sp'+2]
+    SWAP3             ; [sp'+2, lo, hi, p]
+no_left:
+    ; ---- push right segment (p+1, hi); degenerate pairs are skipped
+    ;      by the lo<hi check when popped ----
+    DUP1
+    PUSH 1
+    ADD               ; [SP, lo, hi, p, p+1]
+    DUP5              ; [.., p+1, SP]
+    MSTORE            ; mem[SP] = p+1 -> [SP, lo, hi, p]
+    DUP2              ; [SP, lo, hi, p, hi]
+    DUP5              ; [.., hi, SP]
+    PUSH 1
+    ADD               ; [.., hi, SP+1]
+    MSTORE            ; mem[SP+1] = hi -> [SP, lo, hi, p]
+    POP
+    POP
+    POP               ; [SP]
+    PUSH 2
+    ADD               ; [SP+2]
+    PUSH @main_loop
+    JUMP
+skip_segment:
+    ; stack: [sp', lo, hi]
+    POP
+    POP               ; [sp']
+    PUSH @main_loop
+    JUMP
+done:
+    POP               ; []
+    PUSH 0
+    MLOAD             ; [mem[0]]
+    RETURN
+"""
+
+
+def donothing_code() -> bytes:
+    return assemble(DONOTHING_ASM)
+
+
+def kvstore_write_code() -> bytes:
+    return assemble(KVSTORE_WRITE_ASM)
+
+
+def kvstore_read_code() -> bytes:
+    return assemble(KVSTORE_READ_ASM)
+
+
+def cpuheavy_code() -> bytes:
+    return assemble(CPUHEAVY_ASM)

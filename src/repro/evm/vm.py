@@ -1,0 +1,366 @@
+"""The miniature EVM interpreter.
+
+Two execution profiles reproduce the paper's geth-vs-Parity gap
+(Figure 11: "Although Ethereum and Parity use the same execution
+engine, i.e. EVM, Parity's implementation is more optimized, therefore
+it is more computation and memory efficient"):
+
+* ``GETH`` — mirrors go-ethereum v1.4: a state journal records every
+  operation (for tracing and revert bookkeeping), and each step builds
+  a structured log entry. That is real extra Python work per opcode, so
+  the measured slowdown is genuine, not a sleep().
+* ``PARITY`` — lean dispatch loop, no journaling.
+
+Memory is word-addressed. Peak memory is *modeled* through per-profile
+overhead constants (bytes per live word plus a fixed interpreter
+baseline), because a 32 GB process is neither possible nor desirable in
+a test suite; the model constants are calibrated in EXPERIMENTS.md
+against Figure 11's measured footprints. Exceeding ``memory_limit``
+raises :class:`OutOfMemory` — the paper's 'X' cells.
+
+Storage writes are buffered and applied only on successful completion,
+so out-of-gas and REVERT leave contract state untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..errors import OutOfGas, OutOfMemory, VMError
+from . import opcodes as op
+from .gas import MEMORY_WORD_COST, OPCODE_GAS, SLOAD_COST, sstore_cost
+
+_DEFAULT_MEMORY_LIMIT = 32 * 1024**3  # the paper's 32 GB servers
+
+
+class Profile(Enum):
+    """Execution-engine flavour."""
+
+    GETH = "geth"
+    PARITY = "parity"
+
+
+@dataclass(frozen=True)
+class ProfileCosts:
+    """Modeled memory constants for one profile (see EXPERIMENTS.md)."""
+
+    word_overhead_bytes: int
+    base_overhead_bytes: int
+    journal: bool
+
+
+PROFILE_COSTS: dict[Profile, ProfileCosts] = {
+    # geth v1.4: big.Int boxing + state journal entries.
+    Profile.GETH: ProfileCosts(
+        word_overhead_bytes=2200, base_overhead_bytes=2 * 1024**3, journal=True
+    ),
+    # parity 1.6: packed U256 arithmetic, no per-op journal.
+    Profile.PARITY: ProfileCosts(
+        word_overhead_bytes=140, base_overhead_bytes=580 * 1024**2, journal=False
+    ),
+}
+
+
+class StorageBackend:
+    """Minimal persistent-storage interface the VM writes through."""
+
+    def get_word(self, key: int) -> int:
+        raise NotImplementedError
+
+    def set_word(self, key: int, value: int) -> None:
+        raise NotImplementedError
+
+
+class DictStorage(StorageBackend):
+    """In-memory storage for tests and standalone execution."""
+
+    def __init__(self) -> None:
+        self.data: dict[int, int] = {}
+
+    def get_word(self, key: int) -> int:
+        return self.data.get(key, 0)
+
+    def set_word(self, key: int, value: int) -> None:
+        if value == 0:
+            self.data.pop(key, None)
+        else:
+            self.data[key] = value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one VM run."""
+
+    success: bool
+    return_value: int | None
+    gas_used: int
+    steps: int
+    peak_memory_words: int
+    modeled_peak_memory_bytes: int
+    journal_entries: int
+    error: str = ""
+    #: Final VM memory; populated only when executing with
+    #: ``capture_memory=True`` (tests and debugging).
+    memory: dict[int, int] | None = None
+
+
+@dataclass
+class CallContext:
+    """Environment visible to the executing code."""
+
+    caller: int = 0
+    call_value: int = 0
+    args: tuple[int, ...] = ()
+
+
+class EVM:
+    """One interpreter instance (stateless across runs except storage)."""
+
+    def __init__(
+        self,
+        profile: Profile = Profile.PARITY,
+        memory_limit_bytes: int = _DEFAULT_MEMORY_LIMIT,
+    ) -> None:
+        self.profile = profile
+        self.costs = PROFILE_COSTS[profile]
+        self.memory_limit_bytes = memory_limit_bytes
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        code: bytes,
+        storage: StorageBackend | None = None,
+        context: CallContext | None = None,
+        gas_limit: int | None = None,
+        capture_memory: bool = False,
+    ) -> ExecutionResult:
+        """Run ``code`` to completion; storage commits only on success."""
+        storage = storage if storage is not None else DictStorage()
+        context = context or CallContext()
+        stack: list[int] = []
+        memory: dict[int, int] = {}
+        write_buffer: dict[int, int] = {}
+        journal: list[tuple[int, int, int]] = []
+        journaling = self.costs.journal
+        gas_used = 0
+        steps = 0
+        peak_words = 0
+        pc = 0
+        code_len = len(code)
+        valid_jumpdests = _scan_jumpdests(code)
+        word_overhead = self.costs.word_overhead_bytes
+        memory_budget_words = (
+            max(0, self.memory_limit_bytes - self.costs.base_overhead_bytes)
+            // max(1, word_overhead)
+        )
+        return_value: int | None = None
+
+        def fail(kind: type[Exception], message: str) -> ExecutionResult:
+            if kind is OutOfMemory:
+                raise OutOfMemory(message)
+            return ExecutionResult(
+                success=False,
+                return_value=None,
+                gas_used=gas_used,
+                steps=steps,
+                peak_memory_words=peak_words,
+                modeled_peak_memory_bytes=self._modeled_bytes(peak_words, journal),
+                journal_entries=len(journal),
+                error=message,
+            )
+
+        try:
+            while pc < code_len:
+                opcode = code[pc]
+                info = op.OPCODES.get(opcode)
+                if info is None:
+                    return fail(VMError, f"bad opcode 0x{opcode:02x} at pc={pc}")
+                steps += 1
+                gas_used += OPCODE_GAS[opcode]
+                if gas_limit is not None and gas_used > gas_limit:
+                    raise OutOfGas(f"out of gas at pc={pc} (step {steps})")
+                if len(stack) < info.pops:
+                    return fail(VMError, f"stack underflow at pc={pc} ({info.name})")
+                if journaling:
+                    journal.append((pc, opcode, gas_used))
+
+                if opcode == op.STOP:
+                    break
+                elif opcode == op.PUSH:
+                    immediate = code[pc + 1 : pc + 1 + op.PUSH_IMMEDIATE_BYTES]
+                    if len(immediate) < op.PUSH_IMMEDIATE_BYTES:
+                        return fail(VMError, "truncated PUSH immediate")
+                    stack.append(int.from_bytes(immediate, "big"))
+                    pc += 1 + op.PUSH_IMMEDIATE_BYTES
+                    continue
+                elif opcode == op.ADD:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append((a + b) & op.WORD_MASK)
+                elif opcode == op.MUL:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append((a * b) & op.WORD_MASK)
+                elif opcode == op.SUB:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append((a - b) & op.WORD_MASK)
+                elif opcode == op.DIV:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(0 if b == 0 else a // b)
+                elif opcode == op.MOD:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(0 if b == 0 else a % b)
+                elif opcode == op.LT:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(1 if a < b else 0)
+                elif opcode == op.GT:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(1 if a > b else 0)
+                elif opcode == op.EQ:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(1 if a == b else 0)
+                elif opcode == op.ISZERO:
+                    stack.append(1 if stack.pop() == 0 else 0)
+                elif opcode == op.AND:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(a & b)
+                elif opcode == op.OR:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(a | b)
+                elif opcode == op.XOR:
+                    b, a = stack.pop(), stack.pop()
+                    stack.append(a ^ b)
+                elif opcode == op.NOT:
+                    stack.append(stack.pop() ^ op.WORD_MASK)
+                elif opcode == op.SHA3:
+                    import hashlib
+
+                    value = stack.pop()
+                    digest = hashlib.sha256(value.to_bytes(32, "big")).digest()
+                    stack.append(int.from_bytes(digest, "big") & op.WORD_MASK)
+                elif opcode == op.CALLER:
+                    stack.append(context.caller)
+                elif opcode == op.CALLVALUE:
+                    stack.append(context.call_value)
+                elif opcode == op.CALLDATALOAD:
+                    index = stack.pop()
+                    args = context.args
+                    stack.append(args[index] if index < len(args) else 0)
+                elif opcode == op.POP:
+                    stack.pop()
+                elif opcode == op.MLOAD:
+                    stack.append(memory.get(stack.pop(), 0))
+                elif opcode == op.MSTORE:
+                    addr = stack.pop()
+                    value = stack.pop()
+                    if addr not in memory:
+                        gas_used += MEMORY_WORD_COST
+                        if len(memory) + 1 > memory_budget_words:
+                            return fail(
+                                OutOfMemory,
+                                f"modeled memory exceeded "
+                                f"{self.memory_limit_bytes} bytes "
+                                f"({len(memory) + 1} words, {self.profile.value})",
+                            )
+                    memory[addr] = value
+                    if len(memory) > peak_words:
+                        peak_words = len(memory)
+                elif opcode == op.SLOAD:
+                    key = stack.pop()
+                    if key in write_buffer:
+                        stack.append(write_buffer[key])
+                    else:
+                        stack.append(storage.get_word(key))
+                elif opcode == op.SSTORE:
+                    key = stack.pop()
+                    value = stack.pop()
+                    old = (
+                        write_buffer[key]
+                        if key in write_buffer
+                        else storage.get_word(key)
+                    )
+                    gas_used += sstore_cost(old, value)
+                    if gas_limit is not None and gas_used > gas_limit:
+                        raise OutOfGas(f"out of gas in SSTORE at pc={pc}")
+                    write_buffer[key] = value
+                elif opcode == op.JUMP:
+                    target = stack.pop()
+                    if target not in valid_jumpdests:
+                        return fail(VMError, f"bad jump target {target}")
+                    pc = target
+                    continue
+                elif opcode == op.JUMPI:
+                    target = stack.pop()
+                    condition = stack.pop()
+                    if condition:
+                        if target not in valid_jumpdests:
+                            return fail(VMError, f"bad jump target {target}")
+                        pc = target
+                        continue
+                elif opcode == op.PC:
+                    stack.append(pc)
+                elif opcode == op.GAS:
+                    remaining = (
+                        (gas_limit - gas_used) if gas_limit is not None else op.WORD_MASK
+                    )
+                    stack.append(max(0, remaining))
+                elif opcode == op.JUMPDEST:
+                    pass
+                elif op.DUP1 <= opcode < op.DUP1 + 16:
+                    stack.append(stack[-(opcode - op.DUP1 + 1)])
+                elif op.SWAP1 <= opcode < op.SWAP1 + 16:
+                    depth = opcode - op.SWAP1 + 1
+                    stack[-1], stack[-depth - 1] = stack[-depth - 1], stack[-1]
+                elif opcode == op.RETURN:
+                    return_value = stack.pop()
+                    break
+                elif opcode == op.REVERT:
+                    return fail(VMError, "explicit revert")
+                pc += 1
+        except OutOfGas as exc:
+            return ExecutionResult(
+                success=False,
+                return_value=None,
+                gas_used=gas_used,
+                steps=steps,
+                peak_memory_words=peak_words,
+                modeled_peak_memory_bytes=self._modeled_bytes(peak_words, journal),
+                journal_entries=len(journal),
+                error=str(exc),
+            )
+
+        # Success: commit buffered storage writes.
+        for key, value in write_buffer.items():
+            storage.set_word(key, value)
+        return ExecutionResult(
+            success=True,
+            return_value=return_value,
+            gas_used=gas_used,
+            steps=steps,
+            peak_memory_words=peak_words,
+            modeled_peak_memory_bytes=self._modeled_bytes(peak_words, journal),
+            journal_entries=len(journal),
+            memory=dict(memory) if capture_memory else None,
+        )
+
+    def _modeled_bytes(self, peak_words: int, journal: list) -> int:
+        return (
+            self.costs.base_overhead_bytes
+            + peak_words * self.costs.word_overhead_bytes
+            + len(journal) * 48
+        )
+
+
+def _scan_jumpdests(code: bytes) -> set[int]:
+    """Valid JUMPDEST offsets (skipping PUSH immediates)."""
+    dests: set[int] = set()
+    pc = 0
+    while pc < len(code):
+        opcode = code[pc]
+        if opcode == op.JUMPDEST:
+            dests.add(pc)
+        if opcode == op.PUSH:
+            pc += 1 + op.PUSH_IMMEDIATE_BYTES
+        else:
+            pc += 1
+    return dests

@@ -1,0 +1,33 @@
+"""H-Store baseline: partitioned in-memory OLTP engine (Figure 14)."""
+
+from .engine import (
+    OP_COST_S,
+    TWO_PC_COST_S,
+    HStoreEngine,
+    HStoreTxn,
+    TxnOp,
+    TxnResult,
+)
+from .workloads import (
+    load_smallbank,
+    load_ycsb,
+    run_smallbank,
+    run_ycsb,
+    smallbank_txn,
+    ycsb_txn,
+)
+
+__all__ = [
+    "OP_COST_S",
+    "TWO_PC_COST_S",
+    "HStoreEngine",
+    "HStoreTxn",
+    "TxnOp",
+    "TxnResult",
+    "load_smallbank",
+    "load_ycsb",
+    "run_smallbank",
+    "run_ycsb",
+    "smallbank_txn",
+    "ycsb_txn",
+]

@@ -1,0 +1,105 @@
+"""YCSB and Smallbank adapters for the H-Store engine (Figure 14).
+
+YCSB single-key operations are single-partition by construction;
+Smallbank's transfers touch two customers whose rows usually live on
+different partitions, forcing 2PC — the source of the paper's 6.6x
+throughput gap between the two workloads on H-Store.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..contracts.base import decode_int, encode_int
+from .engine import HStoreEngine, HStoreTxn, TxnOp
+
+
+def load_ycsb(engine: HStoreEngine, record_count: int, value_size: int = 100) -> None:
+    for i in range(record_count):
+        engine.load(f"user{i}", b"x" * value_size)
+
+
+def ycsb_txn(rng: random.Random, record_count: int, read_fraction: float = 0.5,
+             value_size: int = 100) -> HStoreTxn:
+    key = f"user{rng.randrange(record_count)}"
+    if rng.random() < read_fraction:
+        return HStoreTxn(ops=[TxnOp("read", key)], name="ycsb-read")
+    return HStoreTxn(
+        ops=[TxnOp("write", key, b"y" * value_size)], name="ycsb-write"
+    )
+
+
+def load_smallbank(
+    engine: HStoreEngine, n_accounts: int, balance: int = 10_000
+) -> None:
+    for i in range(n_accounts):
+        engine.load(f"sav:acct{i}", encode_int(balance))
+        engine.load(f"chk:acct{i}", encode_int(balance))
+
+
+def smallbank_txn(rng: random.Random, n_accounts: int) -> HStoreTxn:
+    """A Smallbank procedure; transfers dominate (the multi-key cases)."""
+    roll = rng.random()
+    a = f"acct{rng.randrange(n_accounts)}"
+    b = f"acct{rng.randrange(n_accounts)}"
+    while b == a:
+        b = f"acct{rng.randrange(n_accounts)}"
+    amount = encode_int(rng.randrange(1, 100))
+    if roll < 0.25:  # send_payment: two customers, read+write each
+        return HStoreTxn(
+            name="send_payment",
+            ops=[
+                TxnOp("read", f"chk:{a}"),
+                TxnOp("read", f"chk:{b}"),
+                TxnOp("write", f"chk:{a}", amount),
+                TxnOp("write", f"chk:{b}", amount),
+            ],
+        )
+    if roll < 0.40:  # amalgamate: two customers, three rows
+        return HStoreTxn(
+            name="amalgamate",
+            ops=[
+                TxnOp("read", f"sav:{a}"),
+                TxnOp("read", f"chk:{a}"),
+                TxnOp("write", f"sav:{a}", encode_int(0)),
+                TxnOp("write", f"chk:{a}", encode_int(0)),
+                TxnOp("write", f"chk:{b}", amount),
+            ],
+        )
+    if roll < 0.55:  # write_check
+        return HStoreTxn(
+            name="write_check",
+            ops=[
+                TxnOp("read", f"sav:{a}"),
+                TxnOp("read", f"chk:{a}"),
+                TxnOp("write", f"chk:{a}", amount),
+            ],
+        )
+    if roll < 0.70:  # transact_savings
+        return HStoreTxn(
+            name="transact_savings",
+            ops=[TxnOp("read", f"sav:{a}"), TxnOp("write", f"sav:{a}", amount)],
+        )
+    if roll < 0.85:  # deposit_checking
+        return HStoreTxn(
+            name="deposit_checking",
+            ops=[TxnOp("read", f"chk:{a}"), TxnOp("write", f"chk:{a}", amount)],
+        )
+    return HStoreTxn(  # balance
+        name="balance",
+        ops=[TxnOp("read", f"sav:{a}"), TxnOp("read", f"chk:{a}")],
+    )
+
+
+def run_ycsb(engine: HStoreEngine, n_txns: int, record_count: int = 100_000,
+             seed: int = 1) -> None:
+    rng = random.Random(seed)
+    for _ in range(n_txns):
+        engine.execute(ycsb_txn(rng, record_count))
+
+
+def run_smallbank(engine: HStoreEngine, n_txns: int, n_accounts: int = 100_000,
+                  seed: int = 1) -> None:
+    rng = random.Random(seed)
+    for _ in range(n_txns):
+        engine.execute(smallbank_txn(rng, n_accounts))

@@ -1,0 +1,25 @@
+"""Blockchain platforms: Ethereum (PoW), Parity (PoA), Hyperledger
+(PBFT), ErisDB (Tendermint)."""
+
+from .base import PlatformNode, PlatformState
+from .cluster import DEFAULT_CONTRACTS, Cluster, build_cluster
+from .erisdb import ErisDBNode, ErisDBState
+from .ethereum import EthereumNode, EthereumState
+from .hyperledger import HyperledgerNode, HyperledgerState
+from .parity import ParityNode, ParityState
+
+__all__ = [
+    "PlatformNode",
+    "PlatformState",
+    "DEFAULT_CONTRACTS",
+    "Cluster",
+    "build_cluster",
+    "ErisDBNode",
+    "ErisDBState",
+    "EthereumNode",
+    "EthereumState",
+    "HyperledgerNode",
+    "HyperledgerState",
+    "ParityNode",
+    "ParityState",
+]

@@ -1,0 +1,465 @@
+"""Platform node base: the full blockchain software stack of Figure 1.
+
+A :class:`PlatformNode` is one server in the private testnet. It wires
+together every layer the paper identifies:
+
+* **consensus** — a :class:`~repro.consensus.base.ConsensusProtocol`
+  attached after construction (PoW / PoA / PBFT);
+* **data model** — a :class:`PlatformState` (Patricia trie or bucket
+  tree over a storage backend) committed once per executed block;
+* **execution** — the Table-1 contracts, invoked natively with gas
+  metering; gas converts to CPU seconds through the platform's
+  execution-cost model, and that CPU time *occupies the node* (via
+  ``defer_cost``), which is what lets execution back-pressure the
+  message channel;
+* **application interface** — a JSON-RPC-like message protocol used by
+  BLOCKBENCH clients: ``rpc/send_tx``, ``rpc/get_blocks`` (the driver's
+  ``getLatestBlock(h)``), ``rpc/get_block_txs``, ``rpc/get_balance``
+  and read-only ``rpc/query``.
+
+Blocks are *executed at confirmation* (immediately for PBFT, after the
+confirmation depth for PoW/PoA), so state never needs to be unwound on
+the shallow reorgs PoW naturally produces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from ..chain import Block, Blockchain, Mempool, Receipt, Transaction
+from ..config import PlatformConfig
+from ..consensus.base import ConsensusProtocol
+from ..contracts import Contract, TxContext, create_contract
+from ..contracts.base import StateAccess
+from ..crypto.hashing import EMPTY_HASH, Hash
+from ..errors import ConnectorError, ContractRevert, ExecutionError
+from ..sim import Message, Network, RngRegistry, Scheduler, SimNode
+
+TX_GOSSIP = "tx/gossip"
+RPC_SEND_TX = "rpc/send_tx"
+RPC_GET_BLOCKS = "rpc/get_blocks"
+RPC_GET_BLOCK_TXS = "rpc/get_block_txs"
+RPC_GET_BALANCE = "rpc/get_balance"
+RPC_QUERY = "rpc/query"
+RPC_REPLY = "rpc/reply"
+
+
+class PlatformState(ABC):
+    """State layer: key-value facade plus per-block commitment."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Read one key from the current state."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Write one key into the current (uncommitted) state."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove one key from the current state."""
+
+    @abstractmethod
+    def commit_block(self, height: int) -> Hash:
+        """Seal the state for one block; returns the state root."""
+
+    def get_at(self, height: int, key: bytes) -> bytes | None:
+        """Historical read at a block height; not every platform can."""
+        raise ConnectorError(
+            f"{type(self).__name__} does not support historical state queries"
+        )
+
+    def close(self) -> None:
+        """Release storage resources."""
+
+
+class _NamespacedState:
+    """StateAccess wrapper isolating one contract's keys.
+
+    Hyperledger's chaincodes "can only access its private storage and
+    they are isolated from each other" (Section 3.1.2); Ethereum gives
+    each contract its own storage trie. A per-contract key prefix
+    models both.
+    """
+
+    def __init__(self, state: PlatformState, contract_name: str) -> None:
+        self._state = state
+        self._prefix = contract_name.encode() + b"/"
+
+    def get_state(self, key: bytes) -> bytes | None:
+        return self._state.get(self._prefix + key)
+
+    def put_state(self, key: bytes, value: bytes) -> None:
+        self._state.put(self._prefix + key, value)
+
+    def delete_state(self, key: bytes) -> None:
+        self._state.delete(self._prefix + key)
+
+
+class PlatformNode(SimNode):
+    """One server of a private blockchain deployment."""
+
+    #: Whether the platform offers the publish/subscribe block feed the
+    #: paper attributes to ErisDB (Section 3.2). Polling via
+    #: ``rpc/get_blocks`` works everywhere.
+    supports_subscription = False
+
+    def __init__(
+        self,
+        node_id: str,
+        scheduler: Scheduler,
+        network: Network,
+        rng_registry: RngRegistry,
+        config: PlatformConfig,
+        state: PlatformState,
+        chain_id: str = "testnet",
+    ) -> None:
+        super().__init__(
+            node_id, scheduler, network, inbox_capacity=config.inbox_capacity
+        )
+        self.config = config
+        self.state = state
+        self._rng = rng_registry.stream(node_id)
+        self._chain = Blockchain(chain_id)
+        self.mempool = Mempool(config.mempool_capacity)
+        self.protocol: ConsensusProtocol | None = None
+        self.peers: list[str] = []
+        self.contracts: dict[str, Contract] = {}
+        self.receipts: dict[str, Receipt] = {}
+        self.executed_height = 0
+        self._height_roots: dict[int, Hash] = {}
+        #: Which block this node executed at each height. On PoW a deep
+        #: reorg can later replace a height with a different block; the
+        #: mismatch count is exactly the double-spend exposure a
+        #: depth-d client had (used by the confirmation-depth ablation).
+        self.executed_block_hashes: dict[int, Hash] = {}
+        # Statistics.
+        self.committed_tx_count = 0
+        self.failed_tx_count = 0
+        self.corrupted_dropped = 0
+        self.rejected_submissions = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_protocol(self, protocol: ConsensusProtocol) -> None:
+        """Wire the consensus protocol driving this node."""
+        self.protocol = protocol
+
+    def set_peers(self, peer_ids: list[str]) -> None:
+        """Install the deployment's node list (self excluded)."""
+        self.peers = [p for p in peer_ids if p != self.node_id]
+
+    def deploy(self, contract_name: str) -> None:
+        """Install a Table-1 contract (idempotent)."""
+        if contract_name not in self.contracts:
+            self.contracts[contract_name] = create_contract(contract_name)
+
+    # ------------------------------------------------------------------
+    # ConsensusHost interface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (ConsensusHost)."""
+        return self.scheduler.now
+
+    def send_to(self, recipient: str, kind: str, payload: Any, size_bytes: int) -> None:
+        """Point-to-point consensus message (ConsensusHost)."""
+        self.send(recipient, kind, payload, size_bytes)
+
+    def broadcast_to_peers(self, kind: str, payload: Any, size_bytes: int) -> None:
+        """Broadcast a consensus message to every peer (ConsensusHost)."""
+        if self.crashed:
+            return
+        for peer in self.peers:
+            self.network.send(self.node_id, peer, kind, payload, size_bytes)
+
+    def peer_ids(self) -> list[str]:
+        """Peer node ids (ConsensusHost)."""
+        return list(self.peers)
+
+    def rng(self):
+        """This node's deterministic random stream (ConsensusHost)."""
+        return self._rng
+
+    def chain(self) -> Blockchain:
+        """The local blockchain copy (ConsensusHost)."""
+        return self._chain
+
+    def pending_count(self) -> int:
+        """Mempool size (ConsensusHost)."""
+        return len(self.mempool)
+
+    def oldest_request_age(self) -> float:
+        """Age of the oldest pending transaction (ConsensusHost)."""
+        return self.mempool.oldest_pending_age(self.now)
+
+    def assemble_block(
+        self, parent: Block, consensus_meta: dict[str, Any], max_txs: int | None
+    ) -> Block:
+        limit = max_txs if max_txs is not None else 10_000
+        gas_limit = self.config.block_gas_limit
+        txs = self.mempool.peek_batch(
+            limit,
+            gas_budget=gas_limit,
+            gas_estimate=self.gas_estimate if gas_limit else None,
+        )
+        return Block.build(
+            height=parent.height + 1,
+            parent_hash=parent.hash,
+            transactions=txs,
+            state_root=EMPTY_HASH,
+            proposer=self.node_id,
+            timestamp=self.now,
+            consensus_meta=consensus_meta,
+        )
+
+    def deliver_block(self, block: Block, execute: bool = True) -> bool:
+        """Append a decided block; executes it once confirmed."""
+        known = self._chain.contains(block.hash)
+        changed = self._chain.add_block(block)
+        if not known and self._chain.contains(block.hash):
+            self.mempool.remove(tx.tx_id for tx in block.transactions)
+        if execute:
+            self._advance_execution()
+        return changed
+
+    def gas_estimate(self, tx: Transaction) -> int:
+        """Rough per-transaction gas used for block packing."""
+        return 26_000
+
+    # ------------------------------------------------------------------
+    # Execution (at confirmation)
+    # ------------------------------------------------------------------
+    def confirmed_height(self) -> int:
+        """Highest height the protocol treats as final."""
+        if self.protocol is None:
+            return 0
+        return self.protocol.confirmed_height()
+
+    def _advance_execution(self) -> None:
+        target = min(self.confirmed_height(), self._chain.height)
+        while self.executed_height < target:
+            block = self._chain.block_by_height(self.executed_height + 1)
+            if block is None:
+                break
+            self._execute_block(block)
+            self.executed_height = block.height
+
+    def _execute_block(self, block: Block) -> None:
+        seconds = 0.0
+        costs = self.config.execution
+        for tx in block.transactions:
+            receipt = self._execute_tx(tx, block.height)
+            self.receipts[tx.tx_id] = receipt
+            # Signature verification was already charged when the block
+            # arrived (message_cost); only execution is charged here.
+            seconds += receipt.gas_used * costs.seconds_per_gas
+            if receipt.success:
+                self.committed_tx_count += 1
+            else:
+                self.failed_tx_count += 1
+        root = self.state.commit_block(block.height)
+        self._height_roots[block.height] = root
+        self.executed_block_hashes[block.height] = block.hash
+        self._charge(seconds)
+
+    def _execute_tx(self, tx: Transaction, height: int) -> Receipt:
+        contract = self.contracts.get(tx.contract)
+        if contract is None:
+            return Receipt(
+                tx_id=tx.tx_id,
+                block_height=height,
+                success=False,
+                error=f"contract {tx.contract!r} not deployed",
+                committed_at=self.now,
+            )
+        facade = _NamespacedState(self.state, tx.contract)
+        ctx = TxContext(
+            sender=tx.sender,
+            value=tx.value,
+            block_height=height,
+            timestamp=self.now,
+        )
+        try:
+            result = contract.invoke(facade, tx.function, tx.args, ctx)
+        except ContractRevert as exc:
+            return Receipt(
+                tx_id=tx.tx_id,
+                block_height=height,
+                success=False,
+                gas_used=21_000,
+                error=str(exc),
+                committed_at=self.now,
+            )
+        return Receipt(
+            tx_id=tx.tx_id,
+            block_height=height,
+            success=True,
+            gas_used=result.gas_used,
+            output=result.output,
+            committed_at=self.now,
+        )
+
+    def _charge(self, seconds: float) -> None:
+        """Charge CPU so heavy work occupies the node."""
+        if self._processing:
+            self.defer_cost(seconds)
+        else:
+            self.consume_cpu(seconds)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def message_cost(self, message: Message) -> float:
+        """CPU price of handling one message, per the platform's cost
+        model (gossip, ingress, consensus verification, RPC)."""
+        costs = self.config.execution
+        kind = message.kind
+        if kind == TX_GOSSIP:
+            return costs.tx_gossip_cost_s
+        if kind == RPC_SEND_TX:
+            return costs.tx_ingress_cost_s
+        if kind == "pbft/pre-prepare":
+            block: Block = message.payload
+            return costs.consensus_msg_cost_s + costs.verify_cost_s * len(
+                block.transactions
+            )
+        if kind.startswith("pbft/") or kind.startswith("gossip/"):
+            return costs.consensus_msg_cost_s
+        if kind in ("pow/block", "poa/block"):
+            block = message.payload
+            return costs.consensus_msg_cost_s + costs.verify_cost_s * len(
+                block.transactions
+            )
+        if kind.startswith("rpc/"):
+            return costs.rpc_cost_s
+        return costs.consensus_msg_cost_s
+
+    def handle_message(self, message: Message) -> None:
+        """Route one message: RPC, gossip, or consensus."""
+        if message.corrupted:
+            self.corrupted_dropped += 1
+            return
+        kind = message.kind
+        if kind == TX_GOSSIP:
+            self._on_tx_gossip(message.payload)
+        elif kind == RPC_SEND_TX:
+            self._on_send_tx(message)
+        elif kind == RPC_GET_BLOCKS:
+            self._on_get_blocks(message)
+        elif kind == RPC_GET_BLOCK_TXS:
+            self._on_get_block_txs(message)
+        elif kind == RPC_GET_BALANCE:
+            self._on_get_balance(message)
+        elif kind == RPC_QUERY:
+            self._on_query(message)
+        elif self.protocol is not None and kind in self.protocol.message_kinds:
+            self.protocol.on_message(kind, message.payload, message.sender)
+
+    # -- transaction admission -------------------------------------------
+    def _on_tx_gossip(self, tx: Transaction) -> None:
+        if self.mempool.add(tx, self.now) and self.protocol is not None:
+            self.protocol.on_new_pending_tx()
+
+    def _on_send_tx(self, message: Message) -> None:
+        """Default admission (Ethereum/Hyperledger): pool + gossip."""
+        request = message.payload
+        tx: Transaction = request["tx"]
+        accepted = self.mempool.add(tx, self.now)
+        if accepted:
+            for peer in self.peers:
+                self.network.send(
+                    self.node_id, peer, TX_GOSSIP, tx, tx.size_bytes()
+                )
+            # Serializing one copy per peer is sender-side CPU work that
+            # grows with cluster size (O(N) per admitted transaction).
+            self._charge(
+                len(self.peers) * self.config.execution.tx_broadcast_send_cost_s
+            )
+            if self.protocol is not None:
+                self.protocol.on_new_pending_tx()
+        else:
+            self.rejected_submissions += 1
+        self._reply(message, {"accepted": accepted, "tx_id": tx.tx_id})
+
+    # -- queries -----------------------------------------------------------
+    def _on_get_blocks(self, message: Message) -> None:
+        """The driver's getLatestBlock(h): confirmed blocks in (h, t]."""
+        from_height = message.payload["from_height"]
+        confirmed = min(self.confirmed_height(), self.executed_height)
+        blocks = self._chain.blocks_in_range(from_height, confirmed)
+        summaries = [
+            {
+                "height": b.height,
+                "timestamp": b.header.timestamp,
+                "tx_ids": [tx.tx_id for tx in b.transactions],
+            }
+            for b in blocks
+        ]
+        size = 64 + sum(32 + 40 * len(s["tx_ids"]) for s in summaries)
+        self._reply(message, {"blocks": summaries, "tip": confirmed}, size)
+
+    def _on_get_block_txs(self, message: Message) -> None:
+        height = message.payload["height"]
+        block = self._chain.block_by_height(height)
+        txs = (
+            [
+                {
+                    "tx_id": tx.tx_id,
+                    "sender": tx.sender,
+                    "contract": tx.contract,
+                    "function": tx.function,
+                    "args": tx.args,
+                    "value": tx.value,
+                }
+                for tx in block.transactions
+            ]
+            if block is not None
+            else []
+        )
+        self._reply(message, {"height": height, "txs": txs}, 64 + 150 * len(txs))
+
+    def _on_get_balance(self, message: Message) -> None:
+        payload = message.payload
+        key = f"{payload['contract']}/".encode() + payload["key"]
+        try:
+            value = self.state.get_at(payload["height"], key)
+            self._reply(message, {"value": value})
+        except ConnectorError as exc:
+            self._reply(message, {"error": str(exc)})
+
+    def _on_query(self, message: Message) -> None:
+        """Read-only contract invocation (no consensus round)."""
+        payload = message.payload
+        contract = self.contracts.get(payload["contract"])
+        if contract is None:
+            self._reply(message, {"error": f"no contract {payload['contract']}"})
+            return
+        facade = _NamespacedState(self.state, payload["contract"])
+        try:
+            result = contract.invoke(
+                facade, payload["function"], tuple(payload.get("args", ()))
+            )
+        except (ContractRevert, ExecutionError) as exc:
+            self._reply(message, {"error": str(exc)})
+            return
+        self._charge(result.gas_used * self.config.execution.seconds_per_gas)
+        self._reply(message, {"output": result.output})
+
+    def _reply(self, message: Message, payload: dict, size: int = 128) -> None:
+        payload = dict(payload)
+        payload["req_id"] = message.payload.get("req_id")
+        self.send(message.sender, RPC_REPLY, payload, size)
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash the node and stop its consensus participation."""
+        super().crash()
+        if self.protocol is not None:
+            self.protocol.stop()
+
+    def close(self) -> None:
+        """Release storage resources (LSM files, caches)."""
+        self.state.close()

@@ -1,0 +1,239 @@
+"""Cluster builder: a private testnet of one platform.
+
+Assembles scheduler, network, N platform nodes with peering, deployed
+contracts, and an optional resource monitor — the simulated equivalent
+of the paper's 48-node commodity cluster on a 1 Gb switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..config import (
+    ErisDBConfig,
+    EthereumConfig,
+    HyperledgerConfig,
+    ParityConfig,
+    erisdb_config,
+    ethereum_config,
+    hyperledger_config,
+    parity_config,
+)
+from ..errors import BenchmarkError
+from ..sim import Network, ResourceMonitor, RngRegistry, Scheduler
+from .base import PlatformNode
+from .erisdb import ErisDBNode
+from .ethereum import EthereumNode
+from .hyperledger import HyperledgerNode
+from .parity import ParityNode
+
+DEFAULT_CONTRACTS = (
+    "kvstore",
+    "smallbank",
+    "donothing",
+    "ioheavy",
+    "cpuheavy",
+    "versionkv",
+    "etherid",
+    "doubler",
+    "wavespresale",
+)
+
+
+@dataclass
+class Cluster:
+    """A running testnet plus its simulation plumbing."""
+
+    platform: str
+    scheduler: Scheduler
+    network: Network
+    rng: RngRegistry
+    nodes: list[PlatformNode]
+    monitor: ResourceMonitor | None = None
+
+    def node_ids(self) -> list[str]:
+        return [node.node_id for node in self.nodes]
+
+    def run_until(self, deadline: float) -> None:
+        self.scheduler.run_until(deadline)
+
+    def alive_nodes(self) -> list[PlatformNode]:
+        return [node for node in self.nodes if not node.crashed]
+
+    def crash_nodes(self, count: int, include_leader: bool = True) -> list[str]:
+        """Crash ``count`` nodes (Figure 9's fault injection).
+
+        ``include_leader`` crashes from the head of the replica list,
+        which for PBFT includes the view-0 leader — the harder case.
+        """
+        victims = self.nodes[:count] if include_leader else self.nodes[-count:]
+        for node in victims:
+            node.crash()
+        return [node.node_id for node in victims]
+
+    def partition_halves(self) -> tuple[list[str], list[str]]:
+        """Split the testnet in half (the Figure 10 attack)."""
+        ids = self.node_ids()
+        half = len(ids) // 2
+        first, second = ids[:half], ids[half:]
+        self.network.partition([first, second])
+        return first, second
+
+    def heal(self) -> None:
+        self.network.heal()
+
+    def committed_tx_count(self) -> int:
+        """Committed transactions as seen by the first live node."""
+        alive = self.alive_nodes()
+        return alive[0].committed_tx_count if alive else 0
+
+    def chain_height(self) -> int:
+        alive = self.alive_nodes()
+        return alive[0].chain().height if alive else 0
+
+    def global_block_stats(self) -> tuple[int, int]:
+        """(total distinct blocks anywhere, blocks on the main branch).
+
+        The paper's Figure 10 metric is global: blocks abandoned after
+        a partition heals survive only in the stores of the nodes that
+        produced them, so the union across nodes is required.
+        """
+        all_hashes: set[bytes] = set()
+        for node in self.nodes:
+            chain = node.chain()
+            for block in chain._blocks.values():  # noqa: SLF001 - metric probe
+                if block.height > 0:
+                    all_hashes.add(block.hash)
+        main = max(
+            (node.chain() for node in self.nodes), key=lambda c: c.height
+        )
+        return len(all_hashes), main.main_branch_blocks
+
+    def stale_executions(self) -> int:
+        """Executed blocks that a later reorg replaced, across nodes.
+
+        A block is executed once it reaches the platform's confirmation
+        depth; if the final main branch carries a *different* block at
+        that height, every state change a client acted on there was
+        unwound — the double-spend window the confirmation-depth
+        ablation quantifies.
+        """
+        reference = max(
+            (node.chain() for node in self.nodes), key=lambda c: c.height
+        )
+        stale = 0
+        for node in self.nodes:
+            for height, executed_hash in node.executed_block_hashes.items():
+                final = reference.block_by_height(height)
+                if final is not None and final.hash != executed_hash:
+                    stale += 1
+        return stale
+
+    def close(self) -> None:
+        for node in self.nodes:
+            node.close()
+
+
+def build_cluster(
+    platform: str,
+    n_nodes: int,
+    seed: int = 42,
+    contracts: Iterable[str] = DEFAULT_CONTRACTS,
+    config=None,
+    storage_dir: str | Path | None = None,
+    with_monitor: bool = False,
+    monitor_interval: float = 1.0,
+) -> Cluster:
+    """Build and start an N-node testnet of ``platform``.
+
+    ``storage_dir`` switches state persistence to the real LSM engine
+    (one subdirectory per node) — used by the IOHeavy experiment.
+    """
+    if n_nodes < 1:
+        raise BenchmarkError("cluster needs at least one node")
+    scheduler = Scheduler()
+    rng = RngRegistry(seed)
+    network = Network(scheduler, rng)
+    ids = [f"server-{i}" for i in range(n_nodes)]
+    nodes: list[PlatformNode] = []
+
+    def node_dir(node_id: str) -> Path | None:
+        if storage_dir is None:
+            return None
+        path = Path(storage_dir) / node_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    if platform == "ethereum":
+        eth_conf: EthereumConfig = config or ethereum_config()
+        for node_id in ids:
+            nodes.append(
+                EthereumNode(
+                    node_id, scheduler, network, rng, eth_conf, node_dir(node_id)
+                )
+            )
+    elif platform == "parity":
+        par_conf: ParityConfig = config or parity_config()
+        for node_id in ids:
+            nodes.append(
+                ParityNode(
+                    node_id,
+                    scheduler,
+                    network,
+                    rng,
+                    par_conf,
+                    authorities=ids,
+                    signer_id=ids[0],
+                )
+            )
+    elif platform == "hyperledger":
+        hlf_conf: HyperledgerConfig = config or hyperledger_config()
+        for node_id in ids:
+            nodes.append(
+                HyperledgerNode(
+                    node_id,
+                    scheduler,
+                    network,
+                    rng,
+                    hlf_conf,
+                    replicas=ids,
+                    storage_dir=node_dir(node_id),
+                )
+            )
+    elif platform == "erisdb":
+        eris_conf: ErisDBConfig = config or erisdb_config()
+        for node_id in ids:
+            nodes.append(
+                ErisDBNode(
+                    node_id, scheduler, network, rng, eris_conf, validators=ids
+                )
+            )
+    else:
+        raise BenchmarkError(
+            f"unknown platform {platform!r}; "
+            "expected ethereum/parity/hyperledger/erisdb"
+        )
+
+    for node in nodes:
+        node.set_peers(ids)
+        for contract_name in contracts:
+            node.deploy(contract_name)
+    for node in nodes:
+        node.start()
+
+    monitor = None
+    if with_monitor:
+        monitor = ResourceMonitor(
+            scheduler, network, nodes, interval=monitor_interval, cores=8
+        )
+        monitor.start()
+    return Cluster(
+        platform=platform,
+        scheduler=scheduler,
+        network=network,
+        rng=rng,
+        nodes=nodes,
+        monitor=monitor,
+    )

@@ -1,0 +1,101 @@
+"""Hyperledger Fabric platform (v0.6.0-preview analogue).
+
+Composition per the paper: PBFT consensus with batch size 500, chain
+state in a Bucket-Merkle tree persisted through a RocksDB-preset LSM
+store, and chaincode executed natively (the Docker execution model —
+"the smart contract is compiled and runs directly on the native
+machine", Section 4.2.1), which is why its execution cost factor is the
+smallest of the three platforms.
+
+The node inherits the bounded inbox from its config: transaction
+gossip, PBFT control traffic, and client RPCs all share that channel,
+so a saturating load starves consensus of prepares and commits — the
+paper's >16-node collapse (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..config import HyperledgerConfig, hyperledger_config
+from ..consensus.pbft import PBFT
+from ..crypto.bucket_tree import BucketTree
+from ..crypto.hashing import Hash
+from ..sim import Network, RngRegistry, Scheduler
+from ..storage import LSMStore, rocksdb_config
+from .base import PlatformNode, PlatformState
+
+#: Fabric v0.6's default bucket-tree size class.
+N_BUCKETS = 1024
+
+
+class HyperledgerState(PlatformState):
+    """Bucket-Merkle tree over RocksDB (or memory for macro runs).
+
+    No historical state queries: "the system does not have APIs to
+    query historical states" (Section 3.4.2) — ``get_at`` raises, and
+    the analytics workload must use the VersionKVStore chaincode
+    instead, exactly as in the paper.
+    """
+
+    def __init__(self, storage_dir: str | Path | None = None) -> None:
+        self.tree = BucketTree(n_buckets=N_BUCKETS)
+        self._store: LSMStore | None = None
+        if storage_dir is not None:
+            self._store = LSMStore(Path(storage_dir), rocksdb_config())
+
+    def get(self, key: bytes) -> bytes | None:
+        if self._store is not None:
+            return self._store.get(key)
+        return self.tree.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+        if self._store is not None:
+            self._store.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.tree.delete(key)
+        if self._store is not None:
+            self._store.delete(key)
+
+    def commit_block(self, height: int) -> Hash:
+        return self.tree.root_hash()
+
+    def disk_usage_bytes(self) -> int:
+        return self._store.disk_usage_bytes() if self._store is not None else 0
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+
+
+class HyperledgerNode(PlatformNode):
+    """Fabric v0.6 validating peer."""
+
+    def __init__(
+        self,
+        node_id: str,
+        scheduler: Scheduler,
+        network: Network,
+        rng_registry: RngRegistry,
+        config: HyperledgerConfig | None = None,
+        replicas: list[str] | None = None,
+        storage_dir: str | Path | None = None,
+    ) -> None:
+        config = config or hyperledger_config()
+        super().__init__(
+            node_id,
+            scheduler,
+            network,
+            rng_registry,
+            config,
+            HyperledgerState(storage_dir),
+        )
+        self.hlf_config = config
+        self.attach_protocol(
+            PBFT(self, config.pbft, replicas=replicas or [node_id])
+        )
+
+    def start(self) -> None:
+        self.protocol.start()

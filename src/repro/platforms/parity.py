@@ -1,0 +1,216 @@
+"""Parity platform (v1.6.0 analogue).
+
+Composition per the paper: Proof-of-Authority (Aura) with a 1-second
+``stepDuration``, the entire state held in memory (Section 3.1.2 /
+4.2.2), and — the paper's key finding — a **server-side transaction
+signing stage** that caps the whole network at a constant processing
+rate regardless of offered load and node count (Sections 4.1.1, 4.2.3:
+"the bottleneck in Parity is due to the server's transaction signing,
+not due to consensus or transaction execution").
+
+Mechanics:
+
+* every submission must pass a per-node intake throttle (~80 tx/s, the
+  "maximum client request rate" of Figure 6's analysis);
+* accepted submissions are forwarded to the *signer* (the node holding
+  the unlocked authority account) whose single-threaded signing loop
+  serves one transaction per ``signing_cost_s``;
+* the signing queue is bounded — overflow is rejected back to the
+  client immediately. That is why Parity's measured latency stays flat
+  while its client-side queue grows: the latency of *accepted*
+  transactions is bounded by queue-capacity x signing-cost plus two
+  confirmation blocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..chain import Transaction
+from ..config import ParityConfig, parity_config
+from ..consensus.poa import ProofOfAuthority
+from ..crypto.hashing import Hash
+from ..crypto.trie import StateTrie
+from ..errors import StorageError
+from ..sim import Message, Network, RngRegistry, Scheduler
+from ..storage import MemKVStore
+from .base import TX_GOSSIP, PlatformNode, PlatformState
+
+SIGN_REQ = "parity/sign-req"
+
+
+class ParityState(PlatformState):
+    """Patricia trie whose nodes live entirely in process memory.
+
+    ``memory_cap_bytes`` reproduces the paper's Figure 12 finding that
+    Parity "holds all the state information in memory ... but fails to
+    handle large data": exceeding the cap raises an out-of-memory
+    StorageError, surfaced as the 'X' cells.
+    """
+
+    def __init__(self, memory_cap_bytes: int | None = None) -> None:
+        self._store = MemKVStore(memory_cap_bytes=memory_cap_bytes)
+        self.trie = StateTrie(self._store)
+        self._snapshots: dict[int, int] = {}
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.trie.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.trie.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.trie.delete(key)
+
+    def commit_block(self, height: int) -> Hash:
+        self._snapshots[height] = self.trie.snapshot()
+        return self.trie.root_hash()
+
+    def get_at(self, height: int, key: bytes) -> bytes | None:
+        snapshot = self._snapshots.get(height)
+        if snapshot is None:
+            candidates = [h for h in self._snapshots if h <= height]
+            if not candidates:
+                return None
+            snapshot = self._snapshots[max(candidates)]
+        return self.trie.get_at(snapshot, key)
+
+    def memory_bytes(self) -> int:
+        return self._store.approx_bytes()
+
+
+class ParityNode(PlatformNode):
+    """Parity authority node with the signing-stage bottleneck."""
+
+    def __init__(
+        self,
+        node_id: str,
+        scheduler: Scheduler,
+        network: Network,
+        rng_registry: RngRegistry,
+        config: ParityConfig | None = None,
+        authorities: list[str] | None = None,
+        signer_id: str | None = None,
+    ) -> None:
+        config = config or parity_config()
+        super().__init__(
+            node_id,
+            scheduler,
+            network,
+            rng_registry,
+            config,
+            ParityState(config.memory_cap_bytes),
+        )
+        self.parity_config = config
+        self.authorities = authorities or [node_id]
+        self.signer_id = signer_id or self.authorities[0]
+        self.attach_protocol(
+            ProofOfAuthority(self, config.poa, authorities=self.authorities)
+        )
+        # Signing stage (active only on the signer node).
+        self._sign_queue: deque[dict] = deque()
+        self._signing_busy = False
+        self.signed_count = 0
+        self.rejected_sign_queue_full = 0
+        # Intake throttle (token bucket).
+        self._tokens = 8.0
+        self._tokens_updated = 0.0
+
+    def start(self) -> None:
+        self.protocol.start()
+
+    # ------------------------------------------------------------------
+    # Intake throttle
+    # ------------------------------------------------------------------
+    def _take_token(self) -> bool:
+        rate = self.parity_config.intake_rate_tx_s
+        elapsed = self.now - self._tokens_updated
+        self._tokens = min(16.0, self._tokens + elapsed * rate)
+        self._tokens_updated = self.now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Admission: throttle -> forward to the signer
+    # ------------------------------------------------------------------
+    def _on_send_tx(self, message: Message) -> None:
+        request = message.payload
+        tx: Transaction = request["tx"]
+        if not self._take_token():
+            self.rejected_submissions += 1
+            self._reply(message, {"accepted": False, "tx_id": tx.tx_id})
+            return
+        item = {"tx": tx, "client": message.sender, "req_id": request.get("req_id")}
+        if self.node_id == self.signer_id:
+            self._enqueue_signing(item)
+        else:
+            self.send(self.signer_id, SIGN_REQ, item, tx.size_bytes() + 64)
+
+    def message_cost(self, message: Message) -> float:
+        if message.kind == SIGN_REQ:
+            return self.config.execution.tx_ingress_cost_s
+        return super().message_cost(message)
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == SIGN_REQ and not message.corrupted:
+            self._enqueue_signing(message.payload)
+            return
+        super().handle_message(message)
+
+    # ------------------------------------------------------------------
+    # The signing stage
+    # ------------------------------------------------------------------
+    def _enqueue_signing(self, item: dict) -> None:
+        if len(self._sign_queue) >= self.parity_config.signing_queue_capacity:
+            self.rejected_sign_queue_full += 1
+            self._reject_to_client(item)
+            return
+        self._sign_queue.append(item)
+        if not self._signing_busy:
+            self._sign_next()
+
+    def _reject_to_client(self, item: dict) -> None:
+        self.send(
+            item["client"],
+            "rpc/reply",
+            {"accepted": False, "tx_id": item["tx"].tx_id, "req_id": item["req_id"]},
+            128,
+        )
+
+    def _sign_next(self) -> None:
+        if self.crashed or not self._sign_queue:
+            self._signing_busy = False
+            return
+        self._signing_busy = True
+        item = self._sign_queue.popleft()
+        cost = self.parity_config.signing_cost_s
+        self.consume_cpu(cost)
+        self.set_timer(cost, self._finish_signing, item)
+
+    def _finish_signing(self, item: dict) -> None:
+        tx: Transaction = item["tx"]
+        self.signed_count += 1
+        accepted = self.mempool.add(tx, self.now)
+        if accepted:
+            for peer in self.peers:
+                self.network.send(self.node_id, peer, TX_GOSSIP, tx, tx.size_bytes())
+            if self.protocol is not None:
+                self.protocol.on_new_pending_tx()
+        self.send(
+            item["client"],
+            "rpc/reply",
+            {"accepted": accepted, "tx_id": tx.tx_id, "req_id": item["req_id"]},
+            128,
+        )
+        self._sign_next()
+
+    # ------------------------------------------------------------------
+    def _execute_block(self, block) -> None:
+        try:
+            super()._execute_block(block)
+        except StorageError as exc:
+            # In-memory state exhausted: the node dies (Figure 12's 'X').
+            self.crash()
+            raise

@@ -1,0 +1,63 @@
+"""Simulated-time helpers.
+
+Simulated time is a plain ``float`` number of seconds since the start of
+the experiment. This module centralizes formatting and the wall-clock
+stopwatch used by the *real* (non-simulated) microbenchmarks such as
+CPUHeavy, which measure actual VM execution time.
+"""
+
+from __future__ import annotations
+
+import time
+
+SimTime = float
+
+#: Sentinel for "never" / unset deadlines.
+NEVER: SimTime = float("inf")
+
+
+def format_time(t: SimTime) -> str:
+    """Render a simulated timestamp as a short human-readable string."""
+    if t == NEVER:
+        return "never"
+    if t < 1e-3:
+        return f"{t * 1e6:.0f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f}ms"
+    if t < 120.0:
+        return f"{t:.3f}s"
+    minutes, seconds = divmod(t, 60.0)
+    return f"{int(minutes)}m{seconds:04.1f}s"
+
+
+class Stopwatch:
+    """Wall-clock stopwatch for real measurements (execution-layer bench).
+
+    >>> watch = Stopwatch()
+    >>> watch.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = watch.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._started_at: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,218 @@
+"""Simulated network: links, latency, partitions, and fault injection.
+
+The network model reproduces the paper's testbed abstraction — a set of
+commodity servers on a 1 Gb switch — plus the three fault modes used in
+Section 3.3 (crash, message delay, message corruption) and the
+partition attack from Section 4.1.3.
+
+Messages are delivered point-to-point with ``latency + size / bandwidth``
+delay. During an active partition, traffic crossing partition groups is
+dropped, exactly as BLOCKBENCH "drops network traffic between any two
+nodes in the two partitions".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..errors import NetworkError
+from .clock import SimTime
+from .events import Scheduler
+from .rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import SimNode
+
+#: Default LAN characteristics: 1 Gb switch, ~0.3 ms one-way latency.
+DEFAULT_BANDWIDTH_BPS = 1_000_000_000
+DEFAULT_LATENCY = 0.0003
+DEFAULT_JITTER = 0.0002
+
+_message_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """A unit of network traffic between two simulated nodes."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    size_bytes: int = 256
+    corrupted: bool = False
+    sent_at: SimTime = 0.0
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, also kept per node."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    dropped_partition: int = 0
+    dropped_crash: int = 0
+    dropped_delay_jitter: int = 0
+    bytes_sent: dict[str, int] = field(default_factory=dict)
+    bytes_received: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, node_id: str, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent[node_id] = self.bytes_sent.get(node_id, 0) + size
+
+    def record_delivery(self, node_id: str, size: int) -> None:
+        self.messages_delivered += 1
+        self.bytes_received[node_id] = self.bytes_received.get(node_id, 0) + size
+
+
+class Network:
+    """Routes messages between registered nodes under fault schedules."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: RngRegistry,
+        bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS,
+        base_latency: SimTime = DEFAULT_LATENCY,
+        jitter: SimTime = DEFAULT_JITTER,
+    ) -> None:
+        self.scheduler = scheduler
+        self._rng = rng.stream("network")
+        self.bandwidth_bps = bandwidth_bps
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self.nodes: dict[str, "SimNode"] = {}
+        self.stats = NetworkStats()
+        # Fault state.
+        self._partition_groups: list[frozenset[str]] | None = None
+        self._extra_delay: SimTime = 0.0
+        self._delayed_nodes: frozenset[str] | None = None
+        self._corruption_rate: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, node: "SimNode") -> None:
+        if node.node_id in self.nodes:
+            raise NetworkError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def node_ids(self) -> list[str]:
+        return list(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network; traffic between different groups is dropped."""
+        frozen = [frozenset(group) for group in groups]
+        covered = set().union(*frozen) if frozen else set()
+        unknown = covered - set(self.nodes)
+        if unknown:
+            raise NetworkError(f"partition names unknown nodes: {sorted(unknown)}")
+        self._partition_groups = frozen
+
+    def heal(self) -> None:
+        """Remove the active partition, delay, and corruption faults."""
+        self._partition_groups = None
+        self._extra_delay = 0.0
+        self._delayed_nodes = None
+        self._corruption_rate = 0.0
+
+    def inject_delay(self, extra: SimTime, nodes: Iterable[str] | None = None) -> None:
+        """Add ``extra`` seconds to messages touching ``nodes`` (or all)."""
+        self._extra_delay = extra
+        self._delayed_nodes = frozenset(nodes) if nodes is not None else None
+
+    def inject_corruption(self, rate: float) -> None:
+        """Corrupt each delivered message with probability ``rate``."""
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"corruption rate {rate} outside [0, 1]")
+        self._corruption_rate = rate
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True if nodes ``a`` and ``b`` are currently in different groups."""
+        if self._partition_groups is None or a == b:
+            return False
+        group_a = next((g for g in self._partition_groups if a in g), None)
+        group_b = next((g for g in self._partition_groups if b in g), None)
+        # Nodes absent from all groups communicate only within the implicit
+        # "rest" group.
+        if group_a is None and group_b is None:
+            return False
+        return group_a is not group_b
+
+    # ------------------------------------------------------------------
+    # Message transfer
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> Message:
+        """Send one message; returns it (useful for tests and tracing)."""
+        if recipient not in self.nodes:
+            raise NetworkError(f"unknown recipient {recipient!r}")
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.scheduler.now,
+        )
+        self.stats.record_send(sender, size_bytes)
+        if self.partitioned(sender, recipient):
+            self.stats.dropped_partition += 1
+            return message
+        delay = self._delivery_delay(sender, recipient, size_bytes)
+        if self._corruption_rate and self._rng.random() < self._corruption_rate:
+            message.corrupted = True
+        self.scheduler.schedule(delay, self._deliver, message)
+        return message
+
+    def broadcast(
+        self,
+        sender: str,
+        kind: str,
+        payload: Any,
+        size_bytes: int = 256,
+        include_self: bool = False,
+    ) -> int:
+        """Send to every registered node; returns number of sends."""
+        count = 0
+        for node_id in self.nodes:
+            if node_id == sender and not include_self:
+                continue
+            self.send(sender, node_id, kind, payload, size_bytes)
+            count += 1
+        return count
+
+    def _delivery_delay(self, sender: str, recipient: str, size: int) -> SimTime:
+        latency = self.base_latency + self._rng.random() * self.jitter
+        serialization = size * 8 / self.bandwidth_bps
+        extra = 0.0
+        if self._extra_delay:
+            affected = self._delayed_nodes
+            if affected is None or sender in affected or recipient in affected:
+                extra = self._extra_delay * (0.5 + self._rng.random())
+        return latency + serialization + extra
+
+    def _deliver(self, message: Message) -> None:
+        # Partitions that began while the message was in flight still drop it:
+        # the paper's attack drops traffic for the whole partition window.
+        if self.partitioned(message.sender, message.recipient):
+            self.stats.dropped_partition += 1
+            return
+        node = self.nodes.get(message.recipient)
+        if node is None or node.crashed:
+            self.stats.dropped_crash += 1
+            return
+        self.stats.record_delivery(message.recipient, message.size_bytes)
+        node.deliver(message)

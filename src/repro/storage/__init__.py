@@ -1,0 +1,26 @@
+"""Storage substrate: KV interfaces, the LSM engine, and metrics."""
+
+from .kv import KVStore, MemKVStore
+from .lsm.bloom import BloomFilter
+from .lsm.db import LSMConfig, LSMStore, leveldb_config, rocksdb_config
+from .lsm.memtable import TOMBSTONE, MemTable
+from .lsm.sstable import SSTableReader, write_sstable
+from .lsm.wal import WriteAheadLog
+from .metrics import StorageReport, report_for
+
+__all__ = [
+    "KVStore",
+    "MemKVStore",
+    "BloomFilter",
+    "LSMConfig",
+    "LSMStore",
+    "leveldb_config",
+    "rocksdb_config",
+    "TOMBSTONE",
+    "MemTable",
+    "SSTableReader",
+    "write_sstable",
+    "WriteAheadLog",
+    "StorageReport",
+    "report_for",
+]

@@ -1,0 +1,73 @@
+"""Bloom filter for SSTable point-lookup short-circuiting."""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from ...errors import CorruptionError
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over byte keys.
+
+    >>> bf = BloomFilter.for_capacity(100)
+    >>> bf.add(b"present")
+    >>> bf.may_contain(b"present")
+    True
+    """
+
+    MAGIC = b"BLM1"
+
+    def __init__(self, n_bits: int, n_hashes: int) -> None:
+        if n_bits <= 0 or n_hashes <= 0:
+            raise CorruptionError("bloom filter needs positive sizing")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._bits = bytearray((n_bits + 7) // 8)
+
+    @classmethod
+    def for_capacity(cls, n_keys: int, bits_per_key: int = 10) -> "BloomFilter":
+        """Standard sizing: ~1% false positives at 10 bits/key."""
+        n_bits = max(64, n_keys * bits_per_key)
+        n_hashes = max(1, round(bits_per_key * math.log(2)))
+        return cls(n_bits, n_hashes)
+
+    def _positions(self, key: bytes) -> list[int]:
+        digest = hashlib.sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        return [(h1 + i * h2) % self.n_bits for i in range(self.n_hashes)]
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+
+    def may_contain(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(key)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (embedded in SSTable files)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = (
+            self.MAGIC
+            + self.n_bits.to_bytes(4, "big")
+            + self.n_hashes.to_bytes(2, "big")
+        )
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        if blob[:4] != cls.MAGIC:
+            raise CorruptionError("bad bloom filter magic")
+        n_bits = int.from_bytes(blob[4:8], "big")
+        n_hashes = int.from_bytes(blob[8:10], "big")
+        bloom = cls(n_bits, n_hashes)
+        bits = blob[10:]
+        if len(bits) != len(bloom._bits):
+            raise CorruptionError("bloom filter payload length mismatch")
+        bloom._bits = bytearray(bits)
+        return bloom

@@ -1,0 +1,43 @@
+"""K-way merge used by flushes, compactions, and scans.
+
+Sources are ordered newest-first; when several sources carry the same
+key the newest wins, which is the shadowing rule that makes LSM deletes
+and overwrites work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from .memtable import TOMBSTONE
+
+
+def merge_sorted_sources(
+    sources: list[Iterator[tuple[bytes, bytes]]],
+    drop_tombstones: bool,
+) -> Iterator[tuple[bytes, bytes]]:
+    """Merge key-ordered sources with newest-first precedence.
+
+    ``sources[0]`` is the newest. With ``drop_tombstones`` the merged
+    output omits deletion markers — only valid when merging into the
+    bottom level (nothing older can resurrect the key).
+    """
+    heap: list[tuple[bytes, int, bytes, Iterator[tuple[bytes, bytes]]]] = []
+    for priority, source in enumerate(sources):
+        for key, value in source:
+            heap.append((key, priority, value, source))
+            break
+    heapq.heapify(heap)
+    previous_key: bytes | None = None
+    while heap:
+        key, priority, value, source = heapq.heappop(heap)
+        for next_key, next_value in source:
+            heapq.heappush(heap, (next_key, priority, next_value, source))
+            break
+        if key == previous_key:
+            continue  # an older source's version of an emitted key
+        previous_key = key
+        if drop_tombstones and value == TOMBSTONE:
+            continue
+        yield key, value

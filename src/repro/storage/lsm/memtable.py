@@ -1,0 +1,50 @@
+"""In-memory write buffer for the LSM engine."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Sentinel distinguishing "deleted" from "absent" inside the engine.
+TOMBSTONE = b"\x00__tombstone__\x00"
+
+
+class MemTable:
+    """Unordered write buffer; sorted on flush.
+
+    The engine only needs ordered iteration at flush time, so keeping a
+    plain dict and sorting once is both simpler and faster in Python
+    than maintaining a skip list per write.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self.approx_bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        old = self._data.get(key)
+        if old is not None:
+            self.approx_bytes -= len(key) + len(old)
+        self._data[key] = value
+        self.approx_bytes += len(key) + len(value)
+
+    def delete(self, key: bytes) -> None:
+        self.put(key, TOMBSTONE)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Raw lookup; may return the tombstone sentinel."""
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def sorted_items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Key-ordered iteration (tombstones included) for flushing."""
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.approx_bytes = 0

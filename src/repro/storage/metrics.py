@@ -1,0 +1,61 @@
+"""Storage metrics aggregation used by the IOHeavy experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kv import KVStore, MemKVStore
+from .lsm.db import LSMStore
+
+
+@dataclass
+class StorageReport:
+    """Point-in-time view of one store's footprint and IO counters."""
+
+    backend: str
+    live_bytes: int
+    disk_bytes: int
+    write_ops: int
+    read_ops: int
+    flushes: int
+    compactions: int
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical bytes written per logical byte (LSM engines only)."""
+        if self.live_bytes == 0:
+            return 0.0
+        return self.disk_bytes / self.live_bytes
+
+
+def report_for(store: KVStore, backend: str = "") -> StorageReport:
+    """Build a :class:`StorageReport` for any supported store."""
+    if isinstance(store, LSMStore):
+        return StorageReport(
+            backend=backend or "lsm",
+            live_bytes=store.memtable.approx_bytes,
+            disk_bytes=store.disk_usage_bytes(),
+            write_ops=store.write_ops,
+            read_ops=store.read_ops,
+            flushes=store.flush_count,
+            compactions=store.compaction_count,
+        )
+    if isinstance(store, MemKVStore):
+        return StorageReport(
+            backend=backend or "memory",
+            live_bytes=store.approx_bytes(),
+            disk_bytes=0,
+            write_ops=store.write_ops,
+            read_ops=store.read_ops,
+            flushes=0,
+            compactions=0,
+        )
+    return StorageReport(
+        backend=backend or type(store).__name__,
+        live_bytes=store.approx_bytes(),
+        disk_bytes=store.approx_bytes(),
+        write_ops=0,
+        read_ops=0,
+        flushes=0,
+        compactions=0,
+    )

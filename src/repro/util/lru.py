@@ -1,0 +1,59 @@
+"""Least-recently-used cache.
+
+Ethereum "caches the states in memory (using LRU for eviction policy)"
+(Section 4.2.2); this is that cache, used between the Patricia trie and
+the LevelDB-preset LSM store in the IOHeavy configuration.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping evicting the least-recently-used entry.
+
+    >>> cache = LRUCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None   # evicted
+    True
+    >>> cache.get("c")
+    3
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K) -> V | None:
+        if key not in self._data:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: K, value: V) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,67 @@
+"""Benchmark workloads: macro (YCSB, Smallbank, real contracts) and
+micro (DoNothing, IOHeavy, CPUHeavy, Analytics)."""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkError
+from .analytics import (
+    AnalyticsPreload,
+    QueryResult,
+    preload_history,
+    run_q1,
+    run_q2,
+)
+from .contracts import (
+    DoNothingWorkload,
+    DoublerWorkload,
+    EtherIdConfig,
+    EtherIdWorkload,
+    WavesPresaleWorkload,
+)
+from .smallbank import SmallbankConfig, SmallbankWorkload
+from .ycsb import YCSBConfig, YCSBWorkload, ZipfianGenerator
+
+_WORKLOADS = {
+    "ycsb": YCSBWorkload,
+    "smallbank": SmallbankWorkload,
+    "etherid": EtherIdWorkload,
+    "doubler": DoublerWorkload,
+    "wavespresale": WavesPresaleWorkload,
+    "donothing": DoNothingWorkload,
+}
+
+
+def make_workload(name: str, **kwargs):
+    """Instantiate a driver workload by name."""
+    workload_type = _WORKLOADS.get(name)
+    if workload_type is None:
+        raise BenchmarkError(
+            f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"
+        )
+    if name == "ycsb" and kwargs:
+        return YCSBWorkload(YCSBConfig(**kwargs))
+    if name == "smallbank" and kwargs:
+        return SmallbankWorkload(SmallbankConfig(**kwargs))
+    if name == "etherid" and kwargs:
+        return EtherIdWorkload(EtherIdConfig(**kwargs))
+    return workload_type()
+
+
+__all__ = [
+    "AnalyticsPreload",
+    "QueryResult",
+    "preload_history",
+    "run_q1",
+    "run_q2",
+    "DoNothingWorkload",
+    "DoublerWorkload",
+    "EtherIdConfig",
+    "EtherIdWorkload",
+    "WavesPresaleWorkload",
+    "SmallbankConfig",
+    "SmallbankWorkload",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "ZipfianGenerator",
+    "make_workload",
+]

@@ -1,0 +1,160 @@
+"""Real Ethereum contract workloads: EtherId, Doubler, WavesPresale.
+
+The three "real workloads found in the Ethereum blockchain" of
+Section 3.4.1, driven with realistic operation mixes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from ..chain import Transaction
+from ..contracts.base import encode_int
+from ..core.workload import Workload, preload_state
+
+
+@dataclass
+class EtherIdConfig:
+    n_users: int = 100
+    n_seed_domains: int = 200
+    initial_balance: int = 1_000_000
+
+
+class EtherIdWorkload(Workload):
+    """Domain registrations, updates, and paid transfers."""
+
+    name = "etherid"
+    required_contracts = ("etherid",)
+
+    def __init__(self, config: EtherIdConfig | None = None) -> None:
+        self.config = config or EtherIdConfig()
+        self._domain_counter = self.config.n_seed_domains
+
+    def preload(self, cluster) -> None:
+        cfg = self.config
+        items = []
+        for i in range(cfg.n_users):
+            items.append(
+                (f"balance:user{i}".encode(), encode_int(cfg.initial_balance))
+            )
+        for i in range(cfg.n_seed_domains):
+            record = {"owner": f"user{i % cfg.n_users}", "value": "", "price": 50}
+            items.append(
+                (f"domain:seed{i}.eth".encode(), json.dumps(record).encode())
+            )
+        preload_state(cluster, "etherid", items)
+
+    def next_transaction(
+        self, client_id: str, rng: random.Random, now: float
+    ) -> Transaction:
+        cfg = self.config
+        user = f"user{rng.randrange(cfg.n_users)}"
+        roll = rng.random()
+        if roll < 0.40:  # register a fresh domain
+            domain = f"new{self._domain_counter}.eth"
+            self._domain_counter += 1
+            function, args = "register", (domain, "", 50)
+        elif roll < 0.65:  # modify a seed domain we own
+            index = rng.randrange(cfg.n_seed_domains)
+            user = f"user{index % cfg.n_users}"  # the preloaded owner
+            function, args = "set_value", (f"seed{index}.eth", f"v{now:.0f}")
+        elif roll < 0.90:  # buy a seed domain
+            index = rng.randrange(cfg.n_seed_domains)
+            function, args = "buy", (f"seed{index}.eth",)
+        else:  # lookup
+            index = rng.randrange(cfg.n_seed_domains)
+            function, args = "lookup", (f"seed{index}.eth",)
+        return Transaction.create(
+            sender=user,
+            contract="etherid",
+            function=function,
+            args=args,
+            submitted_at=now,
+        )
+
+
+class DoublerWorkload(Workload):
+    """Pyramid-scheme entries (Figure 2's contract under load)."""
+
+    name = "doubler"
+    required_contracts = ("doubler",)
+
+    def next_transaction(
+        self, client_id: str, rng: random.Random, now: float
+    ) -> Transaction:
+        return Transaction.create(
+            sender=f"{client_id}-p{rng.randrange(10_000)}",
+            contract="doubler",
+            function="enter",
+            args=(),
+            value=rng.randrange(10, 1000),
+            submitted_at=now,
+        )
+
+
+class WavesPresaleWorkload(Workload):
+    """Token sales with occasional transfers and lookups."""
+
+    name = "wavespresale"
+    required_contracts = ("wavespresale",)
+
+    def __init__(self) -> None:
+        self._sales: list[tuple[int, str]] = []  # (sale_id, owner)
+        self._next_sale_id = 0
+
+    def next_transaction(
+        self, client_id: str, rng: random.Random, now: float
+    ) -> Transaction:
+        roll = rng.random()
+        if roll < 0.6 or not self._sales:
+            sale_id = self._next_sale_id
+            self._next_sale_id += 1
+            owner = f"{client_id}-buyer{sale_id}"
+            self._sales.append((sale_id, owner))
+            return Transaction.create(
+                sender=owner,
+                contract="wavespresale",
+                function="new_sale",
+                args=(rng.randrange(1, 10_000),),
+                submitted_at=now,
+            )
+        if roll < 0.8:
+            index = rng.randrange(len(self._sales))
+            sale_id, owner = self._sales[index]
+            new_owner = f"{client_id}-buyer{self._next_sale_id}x"
+            self._sales[index] = (sale_id, new_owner)
+            return Transaction.create(
+                sender=owner,
+                contract="wavespresale",
+                function="transfer_sale",
+                args=(sale_id, new_owner),
+                submitted_at=now,
+            )
+        sale_id, _ = self._sales[rng.randrange(len(self._sales))]
+        return Transaction.create(
+            sender=client_id,
+            contract="wavespresale",
+            function="get_sale",
+            args=(sale_id,),
+            submitted_at=now,
+        )
+
+
+class DoNothingWorkload(Workload):
+    """Consensus-layer microbenchmark: empty transactions (Section 3.4.2)."""
+
+    name = "donothing"
+    required_contracts = ("donothing",)
+
+    def next_transaction(
+        self, client_id: str, rng: random.Random, now: float
+    ) -> Transaction:
+        return Transaction.create(
+            sender=client_id,
+            contract="donothing",
+            function="nop",
+            args=(),
+            submitted_at=now,
+        )

@@ -1,0 +1,62 @@
+"""Unit tests for blocks and headers."""
+
+from repro.chain import Block, Transaction, genesis_block
+from repro.crypto import EMPTY_HASH
+
+
+def _tx(i=0):
+    return Transaction.create("s", "c", "f", (i,), nonce=i)
+
+
+def test_genesis_is_deterministic():
+    assert genesis_block("x").hash == genesis_block("x").hash
+    assert genesis_block("x").hash != genesis_block("y").hash
+
+
+def test_genesis_height_zero_empty():
+    g = genesis_block()
+    assert g.height == 0
+    assert g.transactions == []
+    assert g.header.tx_root == EMPTY_HASH
+
+
+def test_build_links_parent():
+    g = genesis_block()
+    block = Block.build(1, g.hash, [_tx()], EMPTY_HASH, "miner", 1.0)
+    assert block.header.parent_hash == g.hash
+    assert block.height == 1
+
+
+def test_hash_covers_transactions():
+    g = genesis_block()
+    b1 = Block.build(1, g.hash, [_tx(1)], EMPTY_HASH, "m", 1.0)
+    b2 = Block.build(1, g.hash, [_tx(2)], EMPTY_HASH, "m", 1.0)
+    assert b1.hash != b2.hash
+
+
+def test_hash_covers_consensus_meta():
+    g = genesis_block()
+    b1 = Block.build(1, g.hash, [], EMPTY_HASH, "m", 1.0, {"nonce": 1})
+    b2 = Block.build(1, g.hash, [], EMPTY_HASH, "m", 1.0, {"nonce": 2})
+    assert b1.hash != b2.hash
+
+
+def test_meta_lookup():
+    g = genesis_block()
+    block = Block.build(1, g.hash, [], EMPTY_HASH, "m", 1.0, {"view": 3})
+    assert block.header.meta("view") == "3"
+    assert block.header.meta("absent", "dflt") == "dflt"
+
+
+def test_meta_order_insensitive():
+    g = genesis_block()
+    b1 = Block.build(1, g.hash, [], EMPTY_HASH, "m", 1.0, {"a": 1, "b": 2})
+    b2 = Block.build(1, g.hash, [], EMPTY_HASH, "m", 1.0, {"b": 2, "a": 1})
+    assert b1.hash == b2.hash
+
+
+def test_size_grows_with_transactions():
+    g = genesis_block()
+    empty = Block.build(1, g.hash, [], EMPTY_HASH, "m", 1.0)
+    full = Block.build(1, g.hash, [_tx(i) for i in range(10)], EMPTY_HASH, "m", 1.0)
+    assert full.size_bytes() > empty.size_bytes()

@@ -1,0 +1,72 @@
+"""Unit tests for the mempool."""
+
+from repro.chain import Mempool, Transaction
+
+
+def _tx(i):
+    return Transaction.create("s", "c", "f", (i,), nonce=i)
+
+
+def test_add_and_len():
+    pool = Mempool()
+    assert pool.add(_tx(1))
+    assert len(pool) == 1
+
+
+def test_duplicates_rejected():
+    pool = Mempool()
+    tx = _tx(1)
+    assert pool.add(tx)
+    assert not pool.add(tx)
+    assert len(pool) == 1
+
+
+def test_capacity_enforced():
+    pool = Mempool(capacity=2)
+    assert pool.add(_tx(1))
+    assert pool.add(_tx(2))
+    assert not pool.add(_tx(3))
+    assert pool.rejected_full == 1
+
+
+def test_peek_batch_fifo_order():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(5)]
+    pool.add_many(txs)
+    batch = pool.peek_batch(3)
+    assert [t.tx_id for t in batch] == [t.tx_id for t in txs[:3]]
+    assert len(pool) == 5  # peek does not remove
+
+
+def test_peek_batch_respects_gas_budget():
+    pool = Mempool()
+    pool.add_many(_tx(i) for i in range(10))
+    batch = pool.peek_batch(10, gas_budget=25, gas_estimate=lambda tx: 10)
+    assert len(batch) == 2  # 10+10 fits; the third would cross the budget
+    # First tx always admitted even if it alone exceeds the budget.
+    batch_single = pool.peek_batch(10, gas_budget=5, gas_estimate=lambda tx: 10)
+    assert len(batch_single) == 1
+
+
+def test_remove_committed():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(4)]
+    pool.add_many(txs)
+    removed = pool.remove([txs[0].tx_id, txs[2].tx_id, "unknown"])
+    assert removed == 2
+    assert len(pool) == 2
+
+
+def test_contains():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    assert tx.tx_id in pool
+    assert "nope" not in pool
+
+
+def test_clear():
+    pool = Mempool()
+    pool.add_many(_tx(i) for i in range(3))
+    pool.clear()
+    assert len(pool) == 0

@@ -1,0 +1,91 @@
+"""Property-based tests for the mempool against a model implementation.
+
+The mempool sits between admission and every consensus protocol, so
+its invariants (FIFO order, deduplication, capacity, batch bounds)
+must hold for arbitrary operation sequences, not just the happy paths
+the unit tests walk.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import Mempool, Transaction
+
+
+def tx(i: int) -> Transaction:
+    return Transaction.create(f"c{i % 3}", "kv", "write", (i,), nonce=i)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 40)),
+        st.tuples(st.just("remove"), st.integers(0, 40)),
+        st.tuples(st.just("peek"), st.integers(1, 10)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations=ops, capacity=st.one_of(st.none(), st.integers(1, 20)))
+def test_mempool_matches_ordered_dict_model(operations, capacity):
+    """The pool behaves as a FIFO dict with a size cap, always."""
+    pool = Mempool(capacity)
+    model: dict[str, Transaction] = {}
+    for op, arg in operations:
+        t = tx(arg)
+        if op == "add":
+            accepted = pool.add(t, now=0.0)
+            should_accept = t.tx_id not in model and (
+                capacity is None or len(model) < capacity
+            )
+            assert accepted == should_accept
+            if accepted:
+                model[t.tx_id] = t
+        elif op == "remove":
+            pool.remove([t.tx_id])
+            model.pop(t.tx_id, None)
+        else:  # peek
+            batch = pool.peek_batch(arg)
+            expected = list(model.values())[:arg]
+            assert [b.tx_id for b in batch] == [e.tx_id for e in expected]
+        assert len(pool) == len(model)
+        for tx_id in model:
+            assert tx_id in pool
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(0, 60),
+    budget=st.integers(1_000, 200_000),
+    limit=st.integers(1, 30),
+)
+def test_peek_batch_never_exceeds_gas_budget(n, budget, limit):
+    pool = Mempool()
+    for i in range(n):
+        pool.add(tx(i))
+    estimate = lambda t: 26_000  # noqa: E731 - the platform default
+    batch = pool.peek_batch(limit, gas_budget=budget, gas_estimate=estimate)
+    assert len(batch) <= limit
+    assert sum(estimate(t) for t in batch) <= max(budget, 26_000)
+    # FIFO prefix: the batch is exactly the head of the queue.
+    assert [b.tx_id for b in batch] == [
+        t.tx_id for t in pool.peek_batch(len(batch))
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrivals=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+    ),
+    now_delta=st.floats(min_value=0.0, max_value=50.0),
+)
+def test_oldest_age_is_first_arrival(arrivals, now_delta):
+    """The watchdog age is measured from the FIFO head, whatever the
+    arrival times were (PBFT's request timeout depends on this)."""
+    pool = Mempool()
+    for i, at in enumerate(arrivals):
+        pool.add(tx(i), now=at)
+    now = max(arrivals) + now_delta
+    assert pool.oldest_pending_age(now) == now - arrivals[0]

@@ -1,0 +1,44 @@
+"""Unit tests for transactions and receipts."""
+
+from repro.chain import Transaction, TxStatus
+
+
+def test_create_assigns_content_derived_id():
+    tx1 = Transaction.create("alice", "kv", "write", (b"k", b"v"), nonce=1)
+    tx2 = Transaction.create("alice", "kv", "write", (b"k", b"v"), nonce=1)
+    assert tx1.tx_id == tx2.tx_id
+
+
+def test_id_binds_every_field():
+    base = Transaction.create("a", "c", "f", (1,), value=0, nonce=1)
+    assert base.tx_id != Transaction.create("b", "c", "f", (1,), value=0, nonce=1).tx_id
+    assert base.tx_id != Transaction.create("a", "d", "f", (1,), value=0, nonce=1).tx_id
+    assert base.tx_id != Transaction.create("a", "c", "g", (1,), value=0, nonce=1).tx_id
+    assert base.tx_id != Transaction.create("a", "c", "f", (2,), value=0, nonce=1).tx_id
+    assert base.tx_id != Transaction.create("a", "c", "f", (1,), value=5, nonce=1).tx_id
+    assert base.tx_id != Transaction.create("a", "c", "f", (1,), value=0, nonce=2).tx_id
+
+
+def test_auto_nonce_distinguishes_identical_calls():
+    tx1 = Transaction.create("alice", "kv", "write", (b"k", b"v"))
+    tx2 = Transaction.create("alice", "kv", "write", (b"k", b"v"))
+    assert tx1.tx_id != tx2.tx_id
+
+
+def test_size_accounts_for_payload():
+    small = Transaction.create("a", "c", "f", ())
+    big = Transaction.create("a", "c", "f", ("x" * 500,))
+    assert big.size_bytes() > small.size_bytes() + 400
+
+
+def test_negative_value_supported():
+    tx = Transaction.create("a", "c", "f", (), value=-5)
+    assert tx.value == -5
+
+
+def test_tx_status_latency():
+    tx = Transaction.create("a", "c", "f", ())
+    status = TxStatus(tx=tx, submitted_at=10.0)
+    assert status.latency is None
+    status.confirmed_at = 12.5
+    assert status.latency == 2.5

@@ -1,0 +1,120 @@
+"""Unit tests for Proof-of-Authority consensus."""
+
+from repro.chain import Block
+from repro.consensus import PoAConfig, ProofOfAuthority
+from repro.crypto import EMPTY_HASH
+
+from .harness import build_cluster, make_tx, submit_everywhere
+
+
+def poa_factory(config=None):
+    cfg = config or PoAConfig(step_duration=1.0, confirmation_depth=2)
+
+    def factory(node, all_ids):
+        return ProofOfAuthority(node, cfg, authorities=all_ids)
+
+    return factory
+
+
+def test_one_block_per_step():
+    sched, net, nodes = build_cluster(4, poa_factory())
+    sched.run_until(20.5)
+    # One block per 1s step, starting at step 1.
+    assert 18 <= nodes[0].chain().height <= 20
+
+
+def test_sealers_rotate():
+    sched, net, nodes = build_cluster(4, poa_factory())
+    sched.run_until(12.5)
+    sealers = [b.header.proposer for b in nodes[0].chain().main_branch()][1:]
+    assert len(set(sealers)) == 4  # every authority sealed
+
+
+def test_no_forks_in_healthy_network():
+    sched, net, nodes = build_cluster(4, poa_factory())
+    sched.run_until(30.3)  # off the step boundary so in-flight blocks land
+    assert nodes[0].chain().fork_blocks == 0
+    assert len({n.chain().tip.hash for n in nodes}) == 1
+
+
+def test_transactions_included():
+    sched, net, nodes = build_cluster(3, poa_factory())
+    txs = [make_tx(i) for i in range(15)]
+    submit_everywhere(nodes, txs)
+    sched.run_until(10.0)
+    committed = {
+        tx.tx_id
+        for block in nodes[0].chain().main_branch()
+        for tx in block.transactions
+    }
+    assert {t.tx_id for t in txs} <= committed
+
+
+def test_partition_forks_then_heals():
+    sched, net, nodes = build_cluster(4, poa_factory())
+    sched.run_until(5.2)
+    net.partition([["n0", "n1"], ["n2", "n3"]])
+    sched.run_until(20.2)
+    net.heal()
+    # Let the next sealed blocks propagate both branches.
+    sched.run_until(40.2)
+    assert max(node.chain().fork_blocks for node in nodes) > 0
+    assert len({n.chain().tip.hash for n in nodes}) == 1
+
+
+def test_invalid_seal_rejected():
+    sched, net, nodes = build_cluster(3, poa_factory())
+    sched.run_until(3.2)
+    victim = nodes[1]
+    height_before = victim.chain().height
+    # Forge a block claiming a slot the sender does not own.
+    step = victim.protocol.current_step() + 100
+    wrong_owner = next(
+        a for a in victim.protocol.authorities
+        if a != victim.protocol.slot_owner(step)
+    )
+    forged = Block.build(
+        height=victim.chain().height + 1,
+        parent_hash=victim.chain().tip.hash,
+        transactions=[],
+        state_root=EMPTY_HASH,
+        proposer=wrong_owner,
+        timestamp=sched.now,
+        consensus_meta={"step": str(step), "sealer": wrong_owner},
+    )
+    victim.protocol.on_message("poa/block", forged, wrong_owner)
+    assert victim.chain().height == height_before
+
+
+def test_missing_seal_metadata_rejected():
+    sched, net, nodes = build_cluster(3, poa_factory())
+    victim = nodes[0]
+    bare = Block.build(
+        height=1,
+        parent_hash=victim.chain().tip.hash,
+        transactions=[],
+        state_root=EMPTY_HASH,
+        proposer="nobody",
+        timestamp=0.5,
+    )
+    victim.protocol.on_message("poa/block", bare, "n1")
+    assert victim.chain().height == 0
+
+
+def test_crashed_authority_slots_are_skipped():
+    sched, net, nodes = build_cluster(4, poa_factory())
+    sched.run_until(4.2)
+    nodes[0].crash()
+    sched.run_until(20.2)
+    # Remaining three authorities seal 3 of every 4 slots.
+    height = nodes[1].chain().height
+    assert 11 <= height <= 16
+
+
+def test_stop_stops_sealing():
+    sched, net, nodes = build_cluster(1, poa_factory())
+    sched.run_until(5.5)
+    height = nodes[0].chain().height
+    nodes[0].protocol.stop()
+    sched.run_until(20.0)
+    assert nodes[0].chain().height == height

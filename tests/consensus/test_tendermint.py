@@ -1,0 +1,237 @@
+"""Unit tests for Tendermint: rounds, quorum math, locking, liveness."""
+
+from repro.consensus import Tendermint, TendermintConfig
+
+from .harness import build_cluster, make_tx, submit_everywhere
+
+FAST = TendermintConfig(
+    max_txs_per_block=10,
+    tick_interval=0.1,
+    commit_interval=0.1,
+    propose_timeout=1.0,
+    prevote_timeout=0.8,
+    precommit_timeout=0.8,
+)
+
+
+def tm_factory(config=FAST):
+    def factory(node, all_ids):
+        return Tendermint(node, config, validators=all_ids)
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Quorum math
+# ---------------------------------------------------------------------------
+def test_quorum_is_strict_two_thirds():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    protocol = nodes[0].protocol
+    assert protocol.n == 4
+    assert protocol.f == 1
+    assert protocol.quorum == 3  # > 2/3 of 4
+
+    sched, net, nodes = build_cluster(7, tm_factory())
+    assert nodes[0].protocol.f == 2
+    assert nodes[0].protocol.quorum == 5
+
+    sched, net, nodes = build_cluster(12, tm_factory())
+    assert nodes[0].protocol.f == 3
+    assert nodes[0].protocol.quorum == 9
+
+
+def test_proposer_rotates_with_height_and_round():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    protocol = nodes[0].protocol
+    ids = protocol.validators
+    assert protocol.proposer_of(1, 0) == ids[1]
+    assert protocol.proposer_of(1, 1) == ids[2]
+    assert protocol.proposer_of(2, 0) == ids[2]
+    assert protocol.proposer_of(5, 3) == ids[(5 + 3) % 4]
+
+
+# ---------------------------------------------------------------------------
+# Happy path
+# ---------------------------------------------------------------------------
+def test_block_commits_everywhere():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    submit_everywhere(nodes, [make_tx(i) for i in range(10)])
+    sched.run_until(5.0)
+    for node in nodes:
+        assert node.chain().height == 1
+        assert len(node.chain().tip.transactions) == 10
+    assert len({n.chain().tip.hash for n in nodes}) == 1
+
+
+def test_multiple_blocks_ordered_identically():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    submit_everywhere(nodes, [make_tx(i) for i in range(55)])
+    sched.run_until(20.0)
+    orders = []
+    for node in nodes:
+        order = [
+            tx.tx_id for b in node.chain().main_branch() for tx in b.transactions
+        ]
+        orders.append(order)
+    assert len(orders[0]) == 55
+    assert all(order == orders[0] for order in orders)
+
+
+def test_no_forks_ever():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    submit_everywhere(nodes, [make_tx(i) for i in range(100)])
+    sched.run_until(30.0)
+    assert all(node.chain().fork_blocks == 0 for node in nodes)
+
+
+def test_finality_is_immediate():
+    """confirmed_height tracks the chain tip: no confirmation depth."""
+    sched, net, nodes = build_cluster(4, tm_factory())
+    submit_everywhere(nodes, [make_tx(i) for i in range(5)])
+    sched.run_until(5.0)
+    for node in nodes:
+        assert node.protocol.confirmed_height() == node.chain().height
+
+
+def test_idle_network_stays_quiet():
+    """No pending work => no rounds, no votes (create_empty_blocks=false)."""
+    sched, net, nodes = build_cluster(4, tm_factory())
+    sched.run_until(10.0)
+    for node in nodes:
+        assert node.chain().height == 0
+        assert node.protocol.rounds_started == 0
+
+
+# ---------------------------------------------------------------------------
+# Round skipping and crash tolerance
+# ---------------------------------------------------------------------------
+def test_crashed_proposer_costs_one_round():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    # Height 1 round 0 proposer is validators[1].
+    proposer = next(
+        n for n in nodes if n.node_id == nodes[0].protocol.proposer_of(1, 0)
+    )
+    proposer.crash()
+    alive = [n for n in nodes if n is not proposer]
+    submit_everywhere(alive, [make_tx(i) for i in range(10)])
+    sched.run_until(15.0)
+    for node in alive:
+        assert node.chain().height >= 1
+    # The commit happened in a round > 0 (the dead proposer's round timed out).
+    committed = alive[0].chain().block_by_height(1)
+    assert int(committed.header.meta("round", "0")) >= 1
+
+
+def test_tolerates_f_crashes():
+    sched, net, nodes = build_cluster(7, tm_factory())  # f = 2
+    nodes[0].crash()
+    nodes[1].crash()
+    alive = nodes[2:]
+    submit_everywhere(alive, [make_tx(i) for i in range(20)])
+    sched.run_until(30.0)
+    for node in alive:
+        assert node.chain().height >= 1
+    assert len({n.chain().tip.hash for n in alive}) == 1
+
+
+def test_halts_beyond_f_crashes_but_stays_safe():
+    sched, net, nodes = build_cluster(4, tm_factory())  # f = 1, quorum 3
+    nodes[0].crash()
+    nodes[1].crash()
+    alive = nodes[2:]
+    submit_everywhere(alive, [make_tx(i) for i in range(5)])
+    sched.run_until(20.0)
+    # 2 of 4 alive < quorum 3: no commit, and no divergence either.
+    for node in alive:
+        assert node.chain().height == 0
+        assert node.chain().fork_blocks == 0
+
+
+def test_rounds_escalate_while_blocked():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    nodes[0].crash()
+    nodes[1].crash()
+    alive = nodes[2:]
+    submit_everywhere(alive, [make_tx(0)])
+    sched.run_until(20.0)
+    # Liveness machinery keeps trying: rounds advance past 0.
+    assert all(n.protocol.round >= 1 for n in alive)
+
+
+# ---------------------------------------------------------------------------
+# Partitions: safety across a network split
+# ---------------------------------------------------------------------------
+def test_minority_partition_cannot_commit():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    ids = [n.node_id for n in nodes]
+    net.partition([ids[:1], ids[1:]])
+    submit_everywhere(nodes, [make_tx(i) for i in range(10)])
+    sched.run_until(10.0)
+    minority = nodes[0]
+    majority = nodes[1:]
+    assert minority.chain().height == 0
+    for node in majority:
+        assert node.chain().height >= 1
+
+
+def test_even_split_halts_without_forking():
+    """Neither half of a 4-validator split reaches quorum 3."""
+    sched, net, nodes = build_cluster(4, tm_factory())
+    ids = [n.node_id for n in nodes]
+    net.partition([ids[:2], ids[2:]])
+    submit_everywhere(nodes, [make_tx(i) for i in range(10)])
+    sched.run_until(15.0)
+    for node in nodes:
+        assert node.chain().height == 0
+        assert node.chain().fork_blocks == 0
+
+
+def test_partition_heals_and_stragglers_catch_up():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    ids = [n.node_id for n in nodes]
+    net.partition([ids[:1], ids[1:]])
+    submit_everywhere(nodes, [make_tx(i) for i in range(10)])
+    sched.run_until(10.0)
+    net.heal()
+    # New work after heal carries higher-height votes to the straggler,
+    # which triggers its sync path.
+    submit_everywhere(nodes, [make_tx(i) for i in range(100, 110)])
+    sched.run_until(40.0)
+    heights = [n.chain().height for n in nodes]
+    assert min(heights) >= 1
+    tips = {n.chain().block_by_height(min(heights)).hash for n in nodes}
+    assert len(tips) == 1
+
+
+# ---------------------------------------------------------------------------
+# Locking
+# ---------------------------------------------------------------------------
+def test_lock_is_released_after_commit():
+    sched, net, nodes = build_cluster(4, tm_factory())
+    submit_everywhere(nodes, [make_tx(i) for i in range(10)])
+    sched.run_until(5.0)
+    for node in nodes:
+        assert node.protocol.locked_block is None
+        assert node.protocol.locked_round == -1
+
+
+def test_determinism_same_seed_same_chain():
+    def run(seed):
+        sched, net, nodes = build_cluster(4, tm_factory(), seed=seed)
+        submit_everywhere(nodes, [make_tx(i) for i in range(30)])
+        sched.run_until(15.0)
+        return [b.hash for b in nodes[0].chain().main_branch()]
+
+    assert run(7) == run(7)
+
+
+def test_vote_messages_are_quadratic():
+    """Two all-to-all vote phases: O(N^2) control messages per decision."""
+    counts = {}
+    for n in (4, 8):
+        sched, net, nodes = build_cluster(n, tm_factory())
+        submit_everywhere(nodes, [make_tx(0)])
+        sched.run_until(5.0)
+        counts[n] = net.stats.messages_sent
+    # Doubling N should far more than double message count.
+    assert counts[8] > 3 * counts[4]

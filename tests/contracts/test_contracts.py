@@ -1,0 +1,372 @@
+"""Unit tests for every Table-1 contract."""
+
+import pytest
+
+from repro.contracts import (
+    DictState,
+    DoublerContract,
+    EtherIdContract,
+    KVStoreContract,
+    SmallbankContract,
+    TxContext,
+    VersionKVStoreContract,
+    WavesPresaleContract,
+    available_contracts,
+    create_contract,
+)
+from repro.contracts.micro import CPUHeavyContract, DoNothingContract, IOHeavyContract
+from repro.errors import ContractRevert
+
+
+@pytest.fixture
+def state():
+    return DictState()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_registry_lists_all_table1_contracts():
+    names = available_contracts()
+    assert names == sorted(
+        [
+            "kvstore",
+            "smallbank",
+            "etherid",
+            "doubler",
+            "wavespresale",
+            "versionkv",
+            "ioheavy",
+            "cpuheavy",
+            "donothing",
+        ]
+    )
+
+
+def test_registry_creates_instances():
+    assert isinstance(create_contract("kvstore"), KVStoreContract)
+
+
+def test_registry_unknown_contract():
+    with pytest.raises(ContractRevert):
+        create_contract("bogus")
+
+
+def test_unknown_function_reverts(state):
+    with pytest.raises(ContractRevert):
+        KVStoreContract().invoke(state, "explode", ())
+
+
+# ---------------------------------------------------------------------------
+# KVStore
+# ---------------------------------------------------------------------------
+def test_kvstore_write_read_delete(state):
+    kv = KVStoreContract()
+    kv.invoke(state, "write", ("user1", "payload"))
+    assert kv.invoke(state, "read", ("user1",)).output == "payload"
+    kv.invoke(state, "delete", ("user1",))
+    assert kv.invoke(state, "read", ("user1",)).output is None
+
+
+def test_kvstore_rmw_requires_existing(state):
+    kv = KVStoreContract()
+    with pytest.raises(ContractRevert):
+        kv.invoke(state, "read_modify_write", ("missing", "v"))
+    kv.invoke(state, "write", ("k", "v1"))
+    kv.invoke(state, "read_modify_write", ("k", "v2"))
+    assert kv.invoke(state, "read", ("k",)).output == "v2"
+
+
+def test_kvstore_gas_write_exceeds_read(state):
+    kv = KVStoreContract()
+    write_gas = kv.invoke(state, "write", ("k", "v")).gas_used
+    read_gas = kv.invoke(state, "read", ("k",)).gas_used
+    assert write_gas > read_gas
+
+
+# ---------------------------------------------------------------------------
+# Smallbank
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def bank_state(state):
+    bank = SmallbankContract()
+    bank.invoke(state, "create_account", ("alice", 100, 50))
+    bank.invoke(state, "create_account", ("bob", 0, 10))
+    return state
+
+
+def test_smallbank_balance(bank_state):
+    bank = SmallbankContract()
+    assert bank.invoke(bank_state, "balance", ("alice",)).output == 150
+
+
+def test_smallbank_deposit_checking(bank_state):
+    bank = SmallbankContract()
+    assert bank.invoke(bank_state, "deposit_checking", ("bob", 5)).output == 15
+    with pytest.raises(ContractRevert):
+        bank.invoke(bank_state, "deposit_checking", ("bob", -1))
+
+
+def test_smallbank_transact_savings_overdraft(bank_state):
+    bank = SmallbankContract()
+    assert bank.invoke(bank_state, "transact_savings", ("alice", -100)).output == 0
+    with pytest.raises(ContractRevert):
+        bank.invoke(bank_state, "transact_savings", ("alice", -1))
+
+
+def test_smallbank_send_payment(bank_state):
+    bank = SmallbankContract()
+    bank.invoke(bank_state, "send_payment", ("alice", "bob", 30))
+    assert bank.invoke(bank_state, "balance", ("bob",)).output == 40
+    assert bank.invoke(bank_state, "balance", ("alice",)).output == 120
+    with pytest.raises(ContractRevert):
+        bank.invoke(bank_state, "send_payment", ("alice", "bob", 10_000))
+
+
+def test_smallbank_money_conserved_by_payment(bank_state):
+    bank = SmallbankContract()
+    total_before = (
+        bank.invoke(bank_state, "balance", ("alice",)).output
+        + bank.invoke(bank_state, "balance", ("bob",)).output
+    )
+    bank.invoke(bank_state, "send_payment", ("alice", "bob", 17))
+    total_after = (
+        bank.invoke(bank_state, "balance", ("alice",)).output
+        + bank.invoke(bank_state, "balance", ("bob",)).output
+    )
+    assert total_before == total_after
+
+
+def test_smallbank_write_check_penalty(bank_state):
+    bank = SmallbankContract()
+    # alice total 150; check for 200 overdraws with a 1-unit penalty.
+    checking = bank.invoke(bank_state, "write_check", ("alice", 200)).output
+    assert checking == 50 - 200 - 1
+
+
+def test_smallbank_amalgamate(bank_state):
+    bank = SmallbankContract()
+    bank.invoke(bank_state, "amalgamate", ("alice", "bob"))
+    assert bank.invoke(bank_state, "balance", ("alice",)).output == 0
+    assert bank.invoke(bank_state, "balance", ("bob",)).output == 160
+
+
+def test_smallbank_more_expensive_than_ycsb(state):
+    """The execution-layer cost gap behind Section 4.1.1's observation.
+
+    Both workloads run against preloaded records (as the benchmarks
+    do), so the comparison is update-vs-update, not insert-vs-update.
+    """
+    kv = KVStoreContract()
+    kv.invoke(state, "write", ("k", "v0"))  # preload
+    kv_gas = kv.invoke(state, "write", ("k", "v1")).gas_used
+    bank = SmallbankContract()
+    bank.invoke(state, "create_account", ("a", 10, 10))
+    bank.invoke(state, "create_account", ("b", 10, 10))
+    pay_gas = bank.invoke(state, "send_payment", ("a", "b", 1)).gas_used
+    assert pay_gas > kv_gas
+
+
+# ---------------------------------------------------------------------------
+# EtherId
+# ---------------------------------------------------------------------------
+def test_etherid_register_and_lookup(state):
+    reg = EtherIdContract()
+    ctx = TxContext(sender="alice")
+    reg.invoke(state, "register", ("nus.edu", "ip=1.2.3.4"), ctx)
+    record = reg.invoke(state, "lookup", ("nus.edu",)).output
+    assert record["owner"] == "alice"
+    with pytest.raises(ContractRevert):
+        reg.invoke(state, "register", ("nus.edu",), TxContext(sender="bob"))
+
+
+def test_etherid_only_owner_modifies(state):
+    reg = EtherIdContract()
+    reg.invoke(state, "register", ("d.com",), TxContext(sender="alice"))
+    with pytest.raises(ContractRevert):
+        reg.invoke(state, "set_value", ("d.com", "x"), TxContext(sender="bob"))
+    reg.invoke(state, "set_value", ("d.com", "x"), TxContext(sender="alice"))
+    assert reg.invoke(state, "lookup", ("d.com",)).output["value"] == "x"
+
+
+def test_etherid_paid_transfer(state):
+    reg = EtherIdContract()
+    alice, bob = TxContext(sender="alice"), TxContext(sender="bob")
+    reg.invoke(state, "fund", ("bob", 100))
+    reg.invoke(state, "register", ("d.com",), alice)
+    reg.invoke(state, "set_price", ("d.com", 60), alice)
+    reg.invoke(state, "buy", ("d.com",), bob)
+    record = reg.invoke(state, "lookup", ("d.com",)).output
+    assert record["owner"] == "bob"
+    assert reg.invoke(state, "balance_of", ("bob",)).output == 40
+    assert reg.invoke(state, "balance_of", ("alice",)).output == 60
+
+
+def test_etherid_buy_requires_funds_and_sale(state):
+    reg = EtherIdContract()
+    reg.invoke(state, "register", ("d.com",), TxContext(sender="alice"))
+    with pytest.raises(ContractRevert, match="not for sale"):
+        reg.invoke(state, "buy", ("d.com",), TxContext(sender="bob"))
+    reg.invoke(state, "set_price", ("d.com", 60), TxContext(sender="alice"))
+    with pytest.raises(ContractRevert, match="insufficient"):
+        reg.invoke(state, "buy", ("d.com",), TxContext(sender="bob"))
+
+
+# ---------------------------------------------------------------------------
+# Doubler
+# ---------------------------------------------------------------------------
+def test_doubler_pays_early_participants(state):
+    doubler = DoublerContract()
+    doubler.invoke(state, "enter", (), TxContext(sender="p0", value=100))
+    paid = doubler.invoke(state, "enter", (), TxContext(sender="p1", value=150)).output
+    # Pot = 250 >= 2*100: p0 paid out.
+    assert paid == ["p0"]
+    assert doubler.invoke(state, "payout_of", ("p0",)).output == 200
+    assert doubler.invoke(state, "pot_balance", ()).output == 50
+
+
+def test_doubler_requires_positive_value(state):
+    with pytest.raises(ContractRevert):
+        DoublerContract().invoke(state, "enter", (), TxContext(sender="p", value=0))
+
+
+def test_doubler_participant_count(state):
+    doubler = DoublerContract()
+    for i in range(5):
+        doubler.invoke(state, "enter", (), TxContext(sender=f"p{i}", value=10))
+    assert doubler.invoke(state, "participant_count", ()).output == 5
+
+
+def test_doubler_is_a_ponzi(state):
+    """Later participants cannot all be made whole — the defining flaw."""
+    doubler = DoublerContract()
+    for i in range(10):
+        doubler.invoke(state, "enter", (), TxContext(sender=f"p{i}", value=100))
+    paid = sum(
+        doubler.invoke(state, "payout_of", (f"p{i}",)).output for i in range(10)
+    )
+    pot = doubler.invoke(state, "pot_balance", ()).output
+    assert paid + pot == 1000  # money conserved
+    assert doubler.invoke(state, "payout_of", ("p9",)).output == 0  # last one loses
+
+
+# ---------------------------------------------------------------------------
+# WavesPresale
+# ---------------------------------------------------------------------------
+def test_presale_records_and_totals(state):
+    presale = WavesPresaleContract()
+    sid = presale.invoke(state, "new_sale", (500,), TxContext(sender="a")).output
+    presale.invoke(state, "new_sale", (250,), TxContext(sender="b"))
+    assert presale.invoke(state, "total_tokens", ()).output == 750
+    assert presale.invoke(state, "sale_count", ()).output == 2
+    assert presale.invoke(state, "get_sale", (sid,)).output["buyer"] == "a"
+
+
+def test_presale_transfer_ownership(state):
+    presale = WavesPresaleContract()
+    sid = presale.invoke(state, "new_sale", (10,), TxContext(sender="a")).output
+    with pytest.raises(ContractRevert):
+        presale.invoke(state, "transfer_sale", (sid, "c"), TxContext(sender="b"))
+    presale.invoke(state, "transfer_sale", (sid, "c"), TxContext(sender="a"))
+    assert presale.invoke(state, "get_sale", (sid,)).output["buyer"] == "c"
+
+
+def test_presale_rejects_nonpositive(state):
+    with pytest.raises(ContractRevert):
+        WavesPresaleContract().invoke(state, "new_sale", (0,), TxContext(sender="a"))
+
+
+def test_presale_unknown_sale(state):
+    presale = WavesPresaleContract()
+    assert presale.invoke(state, "get_sale", (99,)).output is None
+    with pytest.raises(ContractRevert):
+        presale.invoke(state, "transfer_sale", (99, "x"), TxContext(sender="a"))
+
+
+# ---------------------------------------------------------------------------
+# VersionKVStore (Figure 20)
+# ---------------------------------------------------------------------------
+def test_versionkv_send_value_and_balances(state):
+    vkv = VersionKVStoreContract()
+    ctx = TxContext(sender="s", block_height=5)
+    vkv.invoke(state, "send_value", ("acc1", "acc2", 30), ctx)
+    assert vkv.invoke(state, "balance_of", ("acc1",)).output == -30
+    assert vkv.invoke(state, "balance_of", ("acc2",)).output == 30
+
+
+def test_versionkv_block_txn_list(state):
+    vkv = VersionKVStoreContract()
+    vkv.invoke(state, "send_value", ("a", "b", 1), TxContext(block_height=3))
+    vkv.invoke(state, "send_value", ("c", "d", 2), TxContext(block_height=3))
+    txns = vkv.invoke(state, "block_txn_list", (3,)).output
+    assert [t["val"] for t in txns] == [1, 2]
+    assert vkv.invoke(state, "block_txn_list", (9,)).output == []
+
+
+def test_versionkv_account_block_range(state):
+    vkv = VersionKVStoreContract()
+    for height, amount in [(1, 10), (3, 20), (5, 30), (9, 40)]:
+        vkv.invoke(
+            state, "send_value", ("x", "acc", amount), TxContext(block_height=height)
+        )
+    versions = vkv.invoke(state, "account_block_range", ("acc", 3, 9)).output
+    # Versions committed at blocks 3 and 5 (range is [start, end)).
+    assert [v["commit_block"] for v in versions] == [5, 3]
+    assert [v["balance"] for v in versions] == [60, 30]
+
+
+def test_versionkv_rejects_negative(state):
+    with pytest.raises(ContractRevert):
+        VersionKVStoreContract().invoke(
+            state, "send_value", ("a", "b", -5), TxContext()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Micro contracts
+# ---------------------------------------------------------------------------
+def test_ioheavy_write_read(state):
+    io = IOHeavyContract()
+    assert io.invoke(state, "write_batch", (0, 100)).output == 100
+    assert io.invoke(state, "read_batch", (0, 100)).output == 100
+    assert io.invoke(state, "read_batch", (100, 50)).output == 0
+    assert io.invoke(state, "scan_verify", (0, 100)).output is True
+
+
+def test_ioheavy_gas_scales_with_batch(state):
+    io = IOHeavyContract()
+    small = io.invoke(state, "write_batch", (0, 10)).gas_used
+    big = io.invoke(state, "write_batch", (1000, 100)).gas_used
+    assert big > small * 5
+
+
+def test_cpuheavy_sorts(state):
+    cpu = CPUHeavyContract()
+    result = cpu.invoke(state, "sort", (1000,))
+    assert result.output == 1
+    assert result.gas_used > 100_000
+
+
+def test_cpuheavy_rejects_zero(state):
+    with pytest.raises(ContractRevert):
+        CPUHeavyContract().invoke(state, "sort", (0,))
+
+
+def test_donothing_minimal_gas(state):
+    result = DoNothingContract().invoke(state, "nop", ())
+    assert result.output is True
+    assert result.reads == 0
+    assert result.writes == 0
+
+
+def test_gas_ordering_across_contracts(state):
+    """DoNothing < YCSB update < Smallbank payment (Figure 13c's premise)."""
+    nop = DoNothingContract().invoke(state, "nop", ()).gas_used
+    kv = KVStoreContract()
+    kv.invoke(state, "write", ("k", "v0"))  # preload
+    write = kv.invoke(state, "write", ("k", "v1")).gas_used
+    bank = SmallbankContract()
+    bank.invoke(state, "create_account", ("a", 10, 10))
+    bank.invoke(state, "create_account", ("b", 10, 10))
+    pay = bank.invoke(state, "send_payment", ("a", "b", 1)).gas_used
+    assert nop < write < pay

@@ -1,0 +1,87 @@
+"""CSV export tests (plot-ready series for the paper's figures)."""
+
+import csv
+
+from repro.core import (
+    StatsCollector,
+    export_commit_series,
+    export_latency_cdf,
+    export_queue_series,
+    export_summary,
+    write_csv,
+)
+
+
+def _collector() -> StatsCollector:
+    stats = StatsCollector("hyperledger", "ycsb")
+    stats.begin(0.0)
+    for i in range(10):
+        stats.record_submission()
+        stats.record_confirmation(float(i), float(i) + 0.5 + 0.05 * i)
+        stats.record_queue_length(float(i), 10 - i)
+    stats.finish(10.0)
+    return stats
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_write_csv_creates_parents(tmp_path):
+    target = tmp_path / "nested" / "dir" / "out.csv"
+    written = write_csv(target, ["a", "b"], [[1, 2], [3, 4]])
+    assert written == target
+    assert _read(target) == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_export_summary_one_row_per_run(tmp_path):
+    stats = _collector()
+    path = export_summary(tmp_path / "summary.csv", [stats.summary()])
+    rows = _read(path)
+    assert rows[0][0] == "platform"
+    assert len(rows) == 2
+    record = dict(zip(rows[0], rows[1]))
+    assert record["platform"] == "hyperledger"
+    assert record["workload"] == "ycsb"
+    assert int(record["confirmed"]) == 10
+    assert float(record["throughput_tx_s"]) > 0
+
+
+def test_export_queue_series_matches_samples(tmp_path):
+    stats = _collector()
+    path = export_queue_series(tmp_path / "queue.csv", stats)
+    rows = _read(path)
+    assert rows[0] == ["time_s", "queue_length"]
+    assert len(rows) == 1 + len(stats.queue_samples)
+    assert [float(rows[1][0]), int(rows[1][1])] == [0.0, 10]
+
+
+def test_export_latency_cdf_reaches_one(tmp_path):
+    stats = _collector()
+    path = export_latency_cdf(tmp_path / "cdf.csv", stats, points=10)
+    rows = _read(path)
+    assert rows[0] == ["latency_s", "cumulative_fraction"]
+    fractions = [float(r[1]) for r in rows[1:]]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+
+
+def test_export_commit_series_buckets_all_commits(tmp_path):
+    stats = _collector()
+    path = export_commit_series(tmp_path / "commits.csv", stats, bucket_s=2.0)
+    rows = _read(path)
+    assert rows[0] == ["bucket_start_s", "commits"]
+    assert sum(int(r[1]) for r in rows[1:]) == 10
+
+
+def test_export_empty_collector_safe(tmp_path):
+    stats = StatsCollector("parity", "ycsb")
+    stats.begin(0.0)
+    stats.finish(1.0)
+    assert _read(export_queue_series(tmp_path / "q.csv", stats)) == [
+        ["time_s", "queue_length"]
+    ]
+    assert _read(export_commit_series(tmp_path / "c.csv", stats)) == [
+        ["bucket_start_s", "commits"]
+    ]

@@ -1,0 +1,132 @@
+"""Tests for fault injection and the partition-attack security metric."""
+
+import pytest
+
+from repro.core import (
+    CorruptionFault,
+    CrashFault,
+    DelayFault,
+    Driver,
+    DriverConfig,
+    FaultSchedule,
+    PartitionFault,
+    run_partition_attack,
+)
+from repro.platforms import build_cluster
+from repro.workloads import DoNothingWorkload
+
+
+def test_crash_fault_fires_at_time():
+    cluster = build_cluster("hyperledger", 4, seed=11)
+    schedule = FaultSchedule(crashes=[CrashFault(at_time=5.0, count=1)])
+    schedule.arm(cluster)
+    cluster.run_until(4.9)
+    assert len(cluster.alive_nodes()) == 4
+    cluster.run_until(5.1)
+    assert len(cluster.alive_nodes()) == 3
+    assert len(schedule.crashed_node_ids) == 1
+    cluster.close()
+
+
+def test_delay_fault_window():
+    cluster = build_cluster("ethereum", 2, seed=11)
+    schedule = FaultSchedule(delays=[DelayFault(2.0, 4.0, extra_s=0.5)])
+    schedule.arm(cluster)
+    cluster.run_until(3.0)
+    assert cluster.network._extra_delay == 0.5
+    cluster.run_until(5.0)
+    assert cluster.network._extra_delay == 0.0
+    cluster.close()
+
+
+def test_corruption_fault_window():
+    cluster = build_cluster("ethereum", 2, seed=11)
+    schedule = FaultSchedule(corruptions=[CorruptionFault(1.0, 3.0, rate=0.5)])
+    schedule.arm(cluster)
+    cluster.run_until(2.0)
+    assert cluster.network._corruption_rate == 0.5
+    cluster.run_until(4.0)
+    assert cluster.network._corruption_rate == 0.0
+    cluster.close()
+
+
+def test_partition_fault_window():
+    cluster = build_cluster("ethereum", 4, seed=11)
+    schedule = FaultSchedule(partitions=[PartitionFault(2.0, 6.0)])
+    schedule.arm(cluster)
+    cluster.run_until(3.0)
+    assert cluster.network.partitioned("server-0", "server-3")
+    cluster.run_until(7.0)
+    assert not cluster.network.partitioned("server-0", "server-3")
+    cluster.close()
+
+
+def test_figure9_pbft_halts_after_excess_crashes():
+    """12 servers, 4 crashed: quorum 9 > 8 alive, so commits stop."""
+    cluster = build_cluster("hyperledger", 12, seed=11)
+    driver = Driver(
+        cluster,
+        DoNothingWorkload(),
+        DriverConfig(n_clients=4, request_rate_tx_s=20, duration_s=40),
+    )
+    driver.prepare()
+    FaultSchedule(crashes=[CrashFault(at_time=20.0, count=4)]).arm(cluster)
+    stats = driver.run()
+    late = [t for t in stats.confirm_times if t > 25.0]
+    early = [t for t in stats.confirm_times if t <= 20.0]
+    assert early  # it worked before the crash
+    assert not late  # and halted after
+    cluster.close()
+
+
+@pytest.mark.slow
+def test_figure10_pow_forks_pbft_does_not():
+    """Partition attack: Ethereum forks, Hyperledger never does."""
+    results = {}
+    for platform in ("ethereum", "hyperledger"):
+        cluster = build_cluster(platform, 4, seed=13)
+        driver = Driver(
+            cluster,
+            DoNothingWorkload(),
+            DriverConfig(n_clients=4, request_rate_tx_s=20, duration_s=90),
+        )
+        driver.prepare()
+        for client in driver.clients:
+            client.start(90.0)
+        report = run_partition_attack(
+            cluster,
+            attack_start=20.0,
+            attack_duration=40.0,
+            total_duration=100.0,
+            sample_interval=5.0,
+        )
+        results[platform] = report
+        cluster.close()
+    assert results["ethereum"].final_fork_blocks() > 0
+    assert results["ethereum"].fork_ratio() < 1.0
+    assert results["hyperledger"].final_fork_blocks() == 0
+    assert results["hyperledger"].fork_ratio() == 1.0
+
+
+def test_attack_report_metrics():
+    from repro.core.security import AttackReport, ForkSample
+
+    report = AttackReport(
+        samples=[
+            ForkSample(10.0, 10, 10),
+            ForkSample(20.0, 20, 15),
+            ForkSample(30.0, 30, 24),
+        ]
+    )
+    assert report.final_fork_blocks() == 6
+    assert report.fork_ratio() == 24 / 30
+    assert report.peak_fork_fraction() == 5 / 20  # worst sample
+
+
+def test_attack_report_empty():
+    from repro.core.security import AttackReport
+
+    report = AttackReport()
+    assert report.fork_ratio() == 1.0
+    assert report.final_fork_blocks() == 0
+    assert report.peak_fork_fraction() == 0.0

@@ -1,0 +1,34 @@
+"""Unit tests for report formatting."""
+
+from repro.core import SUMMARY_HEADERS, StatsCollector, format_table, summary_row
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+    lines = table.splitlines()
+    assert lines[0].startswith("+")
+    assert "| a " in lines[1]
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows same width
+
+
+def test_format_table_title():
+    table = format_table(["x"], [[1]], title="My Title")
+    assert table.splitlines()[0] == "My Title"
+
+
+def test_float_rendering():
+    table = format_table(["v"], [[1234.5], [0.1234], [3.14159], [0.0]])
+    assert "1,235" in table or "1,234" in table
+    assert "0.1234" in table
+    assert "3.14" in table
+
+
+def test_summary_row_matches_headers():
+    collector = StatsCollector("eth", "ycsb")
+    collector.begin(0.0)
+    collector.finish(10.0)
+    row = summary_row(collector.summary())
+    assert len(row) == len(SUMMARY_HEADERS)
+    assert row[0] == "eth"
+    assert row[1] == "ycsb"

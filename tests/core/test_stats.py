@@ -1,0 +1,92 @@
+"""Unit tests for the stats collector."""
+
+from repro.core import StatsCollector, merge_collectors
+
+
+def make_collector(latencies, start=0.0, end=10.0):
+    collector = StatsCollector("p", "w")
+    collector.begin(start)
+    for i, latency in enumerate(latencies):
+        collector.record_submission()
+        collector.record_confirmation(float(i), float(i) + latency)
+    collector.finish(end)
+    return collector
+
+
+def test_throughput():
+    collector = make_collector([0.1] * 50, end=10.0)
+    assert collector.throughput() == 5.0
+
+
+def test_latency_stats():
+    collector = make_collector([1.0, 2.0, 3.0, 4.0])
+    assert collector.latency_avg() == 2.5
+    assert collector.latency_percentile(50) == 2.0
+    assert collector.latency_percentile(100) == 4.0
+
+
+def test_empty_collector_safe():
+    collector = StatsCollector()
+    assert collector.throughput() == 0.0
+    assert collector.latency_avg() == 0.0
+    assert collector.latency_percentile(99) == 0.0
+    assert collector.latency_cdf() == []
+    assert collector.commits_per_bucket() == []
+    assert collector.final_queue_length() == 0
+
+
+def test_cdf_monotone_and_complete():
+    collector = make_collector([float(i) for i in range(1, 101)])
+    cdf = collector.latency_cdf(points=10)
+    fractions = [f for _, f in cdf]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+    latencies = [l for l, _ in cdf]
+    assert latencies == sorted(latencies)
+
+
+def test_commits_per_bucket():
+    collector = StatsCollector()
+    collector.begin(0.0)
+    for t in [0.1, 0.5, 1.2, 2.9, 2.95]:
+        collector.record_confirmation(0.0, t)
+    collector.finish(3.0)
+    buckets = dict(collector.commits_per_bucket(1.0))
+    assert buckets[0.0] == 2
+    assert buckets[1.0] == 1
+    assert buckets[2.0] == 2
+
+
+def test_queue_samples():
+    collector = StatsCollector()
+    collector.record_queue_length(1.0, 5)
+    collector.record_queue_length(2.0, 8)
+    assert collector.final_queue_length() == 8
+
+
+def test_summary_fields():
+    collector = make_collector([1.0, 3.0], end=4.0)
+    collector.record_rejection()
+    summary = collector.summary()
+    assert summary.confirmed == 2
+    assert summary.submitted == 2
+    assert summary.rejected == 1
+    assert summary.throughput_tx_s == 0.5
+    assert summary.latency_avg_s == 2.0
+
+
+def test_merge_collectors():
+    a = make_collector([1.0] * 10, start=0.0, end=10.0)
+    b = make_collector([2.0] * 10, start=0.0, end=12.0)
+    a.record_queue_length(5.0, 3)
+    b.record_queue_length(5.0, 4)
+    merged = merge_collectors([a, b])
+    assert merged.confirmed == 20
+    assert merged.latency_avg() == 1.5
+    assert merged.duration() == 12.0
+    assert merged.queue_samples == [(5.0, 7)]
+
+
+def test_merge_empty_list():
+    merged = merge_collectors([])
+    assert merged.confirmed == 0

@@ -1,0 +1,122 @@
+"""Unit and property tests for the Bucket-Merkle tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import BucketTree
+from repro.errors import StorageError
+
+
+def test_empty_roots_equal():
+    assert BucketTree(16).root_hash() == BucketTree(16).root_hash()
+
+
+def test_put_changes_root():
+    tree = BucketTree(16)
+    r0 = tree.root_hash()
+    tree.put(b"k", b"v")
+    assert tree.root_hash() != r0
+
+
+def test_get_put_delete():
+    tree = BucketTree(16)
+    tree.put(b"k", b"v")
+    assert tree.get(b"k") == b"v"
+    tree.delete(b"k")
+    assert tree.get(b"k") is None
+
+
+def test_delete_restores_empty_root():
+    tree = BucketTree(16)
+    r0 = tree.root_hash()
+    tree.put(b"k", b"v")
+    tree.delete(b"k")
+    assert tree.root_hash() == r0
+
+
+def test_delete_missing_is_noop():
+    tree = BucketTree(16)
+    tree.put(b"a", b"1")
+    r = tree.root_hash()
+    tree.delete(b"missing")
+    assert tree.root_hash() == r
+    assert tree.key_count == 1
+
+
+def test_key_count_tracks_distinct_keys():
+    tree = BucketTree(16)
+    tree.put(b"a", b"1")
+    tree.put(b"a", b"2")  # overwrite, not a new key
+    tree.put(b"b", b"1")
+    assert tree.key_count == 2
+
+
+def test_items_sorted_within_buckets():
+    tree = BucketTree(4)
+    for i in range(20):
+        tree.put(f"k{i}".encode(), b"v")
+    items = tree.items()
+    assert len(items) == 20
+
+
+def test_non_power_of_two_bucket_count():
+    tree = BucketTree(10)
+    for i in range(40):
+        tree.put(f"k{i}".encode(), str(i).encode())
+    for i in range(40):
+        assert tree.get(f"k{i}".encode()) == str(i).encode()
+    assert isinstance(tree.root_hash(), bytes)
+
+
+def test_invalid_bucket_count():
+    with pytest.raises(StorageError):
+        BucketTree(0)
+
+
+def test_single_bucket_tree():
+    tree = BucketTree(1)
+    tree.put(b"a", b"1")
+    tree.put(b"b", b"2")
+    assert tree.get(b"a") == b"1"
+    r = tree.root_hash()
+    tree.put(b"c", b"3")
+    assert tree.root_hash() != r
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=8), st.binary(max_size=8), max_size=30))
+def test_property_root_content_deterministic(mapping):
+    t1 = BucketTree(8)
+    t2 = BucketTree(8)
+    for key, value in mapping.items():
+        t1.put(key, value)
+    for key in reversed(list(mapping)):
+        t2.put(key, mapping[key])
+    assert t1.root_hash() == t2.root_hash()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(max_size=6),
+        ),
+        max_size=50,
+    )
+)
+def test_property_matches_dict_model(ops):
+    tree = BucketTree(8)
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            tree.put(key, value)
+            model[key] = value
+        else:
+            tree.delete(key)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert tree.get(key) == value
+    assert tree.key_count == len(model)

@@ -1,0 +1,82 @@
+"""Unit and property tests for the classic Merkle tree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import EMPTY_HASH, MerkleTree, merkle_root
+from repro.errors import ChainError
+
+
+def test_empty_tree_root():
+    assert MerkleTree([]).root == EMPTY_HASH
+
+
+def test_single_leaf_root_depends_on_leaf():
+    assert MerkleTree([b"a"]).root != MerkleTree([b"b"]).root
+
+
+def test_root_sensitive_to_order():
+    assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+
+def test_odd_leaf_count_supported():
+    tree = MerkleTree([b"a", b"b", b"c"])
+    assert tree.root != MerkleTree([b"a", b"b"]).root
+
+
+def test_duplicate_last_leaf_differs_from_padding():
+    # [a, b, c] pads c; tree over [a, b, c, c] must produce the same root
+    # because padding duplicates the last node (Bitcoin-style).
+    assert MerkleTree([b"a", b"b", b"c"]).root == MerkleTree([b"a", b"b", b"c", b"c"]).root
+
+
+def test_proof_verifies_for_all_leaves():
+    leaves = [bytes([i]) * 4 for i in range(7)]
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        proof = tree.prove(index)
+        assert MerkleTree.verify_proof(leaf, proof, tree.root)
+
+
+def test_proof_fails_for_wrong_leaf():
+    leaves = [b"a", b"b", b"c", b"d"]
+    tree = MerkleTree(leaves)
+    proof = tree.prove(0)
+    assert not MerkleTree.verify_proof(b"z", proof, tree.root)
+
+
+def test_proof_fails_against_wrong_root():
+    tree = MerkleTree([b"a", b"b"])
+    other = MerkleTree([b"a", b"c"])
+    proof = tree.prove(0)
+    assert not MerkleTree.verify_proof(b"a", proof, other.root)
+
+
+def test_proof_index_out_of_range():
+    tree = MerkleTree([b"a"])
+    with pytest.raises(ChainError):
+        tree.prove(1)
+
+
+def test_merkle_root_helper_matches_tree():
+    leaves = [b"x", b"y", b"z"]
+    assert merkle_root(leaves) == MerkleTree(leaves).root
+
+
+@given(st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=40))
+def test_property_all_proofs_verify(leaves):
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        assert MerkleTree.verify_proof(leaf, tree.prove(index), tree.root)
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=20),
+    st.integers(min_value=0),
+)
+def test_property_root_changes_when_leaf_changes(leaves, position):
+    position %= len(leaves)
+    mutated = list(leaves)
+    mutated[position] = mutated[position] + b"\x01"
+    assert MerkleTree(leaves).root != MerkleTree(mutated).root

@@ -1,0 +1,60 @@
+"""Unit tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.crypto import KeyPair, KeyRegistry, transaction_digest
+from repro.errors import ChainError
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    KeyRegistry.clear()
+    yield
+    KeyRegistry.clear()
+
+
+def test_sign_verify_roundtrip():
+    alice = KeyRegistry.create("alice")
+    sig = alice.sign(b"message")
+    assert alice.public.verify(b"message", sig)
+
+
+def test_tampered_message_fails():
+    alice = KeyRegistry.create("alice")
+    sig = alice.sign(b"message")
+    assert not alice.public.verify(b"other", sig)
+
+
+def test_wrong_signer_fails():
+    alice = KeyRegistry.create("alice")
+    bob = KeyRegistry.create("bob")
+    sig = alice.sign(b"message")
+    assert not bob.public.verify(b"message", sig)
+
+
+def test_deterministic_addresses():
+    assert KeyPair.from_seed("alice").address == KeyPair.from_seed("alice").address
+    assert KeyPair.from_seed("alice").address != KeyPair.from_seed("bob").address
+
+
+def test_unregistered_key_fails_verification():
+    orphan = KeyPair.from_seed("orphan")  # not in the registry
+    sig = orphan.sign(b"m")
+    assert not orphan.public.verify(b"m", sig)
+
+
+def test_bad_private_key_length():
+    with pytest.raises(ChainError):
+        KeyPair(b"short")
+
+
+def test_signature_size_matches_secp256k1():
+    alice = KeyRegistry.create("alice")
+    assert alice.sign(b"m").size_bytes() == 65
+
+
+def test_transaction_digest_binds_all_fields():
+    base = transaction_digest("a", b"p", 1)
+    assert base != transaction_digest("b", b"p", 1)
+    assert base != transaction_digest("a", b"q", 1)
+    assert base != transaction_digest("a", b"p", 2)

@@ -1,0 +1,167 @@
+"""Unit and property tests for the Patricia-Merkle trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DictNodeStore, PatriciaTrie, StateTrie, from_nibbles, to_nibbles
+from repro.errors import CorruptionError
+
+
+@pytest.fixture
+def trie():
+    return PatriciaTrie(DictNodeStore())
+
+
+def test_nibble_roundtrip():
+    key = bytes(range(256))
+    assert from_nibbles(to_nibbles(key)) == key
+
+
+def test_odd_nibbles_rejected():
+    with pytest.raises(CorruptionError):
+        from_nibbles((1, 2, 3))
+
+
+def test_get_missing_from_empty(trie):
+    assert trie.get(None, b"missing") is None
+
+
+def test_put_get_single(trie):
+    root = trie.put(None, b"key", b"value")
+    assert trie.get(root, b"key") == b"value"
+
+
+def test_overwrite_value(trie):
+    root = trie.put(None, b"key", b"v1")
+    root = trie.put(root, b"key", b"v2")
+    assert trie.get(root, b"key") == b"v2"
+
+
+def test_prefix_keys_do_not_collide(trie):
+    root = trie.put(None, b"dog", b"1")
+    root = trie.put(root, b"doge", b"2")
+    root = trie.put(root, b"do", b"3")
+    assert trie.get(root, b"dog") == b"1"
+    assert trie.get(root, b"doge") == b"2"
+    assert trie.get(root, b"do") == b"3"
+    assert trie.get(root, b"d") is None
+
+
+def test_copy_on_write_preserves_old_roots(trie):
+    root1 = trie.put(None, b"a", b"1")
+    root2 = trie.put(root1, b"b", b"2")
+    assert trie.get(root1, b"b") is None
+    assert trie.get(root2, b"a") == b"1"
+
+
+def test_same_content_same_root(trie):
+    r1 = trie.put(None, b"x", b"1")
+    r1 = trie.put(r1, b"y", b"2")
+    r2 = trie.put(None, b"y", b"2")
+    r2 = trie.put(r2, b"x", b"1")
+    assert r1 == r2  # root is order-independent for the same final map
+
+
+def test_delete_only_key_empties_trie(trie):
+    root = trie.put(None, b"k", b"v")
+    assert trie.delete(root, b"k") is None
+
+
+def test_delete_missing_key_keeps_root(trie):
+    root = trie.put(None, b"k", b"v")
+    assert trie.delete(root, b"nope") == root
+
+
+def test_delete_restores_prior_root(trie):
+    root1 = trie.put(None, b"a", b"1")
+    root2 = trie.put(root1, b"b", b"2")
+    root3 = trie.delete(root2, b"b")
+    assert root3 == root1
+
+
+def test_node_writes_accumulate(trie):
+    before = trie.node_writes
+    root = trie.put(None, b"abcdefgh", b"v")
+    trie.put(root, b"abcdefgi", b"w")
+    # Second insert shares a long prefix: several path nodes rewritten.
+    assert trie.node_writes - before >= 4
+
+
+def test_items_iterates_all(trie):
+    root = None
+    expected = {}
+    for i in range(50):
+        key = f"key-{i:03d}".encode()
+        root = trie.put(root, key, str(i).encode())
+        expected[key] = str(i).encode()
+    assert dict(trie.items(root)) == expected
+
+
+def test_state_trie_snapshots():
+    state = StateTrie()
+    state.put(b"acct", b"100")
+    idx0 = state.snapshot()
+    state.put(b"acct", b"50")
+    idx1 = state.snapshot()
+    assert state.get_at(idx0, b"acct") == b"100"
+    assert state.get_at(idx1, b"acct") == b"50"
+    assert state.get(b"acct") == b"50"
+
+
+def test_state_trie_delete():
+    state = StateTrie()
+    state.put(b"a", b"1")
+    state.delete(b"a")
+    assert state.get(b"a") is None
+
+
+def test_state_trie_root_hash_changes():
+    state = StateTrie()
+    r0 = state.root_hash()
+    state.put(b"a", b"1")
+    assert state.root_hash() != r0
+
+
+_keys = st.binary(min_size=1, max_size=8)
+_values = st.binary(min_size=1, max_size=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]), _keys, _values),
+        max_size=60,
+    )
+)
+def test_property_trie_matches_dict_model(ops):
+    trie = PatriciaTrie(DictNodeStore())
+    root = None
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            root = trie.put(root, key, value)
+            model[key] = value
+        else:
+            root = trie.delete(root, key)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert trie.get(root, key) == value
+    if root is None:
+        assert model == {}
+    else:
+        assert dict(trie.items(root)) == model
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(_keys, _values, min_size=1, max_size=30))
+def test_property_root_is_content_deterministic(mapping):
+    def build(order):
+        trie = PatriciaTrie(DictNodeStore())
+        root = None
+        for key in order:
+            root = trie.put(root, key, mapping[key])
+        return root
+
+    keys = list(mapping)
+    assert build(keys) == build(list(reversed(keys)))

@@ -1,0 +1,95 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.evm import assemble
+from repro.evm import opcodes as op
+
+
+def test_simple_program():
+    code = assemble("PUSH 5\nRETURN")
+    assert code[0] == op.PUSH
+    assert code[1:9] == (5).to_bytes(8, "big")
+    assert code[9] == op.RETURN
+
+
+def test_comments_and_blank_lines_ignored():
+    code = assemble("""
+        ; a comment
+        PUSH 1   ; trailing comment
+
+        RETURN
+    """)
+    assert len(code) == 10
+
+
+def test_labels_resolve_to_jumpdest():
+    code = assemble("""
+        PUSH @end
+        JUMP
+    end:
+        PUSH 1
+        RETURN
+    """)
+    # Label offset: PUSH(9) + JUMP(1) = 10.
+    assert code[10] == op.JUMPDEST
+    assert int.from_bytes(code[1:9], "big") == 10
+
+
+def test_forward_and_backward_references():
+    code = assemble("""
+    start:
+        PUSH @end
+        JUMPI
+        PUSH @start
+        JUMP
+    end:
+        RETURN
+    """)
+    assert code[0] == op.JUMPDEST
+
+
+def test_hex_immediates():
+    code = assemble("PUSH 0xff\nRETURN")
+    assert int.from_bytes(code[1:9], "big") == 255
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("FROBNICATE")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(AssemblerError, match="unknown label"):
+        assemble("PUSH @nowhere")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("x:\nx:\nRETURN")
+
+
+def test_bad_immediate_rejected():
+    with pytest.raises(AssemblerError, match="bad immediate"):
+        assemble("PUSH banana")
+
+
+def test_push_without_operand_rejected():
+    with pytest.raises(AssemblerError, match="PUSH needs one operand"):
+        assemble("PUSH")
+
+
+def test_operand_on_plain_op_rejected():
+    with pytest.raises(AssemblerError, match="takes no operand"):
+        assemble("ADD 5")
+
+
+def test_immediate_out_of_range():
+    with pytest.raises(AssemblerError, match="out of range"):
+        assemble(f"PUSH {1 << 64}")
+
+
+def test_bad_label_name():
+    with pytest.raises(AssemblerError, match="bad label"):
+        assemble("1bad:")

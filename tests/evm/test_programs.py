@@ -1,0 +1,86 @@
+"""Tests for the benchmark EVM programs, including sort correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evm import (
+    EVM,
+    CallContext,
+    DictStorage,
+    Profile,
+    cpuheavy_code,
+    donothing_code,
+    kvstore_read_code,
+    kvstore_write_code,
+)
+
+
+@pytest.fixture(scope="module")
+def sort_code():
+    return cpuheavy_code()
+
+
+def test_donothing_returns_immediately():
+    result = EVM().execute(donothing_code())
+    assert result.success
+    assert result.return_value == 1
+    assert result.steps <= 3
+
+
+def test_kvstore_write_then_read():
+    storage = DictStorage()
+    vm = EVM()
+    write = vm.execute(
+        kvstore_write_code(), storage=storage, context=CallContext(args=(7, 1234))
+    )
+    assert write.success
+    read = vm.execute(
+        kvstore_read_code(), storage=storage, context=CallContext(args=(7,))
+    )
+    assert read.return_value == 1234
+
+
+def test_kvstore_write_gas_includes_sstore():
+    result = EVM().execute(
+        kvstore_write_code(), context=CallContext(args=(1, 2))
+    )
+    assert result.gas_used >= 20_000
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 16, 63, 200])
+def test_sort_correct_for_size(sort_code, n):
+    result = EVM().execute(
+        sort_code, context=CallContext(args=(n,)), capture_memory=True
+    )
+    assert result.success, result.error
+    assert result.return_value == 1
+    assert [result.memory.get(i, 0) for i in range(n)] == list(range(1, n + 1))
+
+
+def test_sort_complexity_is_loglinear(sort_code):
+    vm = EVM()
+    steps_1k = vm.execute(sort_code, context=CallContext(args=(1000,))).steps
+    steps_4k = vm.execute(sort_code, context=CallContext(args=(4000,))).steps
+    # n log n scaling: 4x elements -> ~4.8x steps; quadratic would be 16x.
+    assert steps_4k < steps_1k * 8
+
+
+def test_sort_profiles_agree(sort_code):
+    geth = EVM(Profile.GETH).execute(sort_code, context=CallContext(args=(50,)))
+    parity = EVM(Profile.PARITY).execute(sort_code, context=CallContext(args=(50,)))
+    assert geth.return_value == parity.return_value == 1
+    assert geth.gas_used == parity.gas_used
+    assert geth.modeled_peak_memory_bytes > parity.modeled_peak_memory_bytes
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=120))
+def test_property_sort_any_size(sort_code, n):
+    result = EVM().execute(
+        sort_code, context=CallContext(args=(n,)), capture_memory=True
+    )
+    assert result.success
+    assert [result.memory.get(i, 0) for i in range(n)] == sorted(
+        range(1, n + 1)
+    )

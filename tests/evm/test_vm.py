@@ -1,0 +1,236 @@
+"""Unit tests for the miniature EVM interpreter."""
+
+import pytest
+
+from repro.errors import OutOfMemory
+from repro.evm import EVM, CallContext, DictStorage, Profile, assemble
+
+
+def run(asm, profile=Profile.PARITY, storage=None, args=(), gas_limit=None, **kw):
+    vm = EVM(profile, **kw)
+    return vm.execute(
+        assemble(asm),
+        storage=storage,
+        context=CallContext(args=tuple(args)),
+        gas_limit=gas_limit,
+    )
+
+
+def test_arithmetic():
+    assert run("PUSH 2\nPUSH 3\nADD\nRETURN").return_value == 5
+    assert run("PUSH 10\nPUSH 4\nSUB\nRETURN").return_value == 6
+    assert run("PUSH 6\nPUSH 7\nMUL\nRETURN").return_value == 42
+    assert run("PUSH 17\nPUSH 5\nDIV\nRETURN").return_value == 3
+    assert run("PUSH 17\nPUSH 5\nMOD\nRETURN").return_value == 2
+
+
+def test_division_by_zero_yields_zero():
+    assert run("PUSH 7\nPUSH 0\nDIV\nRETURN").return_value == 0
+    assert run("PUSH 7\nPUSH 0\nMOD\nRETURN").return_value == 0
+
+
+def test_wrapping_arithmetic():
+    # 0 - 1 wraps to 2^256 - 1.
+    result = run("PUSH 0\nPUSH 1\nSUB\nRETURN")
+    assert result.return_value == (1 << 256) - 1
+
+
+def test_comparisons():
+    assert run("PUSH 1\nPUSH 2\nLT\nRETURN").return_value == 1
+    assert run("PUSH 2\nPUSH 1\nLT\nRETURN").return_value == 0
+    assert run("PUSH 2\nPUSH 1\nGT\nRETURN").return_value == 1
+    assert run("PUSH 5\nPUSH 5\nEQ\nRETURN").return_value == 1
+    assert run("PUSH 0\nISZERO\nRETURN").return_value == 1
+
+
+def test_bitwise():
+    assert run("PUSH 12\nPUSH 10\nAND\nRETURN").return_value == 8
+    assert run("PUSH 12\nPUSH 10\nOR\nRETURN").return_value == 14
+    assert run("PUSH 12\nPUSH 10\nXOR\nRETURN").return_value == 6
+
+
+def test_memory_roundtrip():
+    asm = """
+        PUSH 99
+        PUSH 7
+        MSTORE
+        PUSH 7
+        MLOAD
+        RETURN
+    """
+    assert run(asm).return_value == 99
+
+
+def test_uninitialized_memory_is_zero():
+    assert run("PUSH 1234\nMLOAD\nRETURN").return_value == 0
+
+
+def test_storage_persists_across_runs():
+    storage = DictStorage()
+    write = "PUSH 41\nPUSH 1\nSSTORE\nPUSH 1\nRETURN"
+    read = "PUSH 1\nSLOAD\nRETURN"
+    assert run(write, storage=storage).success
+    assert run(read, storage=storage).return_value == 41
+
+
+def test_sload_sees_buffered_writes():
+    asm = """
+        PUSH 5
+        PUSH 1
+        SSTORE
+        PUSH 1
+        SLOAD
+        RETURN
+    """
+    assert run(asm).return_value == 5
+
+
+def test_failed_run_does_not_commit_storage():
+    storage = DictStorage()
+    asm = """
+        PUSH 5
+        PUSH 1
+        SSTORE
+        REVERT
+    """
+    result = run(asm, storage=storage)
+    assert not result.success
+    assert storage.get_word(1) == 0
+
+
+def test_out_of_gas_reverts_and_reports():
+    storage = DictStorage()
+    asm = "PUSH 5\nPUSH 1\nSSTORE\nPUSH 1\nRETURN"
+    result = run(asm, storage=storage, gas_limit=10)
+    assert not result.success
+    assert "gas" in result.error
+    assert storage.get_word(1) == 0
+
+
+def test_jumps_and_loops():
+    # Sum 1..5 via a loop.
+    asm = """
+        PUSH 0          ; total
+        PUSH 5          ; i
+    loop:
+        DUP1
+        ISZERO
+        PUSH @end
+        JUMPI
+        DUP1            ; [total, i, i]
+        SWAP2           ; [i, i, total]
+        ADD             ; [i, total+i]
+        SWAP1           ; [total, i]
+        PUSH 1
+        SUB
+        PUSH @loop
+        JUMP
+    end:
+        POP
+        RETURN
+    """
+    assert run(asm).return_value == 15
+
+
+def test_bad_jump_fails():
+    result = run("PUSH 3\nJUMP")
+    assert not result.success
+    assert "jump" in result.error
+
+
+def test_jump_into_push_immediate_rejected():
+    # Offset 1 is inside the PUSH immediate, not a JUMPDEST.
+    result = run("PUSH 1\nJUMP")
+    assert not result.success
+
+
+def test_stack_underflow_detected():
+    result = run("ADD")
+    assert not result.success
+    assert "underflow" in result.error
+
+
+def test_bad_opcode_detected():
+    vm = EVM()
+    result = vm.execute(bytes([0xEE]))
+    assert not result.success
+    assert "opcode" in result.error
+
+
+def test_calldata():
+    assert run("PUSH 1\nCALLDATALOAD\nRETURN", args=(10, 20)).return_value == 20
+    assert run("PUSH 9\nCALLDATALOAD\nRETURN", args=(10,)).return_value == 0
+
+
+def test_caller_and_callvalue():
+    vm = EVM()
+    result = vm.execute(
+        assemble("CALLER\nCALLVALUE\nADD\nRETURN"),
+        context=CallContext(caller=100, call_value=11),
+    )
+    assert result.return_value == 111
+
+
+def test_dup_swap_depth():
+    asm = """
+        PUSH 1
+        PUSH 2
+        PUSH 3
+        DUP3        ; copies the 1
+        RETURN
+    """
+    assert run(asm).return_value == 1
+    asm2 = """
+        PUSH 1
+        PUSH 2
+        PUSH 3
+        SWAP2       ; swaps 3 and 1
+        RETURN
+    """
+    assert run(asm2).return_value == 1
+
+
+def test_gas_accounting_monotonic():
+    cheap = run("PUSH 1\nRETURN")
+    costly = run("PUSH 5\nPUSH 1\nSSTORE\nPUSH 1\nRETURN")
+    assert costly.gas_used > cheap.gas_used + 10_000  # SSTORE_SET dominates
+
+
+def test_geth_profile_journals_parity_does_not():
+    asm = "PUSH 1\nPUSH 2\nADD\nRETURN"
+    geth = run(asm, profile=Profile.GETH)
+    parity = run(asm, profile=Profile.PARITY)
+    assert geth.journal_entries > 0
+    assert parity.journal_entries == 0
+    assert geth.return_value == parity.return_value
+    assert geth.gas_used == parity.gas_used  # same schedule, different engine
+
+
+def test_memory_limit_raises_oom():
+    vm = EVM(Profile.GETH, memory_limit_bytes=PROFILE_BASE_GETH + 10 * 2200)
+    asm = """
+        PUSH 0
+    loop:
+        DUP1
+        DUP1
+        MSTORE
+        PUSH 1
+        ADD
+        PUSH @loop
+        JUMP
+    """
+    with pytest.raises(OutOfMemory):
+        vm.execute(assemble(asm))
+
+
+def test_modeled_memory_grows_with_words():
+    small = run("PUSH 1\nPUSH 0\nMSTORE\nPUSH 1\nRETURN")
+    big_asm = "\n".join(f"PUSH 1\nPUSH {i}\nMSTORE" for i in range(50)) + "\nPUSH 1\nRETURN"
+    big = run(big_asm)
+    assert big.peak_memory_words == 50
+    assert big.modeled_peak_memory_bytes > small.modeled_peak_memory_bytes
+
+
+from repro.evm.vm import PROFILE_COSTS
+
+PROFILE_BASE_GETH = PROFILE_COSTS[Profile.GETH].base_overhead_bytes

@@ -1,0 +1,147 @@
+"""Integration tests for the ErisDB platform and its pub/sub feed."""
+
+import pytest
+
+from repro.config import erisdb_config
+from repro.core import Driver, DriverConfig
+from repro.core.connector import RPCClient, SimChainConnector
+from repro.errors import ConnectorError
+from repro.platforms import build_cluster
+from repro.platforms.erisdb import ErisDBState
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+
+def small_driver(cluster, rate=40, duration=20, clients=2, **kwargs):
+    workload = YCSBWorkload(YCSBConfig(record_count=100))
+    return Driver(
+        cluster,
+        workload,
+        DriverConfig(
+            n_clients=clients,
+            request_rate_tx_s=rate,
+            duration_s=duration,
+            **kwargs,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cluster construction and end-to-end commits
+# ---------------------------------------------------------------------------
+def test_cluster_builds_with_tendermint():
+    cluster = build_cluster("erisdb", 4, seed=3)
+    assert len(cluster.nodes) == 4
+    for node in cluster.nodes:
+        assert node.protocol.describe() == "Tendermint"
+        assert node.supports_subscription
+    cluster.close()
+
+
+def test_transactions_commit_end_to_end():
+    cluster = build_cluster("erisdb", 4, seed=5)
+    stats = small_driver(cluster).run()
+    assert stats.confirmed > 50
+    assert stats.latency_avg() > 0
+    cluster.close()
+
+
+def test_all_nodes_agree_no_forks():
+    cluster = build_cluster("erisdb", 4, seed=5)
+    small_driver(cluster).run()
+    tips = {node.chain().tip.hash for node in cluster.nodes}
+    assert len(tips) == 1
+    assert all(node.chain().fork_blocks == 0 for node in cluster.nodes)
+    cluster.close()
+
+
+def test_historical_state_queries_work():
+    """ErisDB's trie snapshots support get_at, like Ethereum's."""
+    state = ErisDBState()
+    state.put(b"k", b"v1")
+    state.commit_block(1)
+    state.put(b"k", b"v2")
+    state.commit_block(2)
+    assert state.get_at(1, b"k") == b"v1"
+    assert state.get_at(2, b"k") == b"v2"
+    state.close()
+
+
+def test_config_preset_is_registered():
+    config = erisdb_config()
+    assert config.name == "erisdb"
+    assert config.tendermint.max_txs_per_block == 500
+
+
+# ---------------------------------------------------------------------------
+# Publish/subscribe (Section 3.2's ErisDB interface)
+# ---------------------------------------------------------------------------
+def test_subscription_pushes_block_events():
+    cluster = build_cluster("erisdb", 4, seed=5)
+    client = RPCClient("watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    events: list[dict] = []
+    connector.subscribe_new_blocks(0, events.append)
+    driver = small_driver(cluster, duration=15)
+    stats = driver.run()
+    assert events, "no block events pushed"
+    heights = [event["height"] for event in events]
+    assert heights == sorted(heights)
+    confirmed_ids = {tx for event in events for tx in event["tx_ids"]}
+    assert len(confirmed_ids) >= stats.confirmed
+    cluster.close()
+
+
+def test_subscription_replays_missed_blocks():
+    """Subscribing after commits replays history from from_height."""
+    cluster = build_cluster("erisdb", 4, seed=5)
+    small_driver(cluster, duration=10).run()
+    height_before = cluster.chain_height()
+    assert height_before > 0
+    client = RPCClient("late-watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    events: list[dict] = []
+    connector.subscribe_new_blocks(0, events.append)
+    cluster.run_until(cluster.scheduler.now + 2.0)
+    assert [e["height"] for e in events[:height_before]] == list(
+        range(1, height_before + 1)
+    )
+    cluster.close()
+
+
+def test_subscription_refused_on_polling_platforms():
+    cluster = build_cluster("hyperledger", 4, seed=5)
+    client = RPCClient("watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    with pytest.raises(ConnectorError):
+        connector.subscribe_new_blocks(0, lambda b: None)
+    cluster.close()
+
+
+def test_driver_subscribe_mode_confirms_without_polling():
+    cluster = build_cluster("erisdb", 4, seed=5)
+    stats = small_driver(cluster, subscribe=True).run()
+    assert stats.confirmed > 50
+    cluster.close()
+
+
+def test_subscribe_and_poll_agree_on_throughput():
+    """Push and poll modes must measure the same chain."""
+    polled = small_driver(build_cluster("erisdb", 4, seed=9)).run()
+    pushed = small_driver(
+        build_cluster("erisdb", 4, seed=9), subscribe=True
+    ).run()
+    assert pushed.confirmed == pytest.approx(polled.confirmed, rel=0.1)
+    # Push-based confirmation can only be faster than periodic polling.
+    assert pushed.latency_avg() <= polled.latency_avg() + 0.1
+
+
+def test_crash_below_threshold_keeps_committing():
+    cluster = build_cluster("erisdb", 7, seed=5)  # f = 2
+    driver = small_driver(cluster, duration=30)
+    driver.prepare()
+    cluster.scheduler.schedule(10.0, lambda: cluster.crash_nodes(2))
+    stats = driver.run()
+    assert stats.confirmed > 50
+    alive = cluster.alive_nodes()
+    assert len({n.chain().tip.hash for n in alive}) == 1
+    cluster.close()

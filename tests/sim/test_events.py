@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import NEVER, Scheduler
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "c")
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    fired = []
+    for name in "abcde":
+        sched.schedule(1.0, fired.append, name)
+    sched.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(2.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [2.5]
+    assert sched.now == 2.5
+
+
+def test_cancelled_events_do_not_fire():
+    sched = Scheduler()
+    fired = []
+    event = sched.schedule(1.0, fired.append, "x")
+    sched.schedule(2.0, fired.append, "y")
+    event.cancel()
+    sched.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_at_deadline_and_advances_clock():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "early")
+    sched.schedule(5.0, fired.append, "late")
+    sched.run_until(3.0)
+    assert fired == ["early"]
+    assert sched.now == 3.0
+    sched.run_until(10.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_includes_events_exactly_at_deadline():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "edge")
+    sched.run_until(3.0)
+    assert fired == ["edge"]
+
+
+def test_nested_scheduling_during_execution():
+    sched = Scheduler()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sched.schedule(1.0, fired.append, "inner")
+
+    sched.schedule(1.0, outer)
+    sched.run()
+    assert fired == ["outer", "inner"]
+    assert sched.now == 2.0
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sched = Scheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_backwards_rejected():
+    sched = Scheduler()
+    sched.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sched.run_until(1.0)
+
+
+def test_peek_time_empty_queue():
+    sched = Scheduler()
+    assert sched.peek_time() == NEVER
+
+
+def test_peek_time_skips_cancelled():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sched.peek_time() == 2.0
+
+
+def test_pending_counts_live_events():
+    sched = Scheduler()
+    e1 = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    assert sched.pending() == 2
+    e1.cancel()
+    assert sched.pending() == 1
+
+
+def test_run_max_events():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.schedule(float(i + 1), fired.append, i)
+    sched.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for i in range(5):
+        sched.schedule(float(i), lambda: None)
+    sched.run()
+    assert sched.events_processed == 5

@@ -1,0 +1,80 @@
+"""Unit tests for the resource monitor (Figure 16 substrate)."""
+
+from repro.sim import Network, ResourceMonitor, RngRegistry, Scheduler, SimNode
+
+
+class BusyNode(SimNode):
+    def message_cost(self, message):
+        return 0.4
+
+
+def test_cpu_utilization_sampled():
+    sched = Scheduler()
+    net = Network(sched, RngRegistry(1), jitter=0.0)
+    src = SimNode("src", sched, net)
+    busy = BusyNode("busy", sched, net)
+    monitor = ResourceMonitor(sched, net, [busy], interval=1.0, cores=1)
+    monitor.start()
+
+    def feed():
+        src.send("busy", "work", None)
+        sched.schedule(0.4, feed)
+
+    sched.schedule(0.0, feed)
+    sched.run_until(10.0)
+    monitor.stop()
+    series = monitor.series["busy"]
+    assert len(series.samples) >= 9
+    # Node is ~100% busy with 0.4s jobs arriving every 0.4s.
+    assert series.mean_cpu_pct() > 60.0
+
+
+def test_network_mbps_sampled():
+    sched = Scheduler()
+    net = Network(sched, RngRegistry(1), jitter=0.0)
+    a = SimNode("a", sched, net)
+    b = SimNode("b", sched, net)
+    monitor = ResourceMonitor(sched, net, [a, b], interval=1.0)
+    monitor.start()
+
+    def feed():
+        a.send("b", "data", None, size_bytes=125_000)  # 1 Mbit
+        sched.schedule(1.0, feed)
+
+    sched.schedule(0.0, feed)
+    sched.run_until(10.0)
+    assert monitor.series["b"].mean_net_mbps() > 0.5
+
+
+def test_idle_node_reports_zero():
+    sched = Scheduler()
+    net = Network(sched, RngRegistry(1))
+    idle = SimNode("idle", sched, net)
+    monitor = ResourceMonitor(sched, net, [idle], interval=1.0)
+    monitor.start()
+    sched.schedule(5.0, lambda: None)
+    sched.run_until(5.0)
+    assert monitor.series["idle"].mean_cpu_pct() == 0.0
+    assert monitor.series["idle"].mean_net_mbps() == 0.0
+
+
+def test_stop_halts_sampling():
+    sched = Scheduler()
+    net = Network(sched, RngRegistry(1))
+    node = SimNode("n", sched, net)
+    monitor = ResourceMonitor(sched, net, [node], interval=1.0)
+    monitor.start()
+    sched.run_until(3.0)
+    count = len(monitor.series["n"].samples)
+    monitor.stop()
+    sched.schedule(5.0, lambda: None)
+    sched.run_until(8.0)
+    assert len(monitor.series["n"].samples) == count
+
+
+def test_mean_helpers_empty():
+    sched = Scheduler()
+    net = Network(sched, RngRegistry(1))
+    monitor = ResourceMonitor(sched, net, [], interval=1.0)
+    assert monitor.mean_cpu_pct() == 0.0
+    assert monitor.mean_net_mbps() == 0.0

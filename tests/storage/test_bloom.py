@@ -1,0 +1,56 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.storage import BloomFilter
+
+
+def test_added_keys_always_found():
+    bloom = BloomFilter.for_capacity(1000)
+    keys = [f"key-{i}".encode() for i in range(1000)]
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.may_contain(key) for key in keys)
+
+
+def test_false_positive_rate_reasonable():
+    bloom = BloomFilter.for_capacity(1000, bits_per_key=10)
+    for i in range(1000):
+        bloom.add(f"key-{i}".encode())
+    false_positives = sum(
+        bloom.may_contain(f"other-{i}".encode()) for i in range(10_000)
+    )
+    assert false_positives < 500  # expect ~1%, allow 5%
+
+
+def test_serialization_roundtrip():
+    bloom = BloomFilter.for_capacity(50)
+    bloom.add(b"alpha")
+    restored = BloomFilter.from_bytes(bloom.to_bytes())
+    assert restored.may_contain(b"alpha")
+    assert restored.n_bits == bloom.n_bits
+    assert restored.n_hashes == bloom.n_hashes
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CorruptionError):
+        BloomFilter.from_bytes(b"XXXX" + b"\x00" * 16)
+
+
+def test_truncated_payload_rejected():
+    blob = BloomFilter.for_capacity(100).to_bytes()
+    with pytest.raises(CorruptionError):
+        BloomFilter.from_bytes(blob[:-3])
+
+
+def test_invalid_sizing_rejected():
+    with pytest.raises(CorruptionError):
+        BloomFilter(0, 1)
+    with pytest.raises(CorruptionError):
+        BloomFilter(64, 0)
+
+
+def test_empty_filter_contains_nothing():
+    bloom = BloomFilter.for_capacity(10)
+    assert not bloom.may_contain(b"anything")

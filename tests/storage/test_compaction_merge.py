@@ -1,0 +1,113 @@
+"""merge_sorted_sources unit tests: the shadowing rule that makes LSM
+overwrites and deletes correct across levels."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.lsm.compaction import merge_sorted_sources
+from repro.storage.lsm.memtable import TOMBSTONE
+
+
+def _merge(sources, drop_tombstones=False):
+    return list(
+        merge_sorted_sources([iter(s) for s in sources], drop_tombstones)
+    )
+
+
+def test_single_source_passthrough():
+    rows = [(b"a", b"1"), (b"b", b"2")]
+    assert _merge([rows]) == rows
+
+
+def test_empty_sources():
+    assert _merge([]) == []
+    assert _merge([[], []]) == []
+
+
+def test_disjoint_sources_interleave_in_key_order():
+    newest = [(b"a", b"1"), (b"c", b"3")]
+    oldest = [(b"b", b"2"), (b"d", b"4")]
+    assert _merge([newest, oldest]) == [
+        (b"a", b"1"), (b"b", b"2"), (b"c", b"3"), (b"d", b"4"),
+    ]
+
+
+def test_newest_source_wins_on_duplicate_key():
+    newest = [(b"k", b"new")]
+    oldest = [(b"k", b"old")]
+    assert _merge([newest, oldest]) == [(b"k", b"new")]
+    # Source order is the precedence order, not value content.
+    assert _merge([oldest, newest]) == [(b"k", b"old")]
+
+
+def test_three_way_duplicate_resolution():
+    s0 = [(b"k", b"v0")]
+    s1 = [(b"k", b"v1")]
+    s2 = [(b"k", b"v2"), (b"z", b"zz")]
+    assert _merge([s0, s1, s2]) == [(b"k", b"v0"), (b"z", b"zz")]
+
+
+def test_tombstone_kept_when_not_bottom_level():
+    """An intermediate compaction must keep the marker: an older level
+    below could still hold the key."""
+    newest = [(b"k", TOMBSTONE)]
+    oldest = [(b"k", b"old")]
+    assert _merge([newest, oldest], drop_tombstones=False) == [(b"k", TOMBSTONE)]
+
+
+def test_tombstone_dropped_at_bottom_level():
+    newest = [(b"k", TOMBSTONE)]
+    oldest = [(b"k", b"old"), (b"live", b"x")]
+    assert _merge([newest, oldest], drop_tombstones=True) == [(b"live", b"x")]
+
+
+def test_tombstone_drop_does_not_resurrect_shadowed_value():
+    """Dropping the marker must also drop every older version of the
+    key, not fall through to them."""
+    s0 = [(b"k", TOMBSTONE)]
+    s1 = [(b"k", b"middle")]
+    s2 = [(b"k", b"oldest")]
+    assert _merge([s0, s1, s2], drop_tombstones=True) == []
+
+
+@st.composite
+def _layered_sources(draw):
+    """Random key-ordered sources, newest first, over a small key space."""
+    n_sources = draw(st.integers(min_value=1, max_value=4))
+    keys = st.integers(min_value=0, max_value=15)
+    sources = []
+    for __ in range(n_sources):
+        chosen = sorted(draw(st.sets(keys, max_size=10)))
+        rows = []
+        for k in chosen:
+            is_delete = draw(st.booleans())
+            value = TOMBSTONE if is_delete else f"v{k}".encode()
+            rows.append((f"{k:04d}".encode(), value))
+        sources.append(rows)
+    return sources
+
+
+@settings(max_examples=60, deadline=None)
+@given(_layered_sources())
+def test_merge_matches_dict_model(sources):
+    """Merged output equals replaying sources oldest-to-newest into a
+    dict, then listing surviving keys in order."""
+    model: dict[bytes, bytes] = {}
+    for source in reversed(sources):  # oldest first
+        for key, value in source:
+            model[key] = value
+    expected_keep = sorted(model.items())
+    expected_drop = sorted(
+        (k, v) for k, v in model.items() if v != TOMBSTONE
+    )
+    assert _merge(sources, drop_tombstones=False) == expected_keep
+    assert _merge(sources, drop_tombstones=True) == expected_drop
+
+
+@settings(max_examples=30, deadline=None)
+@given(_layered_sources())
+def test_merge_output_is_key_sorted_and_unique(sources):
+    out = _merge(sources)
+    keys = [k for k, _ in out]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))

@@ -1,0 +1,201 @@
+"""Unit, recovery, and property tests for the LSM engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import LSMConfig, LSMStore, leveldb_config, rocksdb_config
+from repro.storage.lsm.memtable import TOMBSTONE
+
+SMALL = LSMConfig(memtable_bytes=512, l0_compaction_trigger=3, base_level_bytes=2048)
+
+
+def test_put_get_in_memtable(tmp_path):
+    db = LSMStore(tmp_path)
+    db.put(b"k", b"v")
+    assert db.get(b"k") == b"v"
+    db.close()
+
+
+def test_get_missing(tmp_path):
+    db = LSMStore(tmp_path)
+    assert db.get(b"nothing") is None
+    db.close()
+
+
+def test_delete_shadows_older_value(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"k", b"v")
+    db.flush()
+    db.delete(b"k")
+    assert db.get(b"k") is None
+    db.flush()
+    assert db.get(b"k") is None
+    db.close()
+
+
+def test_tombstone_value_rejected(tmp_path):
+    db = LSMStore(tmp_path)
+    with pytest.raises(StorageError):
+        db.put(b"k", TOMBSTONE)
+    db.close()
+
+
+def test_flush_creates_sstable_and_clears_memtable(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"k", b"v")
+    db.flush()
+    assert len(db.memtable) == 0
+    assert len(db.levels[0]) == 1
+    assert db.get(b"k") == b"v"
+    db.close()
+
+
+def test_automatic_flush_on_memtable_size(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    for i in range(100):
+        db.put(f"key-{i:04d}".encode(), b"x" * 20)
+    assert db.flush_count > 0
+    db.close()
+
+
+def test_compaction_triggers_and_preserves_data(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    expected = {}
+    for i in range(400):
+        key = f"key-{i % 60:04d}".encode()
+        value = f"value-{i}".encode()
+        db.put(key, value)
+        expected[key] = value
+    assert db.compaction_count > 0
+    for key, value in expected.items():
+        assert db.get(key) == value
+    db.close()
+
+
+def test_newest_value_wins_across_levels(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"k", b"old")
+    db.flush()
+    db.put(b"k", b"new")
+    assert db.get(b"k") == b"new"
+    db.flush()
+    assert db.get(b"k") == b"new"
+    db.close()
+
+
+def test_scan_merges_all_sources(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"a", b"1")
+    db.flush()
+    db.put(b"b", b"2")
+    db.put(b"a", b"updated")
+    assert list(db.scan()) == [(b"a", b"updated"), (b"b", b"2")]
+    db.close()
+
+
+def test_scan_prefix(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    for key in [b"user:1", b"user:2", b"order:1"]:
+        db.put(key, b"v")
+    assert [k for k, _ in db.scan(b"user:")] == [b"user:1", b"user:2"]
+    db.close()
+
+
+def test_scan_hides_deletions(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"a", b"1")
+    db.put(b"b", b"2")
+    db.flush()
+    db.delete(b"a")
+    assert list(db.scan()) == [(b"b", b"2")]
+    db.close()
+
+
+def test_reopen_recovers_from_manifest_and_wal(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    for i in range(50):
+        db.put(f"key-{i:03d}".encode(), str(i).encode())
+    db.flush()
+    db.put(b"unflushed", b"in-wal-only")
+    db.close()
+
+    db2 = LSMStore(tmp_path, SMALL)
+    assert db2.get(b"key-025") == b"25"
+    assert db2.get(b"unflushed") == b"in-wal-only"
+    db2.close()
+
+
+def test_reopen_without_close_replays_wal(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"crash", b"survivor")
+    db.wal.sync()
+    # Simulate a crash: no close(), no flush.
+    db2 = LSMStore(tmp_path, SMALL)
+    assert db2.get(b"crash") == b"survivor"
+    db2.close()
+
+
+def test_disk_usage_grows_with_data(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    empty = db.disk_usage_bytes()
+    for i in range(200):
+        db.put(f"key-{i:05d}".encode(), b"x" * 50)
+    db.flush()
+    assert db.disk_usage_bytes() > empty
+    db.close()
+
+
+def test_closed_store_rejects_ops(tmp_path):
+    db = LSMStore(tmp_path)
+    db.close()
+    with pytest.raises(StorageError):
+        db.put(b"k", b"v")
+    with pytest.raises(StorageError):
+        db.get(b"k")
+
+
+def test_presets_differ():
+    assert rocksdb_config().memtable_bytes > leveldb_config().memtable_bytes
+    assert rocksdb_config().base_level_bytes > leveldb_config().base_level_bytes
+
+
+def test_len_counts_live_keys(tmp_path):
+    db = LSMStore(tmp_path, SMALL)
+    db.put(b"a", b"1")
+    db.put(b"b", b"2")
+    db.delete(b"a")
+    assert len(db) == 1
+    db.close()
+
+
+_key = st.binary(min_size=1, max_size=6)
+_value = st.binary(min_size=0, max_size=20).filter(lambda v: v != TOMBSTONE)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]), _key, _value),
+        max_size=120,
+    )
+)
+def test_property_lsm_matches_dict_model(tmp_path_factory, ops):
+    tmp = tmp_path_factory.mktemp("lsm")
+    db = LSMStore(tmp, LSMConfig(memtable_bytes=256, l0_compaction_trigger=2))
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            db.put(key, value)
+            model[key] = value
+        else:
+            db.delete(key)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert db.get(key) == value
+    assert dict(db.scan()) == model
+    db.close()
+    reopened = LSMStore(tmp, LSMConfig(memtable_bytes=256, l0_compaction_trigger=2))
+    assert dict(reopened.scan()) == model
+    reopened.close()

@@ -1,0 +1,59 @@
+"""Unit tests for the in-memory KV store (Parity's state backend)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import MemKVStore
+
+
+def test_put_get_delete():
+    store = MemKVStore()
+    store.put(b"a", b"1")
+    assert store.get(b"a") == b"1"
+    store.delete(b"a")
+    assert store.get(b"a") is None
+
+
+def test_delete_missing_is_noop():
+    store = MemKVStore()
+    store.delete(b"ghost")
+    assert store.approx_bytes() == 0
+
+
+def test_contains():
+    store = MemKVStore()
+    store.put(b"a", b"1")
+    assert b"a" in store
+    assert b"b" not in store
+
+
+def test_byte_accounting_on_overwrite():
+    store = MemKVStore()
+    store.put(b"k", b"12345")
+    store.put(b"k", b"1")
+    assert store.approx_bytes() == len(b"k") + 1
+
+
+def test_scan_ordered_with_prefix():
+    store = MemKVStore()
+    for key in [b"b:2", b"a:1", b"b:1", b"c:9"]:
+        store.put(key, b"v")
+    assert [k for k, _ in store.scan(b"b:")] == [b"b:1", b"b:2"]
+    assert [k for k, _ in store.scan()] == [b"a:1", b"b:1", b"b:2", b"c:9"]
+
+
+def test_memory_cap_raises_oom():
+    store = MemKVStore(memory_cap_bytes=100)
+    with pytest.raises(StorageError, match="out of memory"):
+        for i in range(100):
+            store.put(f"key-{i}".encode(), b"x" * 10)
+
+
+def test_op_counters():
+    store = MemKVStore()
+    store.put(b"a", b"1")
+    store.get(b"a")
+    store.get(b"b")
+    store.delete(b"a")
+    assert store.write_ops == 2
+    assert store.read_ops == 2

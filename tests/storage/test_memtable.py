@@ -1,0 +1,81 @@
+"""MemTable unit tests: byte accounting, tombstones, flush ordering."""
+
+import pytest
+
+from repro.storage.lsm.memtable import TOMBSTONE, MemTable
+
+
+def test_put_then_get():
+    table = MemTable()
+    table.put(b"a", b"1")
+    assert table.get(b"a") == b"1"
+    assert table.get(b"missing") is None
+
+
+def test_len_and_bool():
+    table = MemTable()
+    assert not table
+    assert len(table) == 0
+    table.put(b"a", b"1")
+    table.put(b"b", b"2")
+    assert table
+    assert len(table) == 2
+
+
+def test_delete_records_tombstone_not_removal():
+    """Deletes must shadow older on-disk versions, so the memtable keeps
+    an explicit marker instead of forgetting the key."""
+    table = MemTable()
+    table.put(b"a", b"1")
+    table.delete(b"a")
+    assert table.get(b"a") == TOMBSTONE
+    assert len(table) == 1
+
+
+def test_byte_accounting_grows_and_shrinks_on_overwrite():
+    table = MemTable()
+    table.put(b"key", b"v" * 100)
+    assert table.approx_bytes == 3 + 100
+    table.put(b"key", b"v" * 10)  # overwrite with smaller value
+    assert table.approx_bytes == 3 + 10
+    table.put(b"key2", b"w" * 5)
+    assert table.approx_bytes == 3 + 10 + 4 + 5
+
+
+def test_byte_accounting_counts_tombstones():
+    table = MemTable()
+    table.put(b"k", b"value-bytes")
+    table.delete(b"k")
+    assert table.approx_bytes == 1 + len(TOMBSTONE)
+
+
+def test_sorted_items_is_key_ordered_and_includes_tombstones():
+    table = MemTable()
+    table.put(b"b", b"2")
+    table.put(b"a", b"1")
+    table.put(b"c", b"3")
+    table.delete(b"b")
+    items = list(table.sorted_items())
+    assert [k for k, _ in items] == [b"a", b"b", b"c"]
+    assert dict(items)[b"b"] == TOMBSTONE
+
+
+def test_clear_resets_everything():
+    table = MemTable()
+    table.put(b"a", b"1")
+    table.clear()
+    assert not table
+    assert table.approx_bytes == 0
+    assert table.get(b"a") is None
+
+
+@pytest.mark.parametrize("n", [1, 10, 250])
+def test_sorted_items_matches_dict_contents(n):
+    table = MemTable()
+    expected = {}
+    for i in range(n):
+        key = f"k{i:05d}".encode()
+        value = f"v{i}".encode()
+        table.put(key, value)
+        expected[key] = value
+    assert dict(table.sorted_items()) == expected

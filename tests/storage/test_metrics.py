@@ -1,0 +1,30 @@
+"""Unit tests for storage reporting."""
+
+from repro.storage import LSMStore, MemKVStore, report_for
+
+
+def test_report_for_memkv():
+    store = MemKVStore()
+    store.put(b"k", b"vvv")
+    report = report_for(store, "parity-mem")
+    assert report.backend == "parity-mem"
+    assert report.live_bytes == 4
+    assert report.disk_bytes == 0
+    assert report.write_ops == 1
+
+
+def test_report_for_lsm(tmp_path):
+    db = LSMStore(tmp_path)
+    db.put(b"k", b"v")
+    db.flush()
+    report = report_for(db, "leveldb")
+    assert report.disk_bytes > 0
+    assert report.flushes == 1
+    db.close()
+
+
+def test_write_amplification_zero_when_empty(tmp_path):
+    db = LSMStore(tmp_path)
+    report = report_for(db)
+    assert report.write_amplification == 0.0
+    db.close()

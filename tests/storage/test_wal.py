@@ -1,0 +1,65 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.storage import WriteAheadLog
+
+
+def test_append_and_replay(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"k1", b"v1")
+    wal.append(b"k2", b"v2")
+    wal.sync()
+    wal.close()
+    assert list(WriteAheadLog.replay(path)) == [(b"k1", b"v1"), (b"k2", b"v2")]
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    assert list(WriteAheadLog.replay(tmp_path / "absent.log")) == []
+
+
+def test_torn_tail_tolerated(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"good", b"record")
+    wal.sync()
+    wal.close()
+    with open(path, "ab") as f:
+        f.write(b"\x00\x00\x00\x01\x00\x00\x00\x05")  # header without payload
+    assert list(WriteAheadLog.replay(path)) == [(b"good", b"record")]
+
+
+def test_corrupted_record_detected(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"key", b"value")
+    wal.sync()
+    wal.close()
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF  # flip a payload byte; CRC must catch it
+    path.write_bytes(bytes(blob))
+    with pytest.raises(CorruptionError):
+        list(WriteAheadLog.replay(path))
+
+
+def test_reset_truncates(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"k", b"v")
+    wal.reset()
+    wal.append(b"k2", b"v2")
+    wal.sync()
+    wal.close()
+    assert list(WriteAheadLog.replay(path)) == [(b"k2", b"v2")]
+
+
+def test_empty_values_roundtrip(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"", b"")
+    wal.append(b"k", b"")
+    wal.sync()
+    wal.close()
+    assert list(WriteAheadLog.replay(path)) == [(b"", b""), (b"k", b"")]

@@ -1,0 +1,147 @@
+"""CLI tests: drive ``blockbench`` in-process through ``main``."""
+
+import json
+
+import pytest
+
+from repro.cli import PLATFORM_NAMES, WORKLOAD_NAMES, main
+
+
+def test_list_names_every_platform_and_workload(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in PLATFORM_NAMES + WORKLOAD_NAMES:
+        assert name in out
+
+
+def test_run_prints_summary_table(capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "ycsb",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "40",
+            "--duration", "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hyperledger / ycsb" in out
+    assert "throughput (tx/s)" in out
+    assert "confirmed" in out
+
+
+def test_run_json_output_is_parseable(capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "donothing",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "40",
+            "--duration", "5",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["platform"] == "hyperledger"
+    assert payload["confirmed"] > 0
+    assert payload["throughput_tx_s"] > 0
+    assert payload["main_branch_blocks"] <= payload["total_blocks"]
+
+
+def test_run_crash_flag_kills_quorum(capsys):
+    """Crashing 2 of 4 PBFT nodes mid-run halts commits (quorum 3)."""
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "ycsb",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "40",
+            "--duration", "10",
+            "--crash", "2",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    # The run still reports, and well under the full offered load landed.
+    assert payload["confirmed"] < 10 * 2 * 40
+
+
+def test_run_subscribe_on_polling_platform_fails_cleanly(capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "ethereum",
+            "--workload", "ycsb",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "10",
+            "--duration", "3",
+            "--subscribe",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "publish/subscribe" in err
+
+
+def test_run_export_dir_writes_csv_series(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "ycsb",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "40",
+            "--duration", "5",
+            "--export-dir", str(tmp_path / "out"),
+            "--json",
+        ]
+    )
+    assert code == 0
+    names = {p.name for p in (tmp_path / "out").iterdir()}
+    assert names == {
+        "summary.csv", "queue.csv", "latency_cdf.csv", "commits.csv", "run.csv",
+    }
+    summary = (tmp_path / "out" / "summary.csv").read_text().splitlines()
+    assert summary[0].startswith("platform,")
+    assert len(summary) == 2
+
+
+def test_attack_json_reports_fork_metrics(capsys):
+    code = main(
+        [
+            "attack",
+            "--platform", "ethereum",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "10",
+            "--start", "10",
+            "--length", "15",
+            "--total", "40",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_blocks"] >= payload["main_branch_blocks"]
+    assert 0.0 < payload["fork_ratio"] <= 1.0
+
+
+def test_rejects_unknown_platform():
+    with pytest.raises(SystemExit):
+        main(["run", "--platform", "nosuchchain"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

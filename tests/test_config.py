@@ -1,0 +1,72 @@
+"""Unit tests for platform configuration presets."""
+
+import pytest
+
+from repro.config import (
+    PLATFORM_PRESETS,
+    erisdb_config,
+    ethereum_config,
+    hyperledger_config,
+    parity_config,
+)
+
+
+def test_presets_registry():
+    assert set(PLATFORM_PRESETS) == {
+        "ethereum",
+        "parity",
+        "hyperledger",
+        "erisdb",
+    }
+    for name, factory in PLATFORM_PRESETS.items():
+        assert factory().name == name
+
+
+def test_ethereum_defaults_match_paper_setup():
+    config = ethereum_config()
+    assert config.pow.base_block_interval == 2.5  # ~2.5 s/block at 8 nodes
+    assert config.pow.confirmation_depth == 5  # confirmationLength
+    assert config.block_gas_limit is not None
+
+
+def test_parity_defaults_match_paper_setup():
+    config = parity_config()
+    assert config.poa.step_duration == 1.0  # stepDuration = 1
+    assert config.signing_cost_s > 0.01  # the signing bottleneck
+    assert config.intake_rate_tx_s == 80.0  # "around 80 tx/s"
+    assert config.block_gas_limit is None  # "not applicable to local txs"
+
+
+def test_hyperledger_defaults_match_paper_setup():
+    config = hyperledger_config()
+    assert config.pbft.batch_size == 500  # "default batch size is 500"
+    assert config.inbox_capacity is not None  # the bounded channel
+    assert config.pbft.request_timeout > 0
+
+
+def test_erisdb_defaults_compose_measured_platforms():
+    """ErisDB = BFT-class consensus costs + EVM-class execution costs."""
+    config = erisdb_config()
+    eth = ethereum_config()
+    assert config.execution.seconds_per_gas == eth.execution.seconds_per_gas
+    assert config.tendermint.max_txs_per_block == 500
+    assert config.block_gas_limit is None
+
+
+def test_overrides_apply():
+    config = ethereum_config(block_gas_limit=123)
+    assert config.block_gas_limit == 123
+
+
+def test_execution_cost_ordering():
+    """Native chaincode < optimized EVM < geth EVM per unit of gas."""
+    eth = ethereum_config().execution.seconds_per_gas
+    par = parity_config().execution.seconds_per_gas
+    hlf = hyperledger_config().execution.seconds_per_gas
+    assert hlf <= par < eth
+
+
+def test_configs_frozen():
+    config = ethereum_config()
+    with pytest.raises(Exception):
+        config.name = "other"

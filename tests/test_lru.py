@@ -1,0 +1,60 @@
+"""Unit tests for the LRU cache."""
+
+import pytest
+
+from repro.util.lru import LRUCache
+
+
+def test_basic_get_put():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("b") is None
+
+
+def test_eviction_order():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+
+
+def test_overwrite_refreshes():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    cache.put("c", 3)  # evicts b, not a
+    assert cache.get("a") == 10
+    assert cache.get("b") is None
+
+
+def test_hit_rate():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("missing")
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate() == 0.5
+
+
+def test_hit_rate_empty():
+    assert LRUCache(1).hit_rate() == 0.0
+
+
+def test_len_and_contains():
+    cache = LRUCache(3)
+    cache.put("a", 1)
+    assert len(cache) == 1
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        LRUCache(0)

@@ -1,0 +1,93 @@
+"""Correctness tests for the analytics workload (Q1/Q2 vs ground truth)."""
+
+import pytest
+
+from repro.platforms import build_cluster
+from repro.workloads import preload_history, run_q1, run_q2
+
+N_BLOCKS = 60
+
+
+@pytest.fixture(params=["ethereum", "parity", "hyperledger", "erisdb"])
+def loaded(request):
+    cluster = build_cluster(request.param, 2, seed=23)
+    preload = preload_history(
+        cluster, n_blocks=N_BLOCKS, txs_per_block=3, n_accounts=30, seed=5
+    )
+    yield cluster, preload
+    cluster.close()
+
+
+def test_preload_installs_history(loaded):
+    cluster, preload = loaded
+    assert cluster.chain_height() == N_BLOCKS
+    assert len(preload.transfers) == N_BLOCKS * 3
+    # All nodes carry identical chains.
+    tips = {node.chain().tip.hash for node in cluster.nodes}
+    assert len(tips) == 1
+
+
+def test_q1_exact_answer(loaded):
+    cluster, preload = loaded
+    result = run_q1(cluster, 10, 40)
+    assert result.answer == preload.q1_reference(10, 40)
+    assert result.rpc_count == 30
+    assert result.latency_s > 0
+
+
+def test_q1_empty_range(loaded):
+    cluster, preload = loaded
+    result = run_q1(cluster, 20, 20)
+    assert result.answer == 0
+    assert result.rpc_count == 0
+
+
+def test_q2_exact_answer(loaded):
+    cluster, preload = loaded
+    # Pick an account that actually appears in the range.
+    account = preload.transfers[len(preload.transfers) // 2][1]
+    result = run_q2(cluster, account, 5, 55)
+    if cluster.platform == "hyperledger":
+        expected = preload.q2_reference_hyperledger(account, 5, 55)
+        assert result.rpc_count == 1
+    else:
+        expected = preload.q2_reference_ethereum(account, 5, 55)
+        assert result.rpc_count == 51
+    assert result.answer == expected
+    assert result.answer > 0
+
+
+def test_q2_rpc_count_shape(loaded):
+    """The paper's Figure 13b mechanism: RPC counts differ by design."""
+    cluster, preload = loaded
+    account = preload.account_names[0]
+    result = run_q2(cluster, account, 30, 50)
+    if cluster.platform == "hyperledger":
+        assert result.rpc_count == 1
+    else:
+        assert result.rpc_count == 21
+
+
+def test_q2_latency_scales_with_blocks_on_ethereum():
+    cluster = build_cluster("ethereum", 2, seed=23)
+    preload = preload_history(
+        cluster, n_blocks=N_BLOCKS, txs_per_block=3, n_accounts=30, seed=5
+    )
+    account = preload.account_names[0]
+    small = run_q2(cluster, account, 50, 55, tag="s")
+    large = run_q2(cluster, account, 5, 55, tag="l")
+    assert large.latency_s > 3 * small.latency_s
+    cluster.close()
+
+
+def test_q2_latency_constant_on_hyperledger():
+    cluster = build_cluster("hyperledger", 2, seed=23)
+    preload = preload_history(
+        cluster, n_blocks=N_BLOCKS, txs_per_block=3, n_accounts=30, seed=5
+    )
+    account = preload.account_names[0]
+    small = run_q2(cluster, account, 50, 55, tag="s")
+    large = run_q2(cluster, account, 5, 55, tag="l")
+    # One chaincode query either way: latency within a small factor.
+    assert large.latency_s < 3 * small.latency_s
+    cluster.close()
