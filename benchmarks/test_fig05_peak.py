@@ -5,9 +5,13 @@ minutes per point. Expected shape: Hyperledger ~1273 tx/s >> Ethereum
 ~284 >> Parity ~45 on YCSB; Parity lowest latency, Ethereum highest;
 Smallbank ~10% lower throughput / ~20% higher latency than YCSB on
 Hyperledger and Ethereum, unchanged on Parity.
+
+The sweep is one declarative ScenarioSuite: a YCSB rate grid plus a
+Smallbank point per platform, expanded and executed by the scenario
+engine instead of hand-rolled loops.
 """
 
-from repro.core import ExperimentSpec, format_table, run_experiment
+from repro.core import ScenarioSpec, ScenarioSuite, format_table
 
 from _common import (
     BASE_DURATION,
@@ -21,50 +25,60 @@ from _common import (
 
 RATES = (8, 64, 256)  # tx/s per client (paper sweeps 8..1024)
 
-
-def _run(platform, workload, rate, seed=5):
-    return run_experiment(
-        ExperimentSpec(
-            platform=platform,
-            workload=workload,
-            n_servers=8,
-            n_clients=8,
-            request_rate_tx_s=rate,
-            duration_s=BASE_DURATION,
-            seed=seed,
-        )
-    )
+SUITE = ScenarioSuite(
+    name="fig05",
+    scenarios=[
+        ScenarioSpec(
+            name="ycsb",
+            platforms=PLATFORMS,
+            workloads="ycsb",
+            servers=8,
+            clients=8,
+            rates=RATES,
+            durations=BASE_DURATION,
+            seeds=5,
+        ),
+        ScenarioSpec(
+            name="smallbank",
+            platforms=PLATFORMS,
+            workloads="smallbank",
+            servers=8,
+            clients=8,
+            rates=max(RATES),
+            durations=BASE_DURATION,
+            seeds=5,
+        ),
+    ],
+)
 
 
 def test_fig05_peak_performance(benchmark):
-    def run():
-        rows = []
-        sweep_rows = []
-        for platform in PLATFORMS:
-            results = {}
-            for rate in RATES:
-                result = _run(platform, "ycsb", rate)
-                results[rate] = result
-                sweep_rows.append(
-                    [platform, rate * 8, f"{result.throughput:.0f}",
-                     f"{result.latency:.2f}"]
-                )
-            peak = max(results.values(), key=lambda r: r.throughput)
-            bank = _run(platform, "smallbank", max(RATES))
-            rows.append(
-                [
-                    platform,
-                    f"{peak.throughput:.0f}",
-                    PAPER_PEAK_TPS[platform],
-                    f"{peak.latency:.1f}",
-                    PAPER_PEAK_LATENCY[platform],
-                    f"{bank.throughput:.0f}",
-                    PAPER_PEAK_TPS_SMALLBANK[platform],
-                ]
-            )
-        return rows, sweep_rows
+    suite_result = once(benchmark, SUITE.run)
 
-    rows, sweep_rows = once(benchmark, run)
+    rows = []
+    sweep_rows = []
+    for platform in PLATFORMS:
+        for rate in RATES:
+            result = suite_result.one(
+                scenario="ycsb", platform=platform, rate=float(rate)
+            )
+            sweep_rows.append(
+                [platform, rate * 8, f"{result.throughput:.0f}",
+                 f"{result.latency:.2f}"]
+            )
+        peak = suite_result.peak(scenario="ycsb", platform=platform)
+        bank = suite_result.one(scenario="smallbank", platform=platform)
+        rows.append(
+            [
+                platform,
+                f"{peak.throughput:.0f}",
+                PAPER_PEAK_TPS[platform],
+                f"{peak.latency:.1f}",
+                PAPER_PEAK_LATENCY[platform],
+                f"{bank.throughput:.0f}",
+                PAPER_PEAK_TPS_SMALLBANK[platform],
+            ]
+        )
     table_a = format_table(
         [
             "platform",

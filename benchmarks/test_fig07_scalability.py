@@ -18,46 +18,53 @@ implementation carries PBFT's state-transfer path, so the storm churns
 instead of killing the node outright — see the channel-capacity
 ablation (`test_abl_pbft_channel.py`), which reproduces the terminal
 form by shrinking the channel until view-change votes themselves drop.
+
+The sweep itself is a single ScenarioSpec: ``clients=None`` pins the
+client axis to the server axis, the paper's clients = servers setup.
 """
 
-from repro.core import ExperimentSpec, format_table, run_experiment
+from repro.core import ScenarioSpec, ScenarioSuite, format_table
 
 from _common import BASE_DURATION, PLATFORMS, emit, once
 
 SIZES = (4, 8, 16, 20)  # paper sweeps 1..32; trimmed for wall time
 RATE = 80  # tx/s per client, clients = servers
 
+SUITE = ScenarioSuite(
+    name="fig07",
+    scenarios=[
+        ScenarioSpec(
+            name="scalability",
+            platforms=PLATFORMS,
+            workloads="ycsb",
+            servers=SIZES,
+            clients=None,  # match servers point-by-point
+            rates=RATE,
+            durations=BASE_DURATION,
+            seeds=7,
+        )
+    ],
+)
+
 
 def test_fig07_scalability(benchmark):
-    def run():
-        rows = []
-        measured = {}
-        for platform in PLATFORMS:
-            for size in SIZES:
-                result = run_experiment(
-                    ExperimentSpec(
-                        platform=platform,
-                        workload="ycsb",
-                        n_servers=size,
-                        n_clients=size,
-                        request_rate_tx_s=RATE,
-                        duration_s=BASE_DURATION,
-                        seed=7,
-                    )
-                )
-                measured[(platform, size)] = result
-                rows.append(
-                    [
-                        platform,
-                        size,
-                        f"{result.throughput:.0f}",
-                        f"{result.latency:.1f}",
-                        result.view_changes,
-                    ]
-                )
-        return rows, measured
+    suite_result = once(benchmark, SUITE.run)
 
-    rows, measured = once(benchmark, run)
+    rows = []
+    measured = {}
+    for platform in PLATFORMS:
+        for size in SIZES:
+            result = suite_result.one(platform=platform, servers=size)
+            measured[(platform, size)] = result
+            rows.append(
+                [
+                    platform,
+                    size,
+                    f"{result.throughput:.0f}",
+                    f"{result.latency:.1f}",
+                    result.view_changes,
+                ]
+            )
     emit(
         "fig07_scalability",
         format_table(

@@ -4,68 +4,86 @@ Paper shape: doubling the block size roughly halves the block
 generation rate on every platform, so overall throughput does not
 improve. Knobs per platform (as in Appendix B): Hyperledger's
 ``batchSize``, Ethereum's ``gasLimit``, Parity's ``stepDuration``.
+
+Each platform's knob sweep is a ScenarioSpec ``configs`` axis:
+(label, platform config) pairs expanded by the scenario engine, with
+the label carried through to the merged result for lookup.
 """
 
 from dataclasses import replace
 
 from repro.config import ethereum_config, hyperledger_config, parity_config
-from repro.core import ExperimentSpec, format_table, run_experiment
+from repro.core import ScenarioSpec, ScenarioSuite, format_table
 
 from _common import BASE_DURATION, emit, once
 
 
-def _run(platform, config, seed=15):
-    result = run_experiment(
-        ExperimentSpec(
-            platform=platform,
-            workload="ycsb",
-            n_servers=8,
-            n_clients=8,
-            request_rate_tx_s=256,
-            duration_s=BASE_DURATION,
-            seed=seed,
-            config=config,
-        )
+def _hlf_config(batch):
+    config = hyperledger_config()
+    return replace(config, pbft=replace(config.pbft, batch_size=batch))
+
+
+def _parity_config(step):
+    config = parity_config()
+    return replace(config, poa=replace(config.poa, step_duration=step))
+
+
+def _scenario(platform, configs):
+    return ScenarioSpec(
+        name=platform,
+        platforms=platform,
+        workloads="ycsb",
+        servers=8,
+        clients=8,
+        rates=256,
+        durations=BASE_DURATION,
+        seeds=15,
+        configs=configs,
     )
-    block_rate = result.chain_height / BASE_DURATION
-    return block_rate, result.throughput
+
+
+# Labels double as the table's knob column, small to large; the
+# config axis is the single source of truth for the sweep values.
+SUITE = ScenarioSuite(
+    name="fig15",
+    scenarios=[
+        _scenario(
+            "hyperledger",
+            [(f"batch={batch}", _hlf_config(batch)) for batch in (250, 500, 1000)],
+        ),
+        _scenario(
+            "ethereum",
+            [
+                (f"gasLimit={factor:.1f}x",
+                 ethereum_config(block_gas_limit=int(20_000_000 * factor)))
+                for factor in (0.5, 1.0, 2.0)
+            ],
+        ),
+        _scenario(
+            "parity",
+            [(f"step={step}s", _parity_config(step)) for step in (0.5, 1.0, 2.0)],
+        ),
+    ],
+)
+
+#: Knob labels per platform, small to large (from the configs axis).
+LABELS = {s.name: [label for label, _ in s.configs] for s in SUITE.scenarios}
 
 
 def test_fig15_block_size(benchmark):
-    def run():
-        rows = []
-        rates = {}
-        # Hyperledger: batchSize 250 / 500 / 1000.
-        for label, batch in (("small", 250), ("medium", 500), ("large", 1000)):
-            config = hyperledger_config()
-            config = replace(config, pbft=replace(config.pbft, batch_size=batch))
-            block_rate, throughput = _run("hyperledger", config)
-            rates[("hyperledger", label)] = (block_rate, throughput)
-            rows.append(["hyperledger", f"batch={batch}", f"{block_rate:.2f}",
-                         f"{throughput:.0f}"])
-        # Ethereum: gasLimit 0.5x / 1x / 2x.
-        base_gas = 20_000_000
-        for label, factor in (("small", 0.5), ("medium", 1.0), ("large", 2.0)):
-            config = ethereum_config(block_gas_limit=int(base_gas * factor))
-            block_rate, throughput = _run("ethereum", config)
-            rates[("ethereum", label)] = (block_rate, throughput)
-            rows.append(
-                ["ethereum", f"gasLimit={factor:.1f}x", f"{block_rate:.2f}",
-                 f"{throughput:.0f}"]
-            )
-        # Parity: stepDuration 0.5 / 1 / 2 seconds.
-        for label, step in (("small", 0.5), ("medium", 1.0), ("large", 2.0)):
-            config = parity_config()
-            config = replace(config, poa=replace(config.poa, step_duration=step))
-            block_rate, throughput = _run("parity", config)
-            rates[("parity", label)] = (block_rate, throughput)
-            rows.append(
-                ["parity", f"step={step}s", f"{block_rate:.2f}",
-                 f"{throughput:.0f}"]
-            )
-        return rows, rates
+    suite_result = once(benchmark, SUITE.run)
 
-    rows, rates = once(benchmark, run)
+    rows = []
+    rates = {}
+    for platform, labels in LABELS.items():
+        for label in labels:
+            result = suite_result.one(platform=platform, label=label)
+            block_rate = result.chain_height / BASE_DURATION
+            rates[(platform, label)] = (block_rate, result.throughput)
+            rows.append(
+                [platform, label, f"{block_rate:.2f}",
+                 f"{result.throughput:.0f}"]
+            )
     emit(
         "fig15_blocksize",
         format_table(
@@ -75,11 +93,10 @@ def test_fig15_block_size(benchmark):
         ),
     )
     for platform in ("hyperledger", "parity"):
-        small_rate = rates[(platform, "small")][0]
-        large_rate = rates[(platform, "large")][0]
+        small, large = LABELS[platform][0], LABELS[platform][-1]
+        small_rate, small_tps = rates[(platform, small)]
+        large_rate, large_tps = rates[(platform, large)]
         # Bigger blocks => proportionally fewer blocks per second.
         assert large_rate < small_rate
         # ... and throughput does not improve meaningfully.
-        small_tps = rates[(platform, "small")][1]
-        large_tps = rates[(platform, "large")][1]
         assert large_tps < 1.5 * max(small_tps, 1e-9)

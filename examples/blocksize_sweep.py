@@ -6,8 +6,11 @@ overall throughput does not improve — the paper's argument that block
 size is not the lever that fixes blockchain throughput. Each platform
 exposes the knob differently, exactly as the paper describes:
 Hyperledger's ``batchSize``, Ethereum's ``gasLimit`` and Parity's
-``stepDuration``; this example shows how to override a platform config
-per run.
+``stepDuration``.
+
+Per-run config overrides ride the ScenarioSpec ``configs`` axis:
+(label, platform config) pairs that the scenario engine expands into
+the grid, carrying the label into the merged result.
 
 Run:  python examples/blocksize_sweep.py
 """
@@ -15,49 +18,68 @@ Run:  python examples/blocksize_sweep.py
 from dataclasses import replace
 
 from repro.config import ethereum_config, hyperledger_config, parity_config
-from repro.core import ExperimentSpec, format_table, run_experiment
+from repro.core import ScenarioSpec, ScenarioSuite, format_table
 
 DURATION = 30.0
 
 
-def run_one(platform, config):
-    result = run_experiment(
-        ExperimentSpec(
-            platform=platform,
-            workload="ycsb",
-            n_servers=4,
-            n_clients=4,
-            request_rate_tx_s=256,
-            duration_s=DURATION,
-            seed=15,
-            config=config,
-        )
+def knob_scenario(platform, configs):
+    """One platform's block-size sweep as a config-axis scenario."""
+    return ScenarioSpec(
+        name=platform,
+        platforms=platform,
+        workloads="ycsb",
+        servers=4,
+        clients=4,
+        rates=256,
+        durations=DURATION,
+        seeds=15,
+        configs=configs,
     )
-    return result.chain_height / DURATION, result.throughput
 
 
 def main() -> None:
-    rows = []
-    # Hyperledger: batchSize (the paper's direct knob).
-    for batch in (250, 500, 1000):
-        config = hyperledger_config()
-        config = replace(config, pbft=replace(config.pbft, batch_size=batch))
-        block_rate, tps = run_one("hyperledger", config)
-        rows.append(["hyperledger", f"batchSize={batch}", f"{block_rate:.2f}",
-                     f"{tps:.0f}"])
-    # Ethereum: gasLimit bounds how many transactions fit a block.
-    for factor in (0.5, 1.0, 2.0):
-        config = ethereum_config(block_gas_limit=int(20_000_000 * factor))
-        block_rate, tps = run_one("ethereum", config)
-        rows.append(["ethereum", f"gasLimit={factor:.1f}x", f"{block_rate:.2f}",
-                     f"{tps:.0f}"])
-    # Parity: stepDuration stretches the authority's sealing slot.
-    for step in (0.5, 1.0, 2.0):
-        config = parity_config()
-        config = replace(config, poa=replace(config.poa, step_duration=step))
-        block_rate, tps = run_one("parity", config)
-        rows.append(["parity", f"stepDuration={step}s", f"{block_rate:.2f}",
-                     f"{tps:.0f}"])
+    hlf = hyperledger_config()
+    par = parity_config()
+    suite = ScenarioSuite(
+        name="blocksize-sweep",
+        scenarios=[
+            knob_scenario(
+                "hyperledger",
+                [
+                    (f"batchSize={batch}",
+                     replace(hlf, pbft=replace(hlf.pbft, batch_size=batch)))
+                    for batch in (250, 500, 1000)
+                ],
+            ),
+            knob_scenario(
+                "ethereum",
+                [
+                    (f"gasLimit={factor:.1f}x",
+                     ethereum_config(block_gas_limit=int(20_000_000 * factor)))
+                    for factor in (0.5, 1.0, 2.0)
+                ],
+            ),
+            knob_scenario(
+                "parity",
+                [
+                    (f"stepDuration={step}s",
+                     replace(par, poa=replace(par.poa, step_duration=step)))
+                    for step in (0.5, 1.0, 2.0)
+                ],
+            ),
+        ],
+    )
+    result = suite.run()
+    rows = [
+        [
+            run.spec.platform,
+            run.spec.label,
+            f"{run.chain_height / DURATION:.2f}",
+            f"{run.throughput:.0f}",
+        ]
+        for run in result.results
+    ]
     print(
         format_table(
             ["platform", "block-size knob", "blocks/s", "tx/s"],

@@ -6,35 +6,46 @@ scale: Hyperledger leads on throughput, Parity is capped at a constant
 rate by server-side signing (watch the rejected count), and Ethereum
 sits in between with the highest latency.
 
+The comparison is one declarative ScenarioSpec — the platform axis is
+the only thing that varies — executed by the scenario engine. The same
+grid expressed as JSON runs via ``blockbench suite`` (see
+examples/scenarios/peak_sweep.json).
+
 Run:  python examples/compare_platforms.py
 """
 
-from repro.core import ExperimentSpec, run_experiment
+from repro.core import ScenarioSpec, ScenarioSuite
 from repro.core.report import format_table
 
 
 def main() -> None:
+    suite = ScenarioSuite(
+        name="compare-platforms",
+        scenarios=[
+            ScenarioSpec(
+                name="ycsb",
+                platforms=("ethereum", "parity", "hyperledger"),
+                workloads="ycsb",
+                servers=4,
+                clients=4,
+                rates=100,
+                durations=60,
+                seeds=7,
+            )
+        ],
+    )
+    result = suite.run()
     rows = []
     for platform in ("ethereum", "parity", "hyperledger"):
-        result = run_experiment(
-            ExperimentSpec(
-                platform=platform,
-                workload="ycsb",
-                n_servers=4,
-                n_clients=4,
-                request_rate_tx_s=100,
-                duration_s=60,
-                seed=7,
-            )
-        )
-        summary = result.summary
+        run = result.one(platform=platform)
+        summary = run.summary
         rows.append(
             [
                 platform,
                 f"{summary.throughput_tx_s:.0f}",
                 f"{summary.latency_avg_s:.2f}",
                 summary.rejected,
-                result.chain_height,
+                run.chain_height,
                 summary.final_queue_length,
             ]
         )

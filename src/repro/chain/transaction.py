@@ -10,10 +10,10 @@ charge CPU for signature work where their real counterparts do.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-from ..crypto.hashing import hash_items, short_hex
+from ..crypto.hashing import hash_items
 from ..crypto.signatures import Signature
 
 _tx_counter = itertools.count()

@@ -1,18 +1,24 @@
 """Command-line interface to the BLOCKBENCH framework.
 
-Three subcommands cover the framework's day-to-day entry points:
+Four subcommands cover the framework's day-to-day entry points:
 
 ``blockbench run``
     One macro-benchmark experiment (the Driver pipeline of Figure 4):
     pick a platform, a workload, cluster and client counts, and get the
     paper's metrics — throughput, latency percentiles, queue growth.
 
+``blockbench suite``
+    A declarative measurement campaign: a JSON scenario file expands
+    into a grid of experiments (platform x workload x servers x rate x
+    seed ...), runs it — optionally fanned out across CPU cores — and
+    emits one merged summary (see ``repro.core.scenario``).
+
 ``blockbench attack``
     The Section 4.1.3 partition attack: split the network in half for a
     window and report the fork exposure (total vs main-branch blocks).
 
 ``blockbench list``
-    The available platforms and workloads.
+    The registered platforms, workloads, and consensus protocols.
 
 Examples
 --------
@@ -20,9 +26,13 @@ Examples
 
     blockbench run --platform hyperledger --workload ycsb \
         --servers 8 --clients 8 --rate 256 --duration 60
-    blockbench run --platform erisdb --workload smallbank --subscribe
+    blockbench suite examples/scenarios/peak_sweep.json --processes 4
     blockbench attack --platform ethereum --start 100 --length 150
     blockbench list
+
+Platform and workload names come from the plugin registries
+(``repro.registry``); a backend registered by a third-party module is
+immediately addressable from every subcommand.
 
 ``main`` returns an exit code instead of calling ``sys.exit`` so tests
 (and other programs) can drive the CLI in-process.
@@ -41,24 +51,25 @@ from .core import (
     CrashFault,
     Driver,
     DriverConfig,
+    ScenarioSuite,
     format_table,
     run_experiment,
     run_partition_attack,
 )
 from .errors import ReproError
+from .registry import CONSENSUS, PLATFORMS, WORKLOADS
 
-#: Platform names accepted by ``repro.platforms.build_cluster``.
-PLATFORM_NAMES = ("ethereum", "parity", "hyperledger", "erisdb")
+# Importing these populates the registries with the built-ins.
+from . import consensus as _consensus  # noqa: F401
+from . import platforms as _platforms  # noqa: F401
+from . import workloads as _workloads  # noqa: F401
+
+#: Platform names accepted by ``repro.platforms.build_cluster``
+#: (registry-derived; kept as a tuple for backwards compatibility).
+PLATFORM_NAMES = tuple(PLATFORMS.names())
 
 #: Workload names accepted by ``repro.workloads.make_workload``.
-WORKLOAD_NAMES = (
-    "ycsb",
-    "smallbank",
-    "etherid",
-    "doubler",
-    "wavespresale",
-    "donothing",
-)
+WORKLOAD_NAMES = tuple(WORKLOADS.names())
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,8 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one macro-benchmark experiment")
-    run.add_argument("--platform", choices=PLATFORM_NAMES, default="hyperledger")
-    run.add_argument("--workload", choices=WORKLOAD_NAMES, default="ycsb")
+    run.add_argument(
+        "--platform", choices=PLATFORMS.names(), default="hyperledger"
+    )
+    run.add_argument("--workload", choices=WORKLOADS.names(), default="ycsb")
     run.add_argument("--servers", type=int, default=8)
     run.add_argument("--clients", type=int, default=8)
     run.add_argument(
@@ -97,10 +110,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write plot-ready CSV series (summary, queue, CDF, commits)",
     )
 
+    suite = sub.add_parser(
+        "suite", help="run a declarative scenario suite from a JSON file"
+    )
+    suite.add_argument("file", help="scenario file (see repro.core.scenario)")
+    suite.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help="fan the grid out across N worker processes",
+    )
+    suite.add_argument(
+        "--plugin", action="append", default=[], metavar="MODULE",
+        help="import MODULE first so its registered platforms/workloads "
+             "are available (repeatable)",
+    )
+    suite.add_argument("--json", action="store_true", help="machine-readable output")
+    suite.add_argument(
+        "--export-dir", metavar="DIR",
+        help="write the merged grid and per-run summaries as CSV",
+    )
+
     attack = sub.add_parser(
         "attack", help="partition the network in half and measure forks"
     )
-    attack.add_argument("--platform", choices=PLATFORM_NAMES, default="ethereum")
+    attack.add_argument(
+        "--platform", choices=PLATFORMS.names(), default="ethereum"
+    )
     attack.add_argument("--servers", type=int, default=8)
     attack.add_argument("--clients", type=int, default=8)
     attack.add_argument("--rate", type=float, default=20.0)
@@ -278,17 +312,75 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    import importlib
+
+    for module_name in args.plugin:
+        try:
+            importlib.import_module(module_name)
+        except ImportError as exc:
+            print(
+                f"error: cannot import plugin {module_name!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    suite = ScenarioSuite.from_file(args.file)
+    if args.processes > 1:
+        total = len(suite.expand())
+        print(
+            f"suite {suite.name}: {total} runs across "
+            f"{min(args.processes, total)} processes",
+            file=sys.stderr,
+        )
+        result = suite.run(processes=args.processes, plugin_modules=args.plugin)
+    else:
+        def progress(index: int, count: int, spec: ExperimentSpec) -> None:
+            point = f"{spec.platform}/{spec.workload}"
+            if spec.label:
+                point += f" [{spec.label}]"
+            print(
+                f"[{index + 1}/{count}] {point}: {spec.n_servers} servers, "
+                f"{spec.n_clients} clients @ {spec.request_rate_tx_s:g} tx/s",
+                file=sys.stderr,
+            )
+
+        result = suite.run(progress=progress)
+    if args.export_dir:
+        paths = result.export(args.export_dir)
+        print(f"wrote {', '.join(p.name for p in paths)} to {args.export_dir}/",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_json()))
+    else:
+        print(result.format())
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("platforms:")
-    for name in PLATFORM_NAMES:
-        print(f"  {name}")
+    for name, spec in PLATFORMS.items():
+        line = f"  {name}"
+        if spec.description:
+            line += f" — {spec.description.splitlines()[0]}"
+        print(line)
     print("workloads:")
-    for name in WORKLOAD_NAMES:
+    for name, spec in WORKLOADS.items():
+        line = f"  {name}"
+        if spec.description:
+            line += f" — {spec.description.splitlines()[0]}"
+        print(line)
+    print("consensus protocols:")
+    for name in CONSENSUS.names():
         print(f"  {name}")
     return 0
 
 
-_COMMANDS = {"run": _cmd_run, "attack": _cmd_attack, "list": _cmd_list}
+_COMMANDS = {
+    "run": _cmd_run,
+    "suite": _cmd_suite,
+    "attack": _cmd_attack,
+    "list": _cmd_list,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -29,6 +29,7 @@ from typing import Any
 
 from ..chain.block import Block
 from ..crypto.hashing import Hash
+from ..registry import register_consensus
 from .base import ConsensusHost, ConsensusProtocol
 
 PRE_PREPARE = "pbft/pre-prepare"
@@ -75,6 +76,7 @@ class _LogEntry:
     executed: bool = False
 
 
+@register_consensus("pbft")
 class PBFT(ConsensusProtocol):
     """One replica's view of the PBFT protocol."""
 

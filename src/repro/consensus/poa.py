@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..chain.block import Block
+from ..registry import register_consensus
 from .base import ConsensusHost, ConsensusProtocol
 from .gossip import AncestorFetcher
 
@@ -41,6 +42,7 @@ class PoAConfig:
     seal_cost_s: float = 0.002
 
 
+@register_consensus("poa")
 class ProofOfAuthority(ConsensusProtocol):
     """One authority's view of the Aura rotation."""
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..chain.block import Block
+from ..registry import register_consensus
 from .base import ConsensusHost, ConsensusProtocol
 from .gossip import AncestorFetcher
 
@@ -59,6 +60,7 @@ class PoWConfig:
         return self.base_block_interval * scale
 
 
+@register_consensus("pow")
 class ProofOfWork(ConsensusProtocol):
     """One miner's view of the PoW protocol."""
 

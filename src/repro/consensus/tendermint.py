@@ -43,6 +43,7 @@ from typing import Any
 
 from ..chain.block import Block
 from ..crypto.hashing import Hash
+from ..registry import register_consensus
 from .base import ConsensusHost, ConsensusProtocol
 
 PROPOSAL = "tm/proposal"
@@ -130,6 +131,7 @@ class _RoundState:
         return None
 
 
+@register_consensus("tendermint")
 class Tendermint(ConsensusProtocol):
     """One validator's view of the Tendermint state machine."""
 

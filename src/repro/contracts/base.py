@@ -15,8 +15,8 @@ execution gap.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from abc import ABC
+from dataclasses import dataclass
 from typing import Any, Protocol
 
 from ..errors import ContractRevert

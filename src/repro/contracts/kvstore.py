@@ -6,7 +6,6 @@ matching the YCSB driver's operation mix.
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..errors import ContractRevert
 from .base import Contract, GasMeter, MeteredState, TxContext

@@ -23,6 +23,12 @@ from .faults import (
 )
 from .report import SUMMARY_HEADERS, format_table, summary_row
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
+from .scenario import (
+    ScenarioSpec,
+    ScenarioSuite,
+    SuiteResult,
+    build_fault_schedule,
+)
 from .security import AttackReport, ForkMonitor, ForkSample, run_partition_attack
 from .stats import StatsCollector, StatsSummary, merge_collectors
 from .workload import Workload, preload_state
@@ -50,6 +56,10 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "run_experiment",
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "SuiteResult",
+    "build_fault_schedule",
     "AttackReport",
     "ForkMonitor",
     "ForkSample",

@@ -10,7 +10,7 @@ by implementing this interface, exactly as in Figure 4.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, TYPE_CHECKING
+from typing import Callable, TYPE_CHECKING
 
 from ..chain import Transaction
 from ..errors import ConnectorError

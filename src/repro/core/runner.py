@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..platforms.cluster import Cluster, build_cluster
+from ..platforms.cluster import build_cluster
 from .driver import Driver, DriverConfig
 from .faults import FaultSchedule
 from .stats import StatsCollector, StatsSummary
@@ -35,6 +35,11 @@ class ExperimentSpec:
     faults: FaultSchedule | None = None
     config: Any = None  # platform config override
     drain_s: float = 5.0
+    #: Scenario bookkeeping, set by the scenario engine: which
+    #: ScenarioSpec expanded into this run, and a human label for the
+    #: grid point (e.g. a config-axis knob like ``batch=500``).
+    scenario: str = ""
+    label: str = ""
 
 
 @dataclass

@@ -1,0 +1,466 @@
+"""Declarative scenario suites: experiment grids as data, not scripts.
+
+The paper's figures are all points in one big grid — platform x
+workload x servers x clients x request rate x block size x fault
+schedule (Sections 3-4). The seed re-implemented each figure's sweep
+loop by hand; this module makes a sweep a *value*:
+
+* :class:`ScenarioSpec` — one named grid. Every axis accepts a scalar
+  or a list; ``expand()`` takes the cartesian product and yields one
+  :class:`~repro.core.runner.ExperimentSpec` per point.
+* :class:`ScenarioSuite` — an ordered set of scenarios, loadable from
+  a JSON file (the ``blockbench suite`` subcommand). ``run()``
+  executes the whole grid, optionally fanning out across CPU cores
+  with :mod:`multiprocessing`, and merges everything into a
+  :class:`SuiteResult`.
+* :class:`SuiteResult` — the merged outcome, consumed by the existing
+  export (CSV series) and report (ASCII table) layers, with
+  ``one()``/``lookup()`` accessors so harnesses can ask for grid
+  points by axis value instead of tracking loop indices.
+
+A scenario file looks like::
+
+    {
+      "name": "peak-sweep",
+      "scenarios": [
+        {
+          "name": "ycsb-peak",
+          "platforms": ["hyperledger", "ethereum"],
+          "workloads": "ycsb",
+          "servers": 4,
+          "rates": [50, 200],
+          "durations": 20,
+          "seeds": 42
+        }
+      ]
+    }
+
+Platform and workload names resolve through :mod:`repro.registry`, so
+scenario files can sweep third-party backends too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..errors import BenchmarkError
+from .export import export_summary, write_csv
+from .faults import (
+    CorruptionFault,
+    CrashFault,
+    DelayFault,
+    FaultSchedule,
+    PartitionFault,
+)
+from .report import format_table
+from .runner import ExperimentResult, ExperimentSpec, run_experiment
+from .stats import StatsSummary
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "SuiteResult",
+    "build_fault_schedule",
+]
+
+_FAULT_TYPES = {
+    "crashes": CrashFault,
+    "delays": DelayFault,
+    "corruptions": CorruptionFault,
+    "partitions": PartitionFault,
+}
+
+
+def build_fault_schedule(spec: dict[str, Any]) -> FaultSchedule:
+    """Turn a JSON-shaped fault dict into a fresh :class:`FaultSchedule`.
+
+    ``{"crashes": [{"at_time": 15, "count": 2}]}`` and friends; a fresh
+    schedule per run keeps the armed state from leaking across grid
+    points.
+    """
+    unknown = set(spec) - set(_FAULT_TYPES)
+    if unknown:
+        raise BenchmarkError(
+            f"unknown fault kinds {sorted(unknown)}; "
+            f"expected {sorted(_FAULT_TYPES)}"
+        )
+    kwargs = {}
+    for key, fault_type in _FAULT_TYPES.items():
+        entries = spec.get(key, [])
+        try:
+            kwargs[key] = [fault_type(**entry) for entry in entries]
+        except TypeError as exc:
+            raise BenchmarkError(f"bad {key} entry: {exc}") from None
+    return FaultSchedule(**kwargs)
+
+
+def _axis(value: Any, name: str) -> list:
+    """Normalize a grid axis: scalar -> one-point axis, list -> list."""
+    if isinstance(value, (list, tuple)):
+        points = list(value)
+        if not points:
+            raise BenchmarkError(f"scenario axis {name!r} is empty")
+        return points
+    return [value]
+
+
+@dataclass
+class ScenarioSpec:
+    """One named experiment grid over the paper's sweep axes.
+
+    Every axis accepts either a scalar or a list of values; the grid is
+    the cartesian product of all axes. ``clients=None`` (the default)
+    pins clients to the servers axis point-by-point — the paper's
+    "clients = servers" scalability setup (Figure 7).
+
+    ``configs`` is a Python-API-only axis of ``(label, platform
+    config)`` pairs for block-size-style knob sweeps (Figure 15);
+    ``faults`` is a JSON-shaped dict (see :func:`build_fault_schedule`)
+    instantiated freshly for every grid point.
+    """
+
+    name: str = "scenario"
+    platforms: Sequence[str] | str = ("hyperledger",)
+    workloads: Sequence[str] | str = ("ycsb",)
+    servers: Sequence[int] | int = (8,)
+    clients: Sequence[int] | int | None = None
+    rates: Sequence[float] | float = (100.0,)
+    durations: Sequence[float] | float = (30.0,)
+    seeds: Sequence[int] | int = (42,)
+    workload_params: dict[str, Any] = field(default_factory=dict)
+    blocking: bool = False
+    subscribe: bool = False
+    with_monitor: bool = False
+    drain_s: float = 5.0
+    faults: dict[str, Any] | None = None
+    configs: Sequence[tuple[str, Any]] | None = None
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        """Build a spec from JSON data, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)} - {"configs"}
+        unknown = set(data) - known
+        if unknown:
+            raise BenchmarkError(
+                f"unknown scenario keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+                + (
+                    " (the 'configs' axis holds platform config objects "
+                    "and is only available from the Python API)"
+                    if "configs" in unknown
+                    else ""
+                )
+            )
+        return cls(**data)
+
+    def expand(self) -> list[ExperimentSpec]:
+        """Cartesian product of all axes, one ExperimentSpec per point."""
+        # Imported here to trigger registration of the built-ins; the
+        # registry itself is a leaf module.
+        from ..registry import PLATFORMS, WORKLOADS
+        from .. import platforms as _platforms  # noqa: F401
+        from .. import workloads as _workloads  # noqa: F401
+
+        for platform in _axis(self.platforms, "platforms"):
+            PLATFORMS.get(platform)  # raises with available names
+        for workload in _axis(self.workloads, "workloads"):
+            WORKLOADS.get(workload)
+
+        configs = list(self.configs) if self.configs is not None else [("", None)]
+        clients_axis = (
+            _axis(self.clients, "clients") if self.clients is not None else [None]
+        )
+        specs: list[ExperimentSpec] = []
+        for platform, workload, (label, config), servers, clients, rate, \
+                duration, seed in itertools.product(
+            _axis(self.platforms, "platforms"),
+            _axis(self.workloads, "workloads"),
+            configs,
+            _axis(self.servers, "servers"),
+            clients_axis,
+            _axis(self.rates, "rates"),
+            _axis(self.durations, "durations"),
+            _axis(self.seeds, "seeds"),
+        ):
+            specs.append(
+                ExperimentSpec(
+                    platform=platform,
+                    workload=workload,
+                    workload_params=dict(self.workload_params),
+                    n_servers=int(servers),
+                    n_clients=int(servers if clients is None else clients),
+                    request_rate_tx_s=float(rate),
+                    duration_s=float(duration),
+                    seed=int(seed),
+                    blocking=self.blocking,
+                    subscribe=self.subscribe,
+                    with_monitor=self.with_monitor,
+                    faults=(
+                        build_fault_schedule(self.faults)
+                        if self.faults is not None
+                        else None
+                    ),
+                    config=config,
+                    drain_s=self.drain_s,
+                    scenario=self.name,
+                    label=label,
+                )
+            )
+        return specs
+
+
+#: Axis aliases accepted by SuiteResult.lookup()/one(), mapping the
+#: scenario-file vocabulary onto ExperimentSpec attribute names.
+_LOOKUP_ALIASES = {
+    "servers": "n_servers",
+    "clients": "n_clients",
+    "rate": "request_rate_tx_s",
+    "duration": "duration_s",
+}
+
+GRID_HEADERS = [
+    "scenario",
+    "label",
+    "platform",
+    "workload",
+    "servers",
+    "clients",
+    "rate",
+    "seed",
+    "tx/s",
+    "lat avg (s)",
+    "lat p99 (s)",
+    "confirmed",
+    "queue",
+]
+
+
+@dataclass
+class SuiteResult:
+    """Merged outcome of a scenario-suite run."""
+
+    name: str
+    results: list[ExperimentResult]
+
+    @property
+    def summaries(self) -> list[StatsSummary]:
+        return [result.summary for result in self.results]
+
+    def lookup(self, **criteria: Any) -> list[ExperimentResult]:
+        """Results whose spec matches every ``axis=value`` criterion.
+
+        Axes use scenario-file names: ``platform``, ``workload``,
+        ``servers``, ``clients``, ``rate``, ``duration``, ``seed``,
+        ``scenario``, ``label``.
+        """
+        matches = []
+        for result in self.results:
+            spec = result.spec
+            for key, expected in criteria.items():
+                attr = _LOOKUP_ALIASES.get(key, key)
+                if not hasattr(spec, attr):
+                    raise BenchmarkError(
+                        f"unknown lookup axis {key!r}; expected one of "
+                        f"{sorted([f.name for f in fields(ExperimentSpec)] + list(_LOOKUP_ALIASES))}"
+                    )
+                if getattr(spec, attr) != expected:
+                    break
+            else:
+                matches.append(result)
+        return matches
+
+    def one(self, **criteria: Any) -> ExperimentResult:
+        """The single result matching ``criteria`` (error otherwise)."""
+        matches = self.lookup(**criteria)
+        if len(matches) != 1:
+            raise BenchmarkError(
+                f"expected exactly one result for {criteria}; "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    def peak(
+        self,
+        key: Callable[[ExperimentResult], float] | None = None,
+        **criteria: Any,
+    ) -> ExperimentResult:
+        """Best matching result (default: highest throughput)."""
+        matches = self.lookup(**criteria)
+        if not matches:
+            raise BenchmarkError(f"no results match {criteria}")
+        return max(matches, key=key or (lambda result: result.throughput))
+
+    def to_rows(self) -> list[list[Any]]:
+        """One grid row per run, aligned with :data:`GRID_HEADERS`."""
+        rows = []
+        for result in self.results:
+            spec, summary = result.spec, result.summary
+            rows.append(
+                [
+                    spec.scenario,
+                    spec.label,
+                    spec.platform,
+                    spec.workload,
+                    spec.n_servers,
+                    spec.n_clients,
+                    spec.request_rate_tx_s,
+                    spec.seed,
+                    f"{summary.throughput_tx_s:.1f}",
+                    f"{summary.latency_avg_s:.3f}",
+                    f"{summary.latency_p99_s:.3f}",
+                    summary.confirmed,
+                    summary.final_queue_length,
+                ]
+            )
+        return rows
+
+    def format(self) -> str:
+        """Render the whole grid as one ASCII table."""
+        return format_table(
+            GRID_HEADERS,
+            self.to_rows(),
+            title=f"suite {self.name}: {len(self.results)} runs",
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """Machine-readable merged summary (``blockbench suite --json``)."""
+        runs = []
+        for result in self.results:
+            spec, summary = result.spec, result.summary
+            runs.append(
+                {
+                    "scenario": spec.scenario,
+                    "label": spec.label,
+                    "platform": spec.platform,
+                    "workload": spec.workload,
+                    "servers": spec.n_servers,
+                    "clients": spec.n_clients,
+                    "rate_tx_s": spec.request_rate_tx_s,
+                    "duration_s": spec.duration_s,
+                    "seed": spec.seed,
+                    "throughput_tx_s": summary.throughput_tx_s,
+                    "latency_avg_s": summary.latency_avg_s,
+                    "latency_p50_s": summary.latency_p50_s,
+                    "latency_p99_s": summary.latency_p99_s,
+                    "submitted": summary.submitted,
+                    "confirmed": summary.confirmed,
+                    "chain_height": result.chain_height,
+                    "view_changes": result.view_changes,
+                }
+            )
+        return {"suite": self.name, "runs": len(runs), "results": runs}
+
+    def export(self, directory: str | Path) -> list[Path]:
+        """Write the merged grid + per-run summaries as plot-ready CSV."""
+        out = Path(directory)
+        return [
+            write_csv(out / "grid.csv", GRID_HEADERS, self.to_rows()),
+            export_summary(out / "summary.csv", self.summaries),
+        ]
+
+
+def _import_plugin_modules(module_names: tuple[str, ...]) -> None:
+    """Pool-worker initializer: re-run plugin registration imports.
+
+    Needed under spawn-based multiprocessing, where workers start from
+    a fresh interpreter and only the built-in platforms/workloads are
+    registered by the core imports.
+    """
+    import importlib
+
+    for module_name in module_names:
+        importlib.import_module(module_name)
+
+
+@dataclass
+class ScenarioSuite:
+    """An ordered collection of scenarios run as one campaign."""
+
+    scenarios: list[ScenarioSpec]
+    name: str = "suite"
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSuite":
+        """Accept ``{"scenarios": [...]}`` or a single scenario object."""
+        if "scenarios" in data:
+            extra = set(data) - {"name", "scenarios"}
+            if extra:
+                raise BenchmarkError(
+                    f"unknown suite keys {sorted(extra)}; "
+                    "expected 'name' and 'scenarios'"
+                )
+            scenarios = [ScenarioSpec.from_dict(s) for s in data["scenarios"]]
+            if not scenarios:
+                raise BenchmarkError("suite has no scenarios")
+            return cls(scenarios=scenarios, name=data.get("name", "suite"))
+        spec = ScenarioSpec.from_dict(data)
+        return cls(scenarios=[spec], name=spec.name)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioSuite":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise BenchmarkError(f"scenario file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise BenchmarkError(f"invalid JSON in {path}: {exc}") from None
+        if not isinstance(data, dict):
+            raise BenchmarkError(
+                f"{path}: expected a JSON object, got {type(data).__name__}"
+            )
+        suite = cls.from_dict(data)
+        if "name" not in data:
+            suite.name = path.stem
+        return suite
+
+    def expand(self) -> list[ExperimentSpec]:
+        """Every run in the suite, in scenario order."""
+        specs: list[ExperimentSpec] = []
+        for scenario in self.scenarios:
+            specs.extend(scenario.expand())
+        return specs
+
+    def run(
+        self,
+        processes: int = 1,
+        progress: Callable[[int, int, ExperimentSpec], None] | None = None,
+        plugin_modules: Sequence[str] = (),
+    ) -> SuiteResult:
+        """Execute the full grid and merge the results.
+
+        ``processes > 1`` fans runs out across CPU cores with
+        :mod:`multiprocessing` (each run is an independent simulation,
+        so the grid is embarrassingly parallel); results come back in
+        grid order either way. ``progress`` is invoked before each run
+        in serial mode.
+
+        Third-party platforms/workloads register at import time of
+        their defining module, which spawn-based multiprocessing (the
+        default on macOS/Windows) does *not* re-run in workers. Pass
+        those module names via ``plugin_modules`` so each worker
+        imports them before its first run; the built-ins are always
+        available.
+        """
+        specs = self.expand()
+        if processes > 1 and len(specs) > 1:
+            import multiprocessing
+
+            workers = min(processes, len(specs))
+            with multiprocessing.get_context().Pool(
+                workers,
+                initializer=_import_plugin_modules,
+                initargs=(tuple(plugin_modules),),
+            ) as pool:
+                results = pool.map(run_experiment, specs)
+        else:
+            results = []
+            for index, spec in enumerate(specs):
+                if progress is not None:
+                    progress(index, len(specs), spec)
+                results.append(run_experiment(spec))
+        return SuiteResult(name=self.name, results=results)

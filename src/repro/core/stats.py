@@ -9,7 +9,7 @@ the fault-tolerance timelines.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

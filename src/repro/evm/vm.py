@@ -24,13 +24,12 @@ so out-of-gas and REVERT leave contract state untouched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any
 
 from ..errors import OutOfGas, OutOfMemory, VMError
 from . import opcodes as op
-from .gas import MEMORY_WORD_COST, OPCODE_GAS, SLOAD_COST, sstore_cost
+from .gas import MEMORY_WORD_COST, OPCODE_GAS, sstore_cost
 
 _DEFAULT_MEMORY_LIMIT = 32 * 1024**3  # the paper's 32 GB servers
 

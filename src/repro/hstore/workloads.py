@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 
-from ..contracts.base import decode_int, encode_int
+from ..contracts.base import encode_int
 from .engine import HStoreEngine, HStoreTxn, TxnOp
 
 

@@ -1,6 +1,14 @@
 """Blockchain platforms: Ethereum (PoW), Parity (PoA), Hyperledger
-(PBFT), ErisDB (Tendermint)."""
+(PBFT), ErisDB (Tendermint).
 
+Each platform module registers a node factory with
+:data:`repro.registry.PLATFORMS` at import time; ``build_cluster``
+resolves platforms through that registry, so external backends can add
+themselves with :func:`repro.registry.register_platform` and every
+entry point (CLI, scenario files, ``run_experiment``) picks them up.
+"""
+
+from ..registry import PLATFORMS
 from .base import PlatformNode, PlatformState
 from .cluster import DEFAULT_CONTRACTS, Cluster, build_cluster
 from .erisdb import ErisDBNode, ErisDBState
@@ -8,12 +16,19 @@ from .ethereum import EthereumNode, EthereumState
 from .hyperledger import HyperledgerNode, HyperledgerState
 from .parity import ParityNode, ParityState
 
+
+def available_platforms() -> list[str]:
+    """Names of every registered platform backend."""
+    return PLATFORMS.names()
+
+
 __all__ = [
     "PlatformNode",
     "PlatformState",
     "DEFAULT_CONTRACTS",
     "Cluster",
     "build_cluster",
+    "available_platforms",
     "ErisDBNode",
     "ErisDBState",
     "EthereumNode",

@@ -31,7 +31,6 @@ from ..chain import Block, Blockchain, Mempool, Receipt, Transaction
 from ..config import PlatformConfig
 from ..consensus.base import ConsensusProtocol
 from ..contracts import Contract, TxContext, create_contract
-from ..contracts.base import StateAccess
 from ..crypto.hashing import EMPTY_HASH, Hash
 from ..errors import ConnectorError, ContractRevert, ExecutionError
 from ..sim import Message, Network, RngRegistry, Scheduler, SimNode

@@ -7,27 +7,18 @@ of the paper's 48-node commodity cluster on a 1 Gb switch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from ..config import (
-    ErisDBConfig,
-    EthereumConfig,
-    HyperledgerConfig,
-    ParityConfig,
-    erisdb_config,
-    ethereum_config,
-    hyperledger_config,
-    parity_config,
-)
 from ..errors import BenchmarkError
+from ..registry import PLATFORMS
 from ..sim import Network, ResourceMonitor, RngRegistry, Scheduler
 from .base import PlatformNode
-from .erisdb import ErisDBNode
-from .ethereum import EthereumNode
-from .hyperledger import HyperledgerNode
-from .parity import ParityNode
+
+# Importing the platform modules runs their @register_platform
+# decorators, populating the registry with the built-in backends.
+from . import erisdb, ethereum, hyperledger, parity  # noqa: F401
 
 DEFAULT_CONTRACTS = (
     "kvstore",
@@ -166,54 +157,14 @@ def build_cluster(
         path.mkdir(parents=True, exist_ok=True)
         return path
 
-    if platform == "ethereum":
-        eth_conf: EthereumConfig = config or ethereum_config()
-        for node_id in ids:
-            nodes.append(
-                EthereumNode(
-                    node_id, scheduler, network, rng, eth_conf, node_dir(node_id)
-                )
+    spec = PLATFORMS.get(platform)
+    if config is None and spec.default_config is not None:
+        config = spec.default_config()
+    for node_id in ids:
+        nodes.append(
+            spec.factory(
+                node_id, scheduler, network, rng, config, ids, node_dir(node_id)
             )
-    elif platform == "parity":
-        par_conf: ParityConfig = config or parity_config()
-        for node_id in ids:
-            nodes.append(
-                ParityNode(
-                    node_id,
-                    scheduler,
-                    network,
-                    rng,
-                    par_conf,
-                    authorities=ids,
-                    signer_id=ids[0],
-                )
-            )
-    elif platform == "hyperledger":
-        hlf_conf: HyperledgerConfig = config or hyperledger_config()
-        for node_id in ids:
-            nodes.append(
-                HyperledgerNode(
-                    node_id,
-                    scheduler,
-                    network,
-                    rng,
-                    hlf_conf,
-                    replicas=ids,
-                    storage_dir=node_dir(node_id),
-                )
-            )
-    elif platform == "erisdb":
-        eris_conf: ErisDBConfig = config or erisdb_config()
-        for node_id in ids:
-            nodes.append(
-                ErisDBNode(
-                    node_id, scheduler, network, rng, eris_conf, validators=ids
-                )
-            )
-    else:
-        raise BenchmarkError(
-            f"unknown platform {platform!r}; "
-            "expected ethereum/parity/hyperledger/erisdb"
         )
 
     for node in nodes:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from ..chain import Block
 from ..config import ErisDBConfig, erisdb_config
 from ..consensus.tendermint import PROPOSAL, Tendermint
+from ..registry import register_platform
 from ..sim import Message, Network, RngRegistry, Scheduler
 from .base import PlatformNode
 from .ethereum import EthereumState
@@ -138,3 +139,21 @@ class ErisDBNode(PlatformNode):
             {"sub_id": sub_id, "block": summary},
             64 + 40 * len(summary["tx_ids"]),
         )
+
+
+@register_platform(
+    "erisdb",
+    default_config=erisdb_config,
+    description="ErisDB: Tendermint BFT with a pub/sub block feed",
+)
+def build_erisdb_node(
+    node_id: str,
+    scheduler: Scheduler,
+    network: Network,
+    rng: RngRegistry,
+    config: ErisDBConfig,
+    all_ids: list[str],
+    storage_dir=None,
+) -> ErisDBNode:
+    """Node factory used by ``build_cluster`` (see ``repro.registry``)."""
+    return ErisDBNode(node_id, scheduler, network, rng, config, validators=all_ids)

@@ -18,6 +18,7 @@ from ..config import EthereumConfig, ethereum_config
 from ..consensus.pow import ProofOfWork
 from ..crypto.hashing import Hash, sha256
 from ..crypto.trie import NodeStore, StateTrie
+from ..registry import register_platform
 from ..sim import Network, RngRegistry, Scheduler
 from ..storage import LSMStore, leveldb_config
 from ..util.lru import LRUCache
@@ -145,3 +146,21 @@ class EthereumNode(PlatformNode):
         return [
             self.peers[(start + i) % len(self.peers)] for i in range(TX_GOSSIP_FANOUT)
         ]
+
+
+@register_platform(
+    "ethereum",
+    default_config=ethereum_config,
+    description="geth v1.4.18: PoW, Patricia-Merkle trie, EVM costs",
+)
+def build_ethereum_node(
+    node_id: str,
+    scheduler: Scheduler,
+    network: Network,
+    rng: RngRegistry,
+    config: EthereumConfig,
+    all_ids: list[str],
+    storage_dir: Path | None,
+) -> EthereumNode:
+    """Node factory used by ``build_cluster`` (see ``repro.registry``)."""
+    return EthereumNode(node_id, scheduler, network, rng, config, storage_dir)

@@ -21,6 +21,7 @@ from ..config import HyperledgerConfig, hyperledger_config
 from ..consensus.pbft import PBFT
 from ..crypto.bucket_tree import BucketTree
 from ..crypto.hashing import Hash
+from ..registry import register_platform
 from ..sim import Network, RngRegistry, Scheduler
 from ..storage import LSMStore, rocksdb_config
 from .base import PlatformNode, PlatformState
@@ -99,3 +100,29 @@ class HyperledgerNode(PlatformNode):
 
     def start(self) -> None:
         self.protocol.start()
+
+
+@register_platform(
+    "hyperledger",
+    default_config=hyperledger_config,
+    description="Hyperledger Fabric v0.6: PBFT over a bucket-Merkle tree",
+)
+def build_hyperledger_node(
+    node_id: str,
+    scheduler: Scheduler,
+    network: Network,
+    rng: RngRegistry,
+    config: HyperledgerConfig,
+    all_ids: list[str],
+    storage_dir: Path | None,
+) -> HyperledgerNode:
+    """Node factory used by ``build_cluster`` (see ``repro.registry``)."""
+    return HyperledgerNode(
+        node_id,
+        scheduler,
+        network,
+        rng,
+        config,
+        replicas=all_ids,
+        storage_dir=storage_dir,
+    )

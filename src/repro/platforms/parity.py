@@ -32,6 +32,7 @@ from ..consensus.poa import ProofOfAuthority
 from ..crypto.hashing import Hash
 from ..crypto.trie import StateTrie
 from ..errors import StorageError
+from ..registry import register_platform
 from ..sim import Message, Network, RngRegistry, Scheduler
 from ..storage import MemKVStore
 from .base import TX_GOSSIP, PlatformNode, PlatformState
@@ -214,3 +215,29 @@ class ParityNode(PlatformNode):
             # In-memory state exhausted: the node dies (Figure 12's 'X').
             self.crash()
             raise
+
+
+@register_platform(
+    "parity",
+    default_config=parity_config,
+    description="Parity v1.6.0: PoA with a single round-robin signer",
+)
+def build_parity_node(
+    node_id: str,
+    scheduler: Scheduler,
+    network: Network,
+    rng: RngRegistry,
+    config: ParityConfig,
+    all_ids: list[str],
+    storage_dir=None,
+) -> ParityNode:
+    """Node factory used by ``build_cluster`` (see ``repro.registry``)."""
+    return ParityNode(
+        node_id,
+        scheduler,
+        network,
+        rng,
+        config,
+        authorities=all_ids,
+        signer_id=all_ids[0],
+    )

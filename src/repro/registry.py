@@ -1,0 +1,217 @@
+"""Plugin registries for platforms, workloads, and consensus protocols.
+
+BLOCKBENCH's framing is that platforms and workloads *plug into* a
+common driver (Figure 4): "any private blockchain can be integrated to
+Blockbench via simple APIs". The seed hard-coded the four platforms in
+``build_cluster`` and the six workloads in ``make_workload``; this
+module replaces those if/elif ladders with decorator-based registries
+so a third-party backend registers itself without touching core:
+
+>>> from repro.registry import register_platform
+>>> @register_platform("instantchain")
+... def build_instantchain(node_id, scheduler, network, rng, config,
+...                        all_ids, storage_dir):
+...     return InstantChainNode(node_id, scheduler, network, rng)
+...                                                   # doctest: +SKIP
+
+After that, ``build_cluster("instantchain", ...)``, ``blockbench run
+--platform instantchain`` and scenario files all resolve the new name
+through the same lookup path as the built-ins.
+
+This module is a leaf: it imports nothing but the error hierarchy, so
+any layer (platforms, workloads, consensus, CLI, scenario engine) can
+depend on it without cycles. Registration happens at class/function
+definition time, i.e. importing ``repro.platforms`` or
+``repro.workloads`` populates the corresponding registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from .errors import BenchmarkError
+
+__all__ = [
+    "Registry",
+    "PlatformSpec",
+    "WorkloadSpec",
+    "PLATFORMS",
+    "WORKLOADS",
+    "CONSENSUS",
+    "register_platform",
+    "register_workload",
+    "register_consensus",
+]
+
+
+class Registry:
+    """A named collection of plugins with explicit failure modes.
+
+    ``kind`` names what is being registered ("platform", "workload",
+    ...) so error messages read naturally. Duplicate registration is an
+    error unless ``replace=True`` — silently shadowing a built-in is
+    exactly the kind of spooky action a plugin system must not allow.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+
+    def register(self, name: str, entry: Any, *, replace: bool = False) -> Any:
+        if not name or not isinstance(name, str):
+            raise BenchmarkError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries and not replace:
+            raise BenchmarkError(
+                f"{self.kind} {name!r} is already registered; "
+                "pass replace=True to override it"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests and REPL experiments)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise BenchmarkError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered names, sorted for stable CLI/help output."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, Any]]:
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Platforms
+# ---------------------------------------------------------------------------
+#: Builds one node of a platform's testnet. Called once per node id
+#: with the shared simulation plumbing; ``all_ids`` is the full replica
+#: list (for protocols that need the membership up front) and
+#: ``storage_dir`` is a per-node directory when the run persists state
+#: to the LSM engine (None for in-memory runs).
+NodeFactory = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One registered platform backend."""
+
+    name: str
+    factory: NodeFactory
+    #: Zero-argument callable producing the platform's default config;
+    #: ``build_cluster(config=...)`` overrides it per run.
+    default_config: Callable[[], Any] | None = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered benchmark workload."""
+
+    name: str
+    workload_type: type
+    #: Config dataclass accepted by the workload's constructor; when
+    #: set, ``create(**kwargs)`` wraps the kwargs in it.
+    config_type: type | None = None
+    description: str = ""
+
+    def create(self, **kwargs: Any) -> Any:
+        """Instantiate the workload, routing kwargs through its config."""
+        if not kwargs:
+            return self.workload_type()
+        if self.config_type is None:
+            raise BenchmarkError(
+                f"workload {self.name!r} takes no parameters; "
+                f"got {sorted(kwargs)}"
+            )
+        try:
+            config = self.config_type(**kwargs)
+        except TypeError as exc:
+            raise BenchmarkError(
+                f"bad parameters for workload {self.name!r}: {exc}"
+            ) from None
+        return self.workload_type(config)
+
+
+PLATFORMS = Registry("platform")
+WORKLOADS = Registry("workload")
+CONSENSUS = Registry("consensus protocol")
+
+
+def register_platform(
+    name: str,
+    *,
+    default_config: Callable[[], Any] | None = None,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[NodeFactory], NodeFactory]:
+    """Class/function decorator adding a platform node factory."""
+
+    def decorator(factory: NodeFactory) -> NodeFactory:
+        PLATFORMS.register(
+            name,
+            PlatformSpec(
+                name=name,
+                factory=factory,
+                default_config=default_config,
+                description=description or (factory.__doc__ or "").strip(),
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
+def register_workload(
+    name: str,
+    *,
+    config_type: type | None = None,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[type], type]:
+    """Class decorator adding a driver workload."""
+
+    def decorator(workload_type: type) -> type:
+        WORKLOADS.register(
+            name,
+            WorkloadSpec(
+                name=name,
+                workload_type=workload_type,
+                config_type=config_type,
+                description=description or (workload_type.__doc__ or "").strip(),
+            ),
+            replace=replace,
+        )
+        return workload_type
+
+    return decorator
+
+
+def register_consensus(
+    name: str, *, replace: bool = False
+) -> Callable[[type], type]:
+    """Class decorator adding a consensus protocol implementation."""
+
+    def decorator(protocol_type: type) -> type:
+        CONSENSUS.register(name, protocol_type, replace=replace)
+        return protocol_type
+
+    return decorator

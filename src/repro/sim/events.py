@@ -28,16 +28,28 @@ class _Entry:
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("fn", "args", "cancelled")
+    __slots__ = ("fn", "args", "cancelled", "_scheduler")
 
-    def __init__(self, fn: Callable[..., Any], args: tuple[Any, ...]) -> None:
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        scheduler: "Scheduler | None" = None,
+    ) -> None:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the callback from firing. Idempotent."""
+        """Prevent the callback from firing. Idempotent; cancelling an
+        event that already fired is a no-op."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._on_cancel()
+            self._scheduler = None
 
 
 class Scheduler:
@@ -52,12 +64,23 @@ class Scheduler:
     ['a', 'b']
     """
 
+    #: Compact the heap when at least this many cancelled entries are
+    #: buried in it *and* they outnumber the live ones; below the
+    #: floor, popping them lazily is cheaper than a rebuild.
+    COMPACT_FLOOR = 64
+
     def __init__(self) -> None:
         self._queue: list[_Entry] = []
         self._seq = 0
         self.now: SimTime = 0.0
         self._running = False
         self.events_processed = 0
+        # Live-event counter: pending() is O(1) instead of scanning the
+        # heap (monitors and the driver sample it every simulated
+        # second). _cancelled counts tombstones still buried in the
+        # heap so compaction can trigger before they dominate memory.
+        self._live = 0
+        self._cancelled = 0
 
     def schedule(self, delay: SimTime, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -71,15 +94,31 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule at {when:.6f}s; current time is {self.now:.6f}s"
             )
-        event = Event(fn, args)
+        event = Event(fn, args, self)
         self._seq += 1
         heapq.heappush(self._queue, _Entry(when, self._seq, event))
+        self._live += 1
         return event
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for Event.cancel(); compacts tombstones lazily."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_FLOOR
+            and self._cancelled > len(self._queue) // 2
+        ):
+            self._queue = [
+                entry for entry in self._queue if not entry.event.cancelled
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def peek_time(self) -> SimTime:
         """Time of the next pending event, or ``NEVER`` if queue is empty."""
         while self._queue and self._queue[0].event.cancelled:
             heapq.heappop(self._queue)
+            self._cancelled -= 1
         return self._queue[0].time if self._queue else NEVER
 
     def step(self) -> bool:
@@ -87,9 +126,14 @@ class Scheduler:
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = entry.time
             self.events_processed += 1
+            self._live -= 1
+            # Detach before firing so a later cancel() of this handle
+            # cannot double-decrement the live counter.
+            entry.event._scheduler = None
             entry.event.fn(*entry.event.args)
             return True
         return False
@@ -121,5 +165,6 @@ class Scheduler:
         self.now = deadline
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._queue if not entry.event.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1):
+        maintained as a counter rather than scanning the heap."""
+        return self._live

@@ -1,9 +1,16 @@
 """Benchmark workloads: macro (YCSB, Smallbank, real contracts) and
-micro (DoNothing, IOHeavy, CPUHeavy, Analytics)."""
+micro (DoNothing, IOHeavy, CPUHeavy, Analytics).
+
+Workload classes register themselves with
+:data:`repro.registry.WORKLOADS` via :func:`~repro.registry.
+register_workload`; ``make_workload`` resolves names through that
+registry, so plugin workloads become available to the driver, CLI, and
+scenario files the moment their module is imported.
+"""
 
 from __future__ import annotations
 
-from ..errors import BenchmarkError
+from ..registry import WORKLOADS
 from .analytics import (
     AnalyticsPreload,
     QueryResult,
@@ -21,30 +28,19 @@ from .contracts import (
 from .smallbank import SmallbankConfig, SmallbankWorkload
 from .ycsb import YCSBConfig, YCSBWorkload, ZipfianGenerator
 
-_WORKLOADS = {
-    "ycsb": YCSBWorkload,
-    "smallbank": SmallbankWorkload,
-    "etherid": EtherIdWorkload,
-    "doubler": DoublerWorkload,
-    "wavespresale": WavesPresaleWorkload,
-    "donothing": DoNothingWorkload,
-}
-
 
 def make_workload(name: str, **kwargs):
-    """Instantiate a driver workload by name."""
-    workload_type = _WORKLOADS.get(name)
-    if workload_type is None:
-        raise BenchmarkError(
-            f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"
-        )
-    if name == "ycsb" and kwargs:
-        return YCSBWorkload(YCSBConfig(**kwargs))
-    if name == "smallbank" and kwargs:
-        return SmallbankWorkload(SmallbankConfig(**kwargs))
-    if name == "etherid" and kwargs:
-        return EtherIdWorkload(EtherIdConfig(**kwargs))
-    return workload_type()
+    """Instantiate a driver workload by registry name.
+
+    Keyword arguments are routed through the workload's config
+    dataclass (e.g. ``make_workload("ycsb", record_count=1000)``).
+    """
+    return WORKLOADS.get(name).create(**kwargs)
+
+
+def available_workloads() -> list[str]:
+    """Names of every registered workload."""
+    return WORKLOADS.names()
 
 
 __all__ = [
@@ -63,5 +59,6 @@ __all__ = [
     "YCSBConfig",
     "YCSBWorkload",
     "ZipfianGenerator",
+    "available_workloads",
     "make_workload",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from ..chain import Transaction
 from ..contracts.base import encode_int
 from ..core.workload import Workload, preload_state
+from ..registry import register_workload
 
 
 @dataclass
@@ -22,6 +23,7 @@ class EtherIdConfig:
     initial_balance: int = 1_000_000
 
 
+@register_workload("etherid", config_type=EtherIdConfig)
 class EtherIdWorkload(Workload):
     """Domain registrations, updates, and paid transfers."""
 
@@ -75,6 +77,7 @@ class EtherIdWorkload(Workload):
         )
 
 
+@register_workload("doubler")
 class DoublerWorkload(Workload):
     """Pyramid-scheme entries (Figure 2's contract under load)."""
 
@@ -94,6 +97,7 @@ class DoublerWorkload(Workload):
         )
 
 
+@register_workload("wavespresale")
 class WavesPresaleWorkload(Workload):
     """Token sales with occasional transfers and lookups."""
 
@@ -142,6 +146,7 @@ class WavesPresaleWorkload(Workload):
         )
 
 
+@register_workload("donothing")
 class DoNothingWorkload(Workload):
     """Consensus-layer microbenchmark: empty transactions (Section 3.4.2)."""
 

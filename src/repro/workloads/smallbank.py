@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..chain import Transaction
 from ..contracts.base import encode_int
 from ..core.workload import Workload, preload_state
+from ..registry import register_workload
 
 #: Standard Smallbank operation mix.
 _OPERATIONS = (
@@ -36,7 +37,10 @@ class SmallbankConfig:
     hot_accounts: int = 100
 
 
+@register_workload("smallbank", config_type=SmallbankConfig)
 class SmallbankWorkload(Workload):
+    """Banking transactions over account pairs (OLTP, Section 3.4.1)."""
+
     name = "smallbank"
     required_contracts = ("smallbank",)
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from ..chain import Transaction
 from ..errors import BenchmarkError
 from ..core.workload import Workload, preload_state
+from ..registry import register_workload
 
 ZIPFIAN_CONSTANT = 0.99
 
@@ -75,6 +76,7 @@ class YCSBConfig:
             raise BenchmarkError(f"unknown distribution {self.distribution!r}")
 
 
+@register_workload("ycsb", config_type=YCSBConfig)
 class YCSBWorkload(Workload):
     """Key-value operations against the kvstore contract."""
 

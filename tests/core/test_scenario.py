@@ -1,0 +1,253 @@
+"""Scenario-engine tests: grid expansion, suite execution, merging."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ExperimentSpec,
+    ScenarioSpec,
+    ScenarioSuite,
+    SuiteResult,
+    build_fault_schedule,
+)
+from repro.core.faults import FaultSchedule
+from repro.errors import BenchmarkError
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+def test_expand_takes_cartesian_product():
+    spec = ScenarioSpec(
+        name="grid",
+        platforms=["hyperledger", "parity"],
+        workloads=["ycsb", "donothing"],
+        servers=[4, 8],
+        clients=[2],
+        rates=[10, 20, 30],
+        durations=[5],
+        seeds=[1, 2],
+    )
+    specs = spec.expand()
+    assert len(specs) == 2 * 2 * 2 * 3 * 2
+    assert all(isinstance(s, ExperimentSpec) for s in specs)
+    assert all(s.scenario == "grid" for s in specs)
+    # Every grid point is distinct.
+    points = {
+        (s.platform, s.workload, s.n_servers, s.request_rate_tx_s, s.seed)
+        for s in specs
+    }
+    assert len(points) == len(specs)
+
+
+def test_scalar_axes_are_one_point_axes():
+    spec = ScenarioSpec(
+        platforms="hyperledger", workloads="ycsb", servers=4,
+        clients=2, rates=50.0, durations=5, seeds=3,
+    )
+    specs = spec.expand()
+    assert len(specs) == 1
+    only = specs[0]
+    assert only.platform == "hyperledger"
+    assert only.n_servers == 4
+    assert only.n_clients == 2
+    assert only.request_rate_tx_s == 50.0
+    assert only.seed == 3
+
+
+def test_clients_none_matches_servers_pointwise():
+    spec = ScenarioSpec(servers=[4, 8, 16], clients=None, rates=10)
+    by_servers = {s.n_servers: s.n_clients for s in spec.expand()}
+    assert by_servers == {4: 4, 8: 8, 16: 16}
+
+
+def test_seed_axis_produces_one_run_per_seed():
+    spec = ScenarioSpec(servers=4, rates=10, seeds=[1, 2, 3])
+    assert sorted(s.seed for s in spec.expand()) == [1, 2, 3]
+
+
+def test_config_axis_carries_labels():
+    spec = ScenarioSpec(
+        platforms="hyperledger", servers=4, rates=10,
+        configs=[("knob-a", None), ("knob-b", None)],
+    )
+    labels = [s.label for s in spec.expand()]
+    assert labels == ["knob-a", "knob-b"]
+
+
+def test_fault_dict_expands_to_fresh_schedule_per_point():
+    spec = ScenarioSpec(
+        servers=4, rates=10, seeds=[1, 2],
+        faults={"crashes": [{"at_time": 5.0, "count": 1}]},
+    )
+    specs = spec.expand()
+    assert all(isinstance(s.faults, FaultSchedule) for s in specs)
+    assert specs[0].faults is not specs[1].faults
+    assert specs[0].faults.crashes[0].at_time == 5.0
+
+
+def test_unknown_platform_rejected_at_expand():
+    with pytest.raises(BenchmarkError, match="unknown platform 'nosuchchain'"):
+        ScenarioSpec(platforms="nosuchchain").expand()
+
+
+def test_unknown_workload_rejected_at_expand():
+    with pytest.raises(BenchmarkError, match="unknown workload 'nosuchwork'"):
+        ScenarioSpec(workloads="nosuchwork").expand()
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(BenchmarkError, match="axis 'rates' is empty"):
+        ScenarioSpec(rates=[]).expand()
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(BenchmarkError, match="unknown scenario keys"):
+        ScenarioSpec.from_dict({"platfroms": ["hyperledger"]})
+
+
+def test_from_dict_rejects_python_only_configs_axis():
+    with pytest.raises(BenchmarkError, match="only available from the Python API"):
+        ScenarioSpec.from_dict({"configs": [["knob", {"batch_size": 100}]]})
+
+
+def test_build_fault_schedule_rejects_unknown_kinds():
+    with pytest.raises(BenchmarkError, match="unknown fault kinds"):
+        build_fault_schedule({"meteors": []})
+    with pytest.raises(BenchmarkError, match="bad crashes entry"):
+        build_fault_schedule({"crashes": [{"at": 1}]})
+
+
+# ----------------------------------------------------------------------
+# Suite loading
+# ----------------------------------------------------------------------
+def test_suite_from_file_single_scenario_object(tmp_path):
+    path = tmp_path / "solo.json"
+    path.write_text(json.dumps({"name": "solo", "servers": 4, "rates": 10}))
+    suite = ScenarioSuite.from_file(path)
+    assert suite.name == "solo"
+    assert len(suite.scenarios) == 1
+    assert len(suite.expand()) == 1
+
+
+def test_suite_from_file_defaults_name_to_stem(tmp_path):
+    path = tmp_path / "mysweep.json"
+    path.write_text(json.dumps({"scenarios": [{"servers": 4, "rates": 10}]}))
+    assert ScenarioSuite.from_file(path).name == "mysweep"
+    # A bare scenario object without a name also falls back to the stem.
+    bare = tmp_path / "baresweep.json"
+    bare.write_text(json.dumps({"servers": 4, "rates": 10}))
+    assert ScenarioSuite.from_file(bare).name == "baresweep"
+
+
+def test_suite_from_file_missing_and_invalid(tmp_path):
+    with pytest.raises(BenchmarkError, match="not found"):
+        ScenarioSuite.from_file(tmp_path / "nope.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BenchmarkError, match="invalid JSON"):
+        ScenarioSuite.from_file(bad)
+    arr = tmp_path / "arr.json"
+    arr.write_text("[1, 2]")
+    with pytest.raises(BenchmarkError, match="expected a JSON object"):
+        ScenarioSuite.from_file(arr)
+
+
+def test_suite_from_dict_rejects_empty_and_extra_keys():
+    with pytest.raises(BenchmarkError, match="no scenarios"):
+        ScenarioSuite.from_dict({"scenarios": []})
+    with pytest.raises(BenchmarkError, match="unknown suite keys"):
+        ScenarioSuite.from_dict({"scenarios": [{}], "bogus": 1})
+
+
+# ----------------------------------------------------------------------
+# End-to-end suite runs (small grids to keep CI fast)
+# ----------------------------------------------------------------------
+def _small_suite() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="e2e",
+        scenarios=[
+            ScenarioSpec(
+                name="two-platforms",
+                platforms=["hyperledger", "erisdb"],
+                workloads="ycsb",
+                servers=4,
+                clients=2,
+                rates=[20, 40],
+                durations=5,
+                seeds=1,
+            )
+        ],
+    )
+
+
+def test_suite_run_end_to_end_two_platforms():
+    result = _small_suite().run()
+    assert isinstance(result, SuiteResult)
+    assert len(result.results) == 4
+    assert {r.spec.platform for r in result.results} == {"hyperledger", "erisdb"}
+    assert all(r.summary.confirmed > 0 for r in result.results)
+    # lookup()/one() resolve grid points by axis value.
+    hlf40 = result.one(platform="hyperledger", rate=40.0)
+    assert hlf40.spec.request_rate_tx_s == 40.0
+    assert len(result.lookup(platform="erisdb")) == 2
+    assert result.peak(platform="hyperledger").throughput >= hlf40.throughput
+    with pytest.raises(BenchmarkError, match="expected exactly one"):
+        result.one(platform="hyperledger")
+    with pytest.raises(BenchmarkError, match="unknown lookup axis"):
+        result.lookup(warp_factor=9)
+    with pytest.raises(BenchmarkError, match="no results match"):
+        result.peak(platform="parity")
+
+
+def test_suite_run_multiprocessing_matches_grid_order():
+    suite = ScenarioSuite(
+        name="mp",
+        scenarios=[
+            ScenarioSpec(
+                platforms="hyperledger", workloads="donothing",
+                servers=4, clients=2, rates=[20, 40], durations=3, seeds=1,
+            )
+        ],
+    )
+    # plugin_modules reach every worker's initializer (spawn-safety for
+    # third-party registrations; json is a stand-in importable module).
+    result = suite.run(processes=2, plugin_modules=["json"])
+    assert [r.spec.request_rate_tx_s for r in result.results] == [20.0, 40.0]
+    assert all(r.summary.confirmed > 0 for r in result.results)
+
+
+def test_suite_result_format_export_and_json(tmp_path):
+    result = _small_suite().run()
+    table = result.format()
+    assert "hyperledger" in table and "erisdb" in table
+    assert "suite e2e: 4 runs" in table
+
+    payload = result.to_json()
+    assert payload["suite"] == "e2e"
+    assert payload["runs"] == 4
+    assert all(run["throughput_tx_s"] > 0 for run in payload["results"])
+
+    paths = result.export(tmp_path)
+    assert {p.name for p in paths} == {"grid.csv", "summary.csv"}
+    grid_lines = (tmp_path / "grid.csv").read_text().splitlines()
+    assert grid_lines[0].startswith("scenario,")
+    assert len(grid_lines) == 5
+    summary_lines = (tmp_path / "summary.csv").read_text().splitlines()
+    assert len(summary_lines) == 5
+
+
+def test_progress_callback_fires_per_run():
+    seen = []
+    suite = ScenarioSuite(
+        name="progress",
+        scenarios=[
+            ScenarioSpec(
+                platforms="hyperledger", workloads="donothing",
+                servers=4, clients=2, rates=[20, 40], durations=3, seeds=1,
+            )
+        ],
+    )
+    suite.run(progress=lambda i, n, spec: seen.append((i, n, spec.platform)))
+    assert seen == [(0, 2, "hyperledger"), (1, 2, "hyperledger")]

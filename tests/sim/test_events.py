@@ -136,3 +136,55 @@ def test_events_processed_counter():
         sched.schedule(float(i), lambda: None)
     sched.run()
     assert sched.events_processed == 5
+
+
+def test_pending_counter_tracks_schedule_fire_cancel():
+    sched = Scheduler()
+    events = [sched.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert sched.pending() == 4
+    events[0].cancel()
+    assert sched.pending() == 3
+    sched.step()  # fires the event at t=2 (t=1 was cancelled)
+    assert sched.pending() == 2
+    sched.run()
+    assert sched.pending() == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    sched = Scheduler()
+    fired = sched.schedule(1.0, lambda: None)
+    keeper = sched.schedule(2.0, lambda: None)
+    sched.step()
+    assert sched.pending() == 1
+    fired.cancel()  # no-op: already fired
+    fired.cancel()
+    assert sched.pending() == 1
+    keeper.cancel()
+    assert sched.pending() == 0
+
+
+def test_double_cancel_decrements_once():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sched.pending() == 1
+
+
+def test_mass_cancellation_compacts_heap_and_keeps_order():
+    sched = Scheduler()
+    fired = []
+    keepers = []
+    for i in range(500):
+        event = sched.schedule(float(i), fired.append, i)
+        if i % 10 == 0:
+            keepers.append(i)
+        else:
+            event.cancel()
+    # Lazy compaction kicked in: tombstones no longer dominate the heap.
+    assert sched.pending() == len(keepers)
+    assert len(sched._queue) < 500
+    sched.run()
+    assert fired == keepers
+    assert sched.pending() == 0

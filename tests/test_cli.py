@@ -14,6 +14,24 @@ def test_list_names_every_platform_and_workload(capsys):
         assert name in out
 
 
+def test_list_output_is_registry_driven(capsys):
+    """A platform registered at runtime shows up in ``list``."""
+    from repro.registry import PLATFORMS, register_platform
+
+    @register_platform("listedchain")
+    def build_listed(node_id, scheduler, network, rng, config, ids, storage):
+        raise NotImplementedError
+
+    try:
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "listedchain" in out
+        assert "consensus protocols:" in out
+        assert "pbft" in out
+    finally:
+        PLATFORMS.unregister("listedchain")
+
+
 def test_run_prints_summary_table(capsys):
     code = main(
         [
@@ -135,6 +153,65 @@ def test_attack_json_reports_fork_metrics(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["total_blocks"] >= payload["main_branch_blocks"]
     assert 0.0 < payload["fork_ratio"] <= 1.0
+
+
+def _write_suite_file(path, rates=(20, 40)):
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-suite",
+                "scenarios": [
+                    {
+                        "name": "sweep",
+                        "platforms": ["hyperledger", "erisdb"],
+                        "workloads": "ycsb",
+                        "servers": 4,
+                        "clients": 2,
+                        "rates": list(rates),
+                        "durations": 5,
+                        "seeds": 1,
+                    }
+                ],
+            }
+        )
+    )
+
+
+def test_suite_runs_scenario_file_and_prints_grid(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_suite_file(scenario)
+    assert main(["suite", str(scenario)]) == 0
+    captured = capsys.readouterr()
+    assert "suite cli-suite: 4 runs" in captured.out
+    assert "hyperledger" in captured.out and "erisdb" in captured.out
+    # Serial mode narrates progress on stderr.
+    assert "[1/4]" in captured.err and "[4/4]" in captured.err
+
+
+def test_suite_json_output_merges_all_runs(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_suite_file(scenario)
+    assert main(["suite", str(scenario), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["suite"] == "cli-suite"
+    assert payload["runs"] == 4
+    platforms = {run["platform"] for run in payload["results"]}
+    assert platforms == {"hyperledger", "erisdb"}
+    assert all(run["confirmed"] > 0 for run in payload["results"])
+
+
+def test_suite_export_dir_writes_merged_csv(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_suite_file(scenario, rates=(20,))
+    out_dir = tmp_path / "out"
+    assert main(["suite", str(scenario), "--export-dir", str(out_dir)]) == 0
+    names = {p.name for p in out_dir.iterdir()}
+    assert names == {"grid.csv", "summary.csv"}
+
+
+def test_suite_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["suite", str(tmp_path / "nope.json")]) == 2
+    assert "scenario file not found" in capsys.readouterr().err
 
 
 def test_rejects_unknown_platform():

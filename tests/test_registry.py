@@ -1,0 +1,133 @@
+"""Plugin-registry tests: registration, lookup, and failure modes."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.registry import (
+    CONSENSUS,
+    PLATFORMS,
+    WORKLOADS,
+    Registry,
+    WorkloadSpec,
+    register_platform,
+    register_workload,
+)
+
+# Importing these populates the registries with the built-ins.
+import repro.consensus  # noqa: F401
+import repro.platforms  # noqa: F401
+import repro.workloads  # noqa: F401
+
+
+def test_builtin_platforms_registered():
+    from repro.platforms import available_platforms
+
+    assert PLATFORMS.names() == ["erisdb", "ethereum", "hyperledger", "parity"]
+    assert available_platforms() == PLATFORMS.names()
+
+
+def test_builtin_workloads_registered():
+    from repro.workloads import available_workloads
+
+    assert WORKLOADS.names() == [
+        "donothing", "doubler", "etherid", "smallbank", "wavespresale", "ycsb",
+    ]
+    assert available_workloads() == WORKLOADS.names()
+
+
+def test_builtin_consensus_registered():
+    assert CONSENSUS.names() == ["pbft", "poa", "pow", "tendermint"]
+
+
+def test_unknown_name_error_lists_available():
+    registry = Registry("gizmo")
+    registry.register("alpha", object())
+    with pytest.raises(BenchmarkError, match=r"unknown gizmo 'beta'.*alpha"):
+        registry.get("beta")
+
+
+def test_duplicate_registration_rejected_without_replace():
+    registry = Registry("gizmo")
+    registry.register("alpha", 1)
+    with pytest.raises(BenchmarkError, match="already registered"):
+        registry.register("alpha", 2)
+    registry.register("alpha", 2, replace=True)
+    assert registry.get("alpha") == 2
+
+
+def test_registry_container_protocol():
+    registry = Registry("gizmo")
+    registry.register("b", 2)
+    registry.register("a", 1)
+    assert "a" in registry and "missing" not in registry
+    assert list(registry) == ["a", "b"]
+    assert len(registry) == 2
+    assert registry.items() == [("a", 1), ("b", 2)]
+
+
+def test_register_platform_decorator_roundtrip():
+    @register_platform("testchain", default_config=lambda: "conf")
+    def build_node(node_id, scheduler, network, rng, config, all_ids, storage_dir):
+        return (node_id, config)
+
+    try:
+        spec = PLATFORMS.get("testchain")
+        assert spec.factory is build_node
+        assert spec.default_config() == "conf"
+    finally:
+        PLATFORMS.unregister("testchain")
+    assert "testchain" not in PLATFORMS
+
+
+def test_registered_platform_reaches_build_cluster_error_path():
+    """build_cluster resolves names through the registry, so its error
+    for unknown platforms comes from the registry too."""
+    from repro.platforms import build_cluster
+
+    with pytest.raises(BenchmarkError, match="unknown platform 'nosuchchain'"):
+        build_cluster("nosuchchain", 4)
+
+
+def test_register_workload_reaches_make_workload():
+    from repro.workloads import make_workload
+
+    class EchoWorkload:
+        pass
+
+    register_workload("echo")(EchoWorkload)
+    try:
+        assert isinstance(make_workload("echo"), EchoWorkload)
+    finally:
+        WORKLOADS.unregister("echo")
+    with pytest.raises(BenchmarkError, match="unknown workload 'echo'"):
+        make_workload("echo")
+
+
+def test_workload_kwargs_route_through_config_type():
+    from repro.workloads import YCSBConfig, YCSBWorkload, make_workload
+
+    workload = make_workload("ycsb", record_count=123)
+    assert isinstance(workload, YCSBWorkload)
+    assert workload.config.record_count == 123
+    assert isinstance(YCSBConfig(record_count=123), type(workload.config))
+
+
+def test_workload_without_config_rejects_kwargs():
+    spec = WorkloadSpec(name="plain", workload_type=object)
+    with pytest.raises(BenchmarkError, match="takes no parameters"):
+        spec.create(bogus=1)
+
+
+def test_workload_config_typo_raises_benchmark_error():
+    """A typo'd workload param surfaces as a clean BenchmarkError, not
+    a TypeError escaping to the CLI as a traceback."""
+    from repro.workloads import make_workload
+
+    with pytest.raises(BenchmarkError, match="bad parameters for workload 'ycsb'"):
+        make_workload("ycsb", record_cout=1000)
+
+
+def test_invalid_registration_name_rejected():
+    registry = Registry("gizmo")
+    with pytest.raises(BenchmarkError, match="non-empty string"):
+        registry.register("", 1)
