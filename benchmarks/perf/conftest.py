@@ -1,0 +1,13 @@
+"""Path setup so the perf microbenchmarks run standalone.
+
+``python -m pytest benchmarks/perf`` from the repo root works via the
+``pythonpath = ["src"]`` pytest setting; this conftest additionally
+makes ``src`` importable when a single file is executed as a script.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

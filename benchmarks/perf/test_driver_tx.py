@@ -1,0 +1,28 @@
+"""End-to-end microbenchmark: driver transactions per wall-clock second.
+
+One full ``run_experiment`` (ethereum/ycsb) through mempool, PoW
+consensus, trie state commits, polling clients, and stats — the number
+that tells us whether hot-path optimizations actually reach the macro
+benchmarks the paper is about.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_driver_tx.py
+"""
+
+from repro.core.perf import bench_driver
+
+
+def test_driver_tx_per_second():
+    result = bench_driver(quick=True)
+    assert result.unit == "tx"
+    assert result.ops > 0  # transactions actually confirmed
+    assert result.ops_per_s > 0
+    print(f"\ndriver_tx: {result.ops_per_s:,.0f} tx/s of wall time "
+          f"({result.ops} confirmed in {result.wall_time_s:.2f}s)")
+
+
+if __name__ == "__main__":
+    result = bench_driver()
+    print(f"driver_tx: {result.ops_per_s:,.0f} tx/s of wall time "
+          f"({result.ops} confirmed in {result.wall_time_s:.2f}s)")

@@ -1,0 +1,29 @@
+"""EVM microbenchmark: interpreted opcodes (steps) per second.
+
+Runs the paper's CPUHeavy quicksort (Figure 11's execution-layer
+stressor) through the miniature EVM and reports steps/s. This is the
+number the PR-2 optimization pass (cached program decoding + handler
+dispatch) is required to at least double; the committed trajectory in
+``BENCH_pr2.json`` records both sides.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_evm_ops.py
+"""
+
+from repro.core.perf import bench_evm
+
+
+def test_evm_ops_per_second():
+    result = bench_evm(quick=True)
+    assert result.unit == "steps"
+    assert result.ops > 10_000  # the quicksort actually ran
+    assert result.ops_per_s > 0
+    print(f"\nevm_cpuheavy: {result.ops_per_s:,.0f} steps/s "
+          f"({result.ops} steps in {result.wall_time_s:.3f}s)")
+
+
+if __name__ == "__main__":
+    result = bench_evm()
+    print(f"evm_cpuheavy: {result.ops_per_s:,.0f} steps/s "
+          f"({result.ops} steps in {result.wall_time_s:.3f}s)")

@@ -1,0 +1,26 @@
+"""Scheduler microbenchmark: discrete events processed per second.
+
+The single priority queue under every node, link, timer and client is
+the floor under all simulated throughput; this measures its event
+dispatch rate with 64 interleaved timer chains keeping the heap busy.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_scheduler_events.py
+"""
+
+from repro.core.perf import bench_scheduler
+
+
+def test_scheduler_events_per_second():
+    result = bench_scheduler(quick=True)
+    assert result.unit == "events"
+    assert result.ops >= 20_000
+    assert result.ops_per_s > 0
+    print(f"\nscheduler_events: {result.ops_per_s:,.0f} events/s")
+
+
+if __name__ == "__main__":
+    result = bench_scheduler()
+    print(f"scheduler_events: {result.ops_per_s:,.0f} events/s "
+          f"({result.ops} events in {result.wall_time_s:.3f}s)")

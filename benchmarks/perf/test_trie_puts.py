@@ -1,0 +1,27 @@
+"""Trie microbenchmark: Patricia-Merkle puts per second.
+
+Every logical write rewrites the path from leaf to root (the paper's
+Figure 12c write amplification); this measures how fast that path
+rewrite runs with the decoded-node LRU cache in front of the store.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_trie_puts.py
+"""
+
+from repro.core.perf import bench_trie
+
+
+def test_trie_puts_per_second():
+    result = bench_trie(quick=True)
+    assert result.unit == "puts"
+    assert result.ops_per_s > 0
+    assert result.meta["node_writes"] >= result.ops  # path rewrite happened
+    print(f"\ntrie_puts: {result.ops_per_s:,.0f} puts/s "
+          f"({result.meta['node_writes']} node writes)")
+
+
+if __name__ == "__main__":
+    result = bench_trie()
+    print(f"trie_puts: {result.ops_per_s:,.0f} puts/s "
+          f"({result.meta['node_writes']} node writes)")

@@ -17,6 +17,12 @@ Four subcommands cover the framework's day-to-day entry points:
     The Section 4.1.3 partition attack: split the network in half for a
     window and report the fork exposure (total vs main-branch blocks).
 
+``blockbench perf``
+    The framework's own performance trajectory: microbenchmarks for the
+    EVM, trie, scheduler, and end-to-end driver hot paths, written to a
+    machine-readable ``BENCH_*.json`` file so gains (and regressions)
+    across PRs are measured, not asserted.
+
 ``blockbench list``
     The registered platforms, workloads, and consensus protocols.
 
@@ -28,6 +34,7 @@ Examples
         --servers 8 --clients 8 --rate 256 --duration 60
     blockbench suite examples/scenarios/peak_sweep.json --processes 4
     blockbench attack --platform ethereum --start 100 --length 150
+    blockbench perf --quick --out BENCH_local.json
     blockbench list
 
 Platform and workload names come from the plugin registries
@@ -146,6 +153,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=42)
     attack.add_argument("--json", action="store_true")
+
+    perf = sub.add_parser(
+        "perf", help="run the framework's hot-path microbenchmarks"
+    )
+    perf.add_argument(
+        "--quick", action="store_true",
+        help="smaller problem sizes (CI smoke mode)",
+    )
+    perf.add_argument(
+        "--only", action="append", default=[], metavar="NAME",
+        help="run only the named benchmark (repeatable); "
+             "see repro.core.perf.BENCHMARKS",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="take the best of N runs per benchmark (default 3)",
+    )
+    perf.add_argument(
+        "--out", default="BENCH_local.json", metavar="PATH",
+        help="trajectory file to write (default BENCH_local.json; the "
+             "committed BENCH_pr*.json baselines are overwritten only "
+             "when named explicitly)",
+    )
+    perf.add_argument(
+        "--no-write", action="store_true",
+        help="print results without writing the trajectory file",
+    )
+    perf.add_argument(
+        "--baseline", metavar="PATH",
+        help="embed PATH's results as the baseline and print speedups",
+    )
+    perf.add_argument("--json", action="store_true", help="machine-readable output")
 
     sub.add_parser("list", help="list platforms and workloads")
     return parser
@@ -356,6 +395,61 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in every layer it measures.
+    from .core import perf
+
+    def progress(name: str, attempt: int, total: int) -> None:
+        print(f"bench {name} [{attempt}/{total}]", file=sys.stderr)
+
+    try:
+        results = perf.run_perf(
+            names=args.only or None,
+            quick=args.quick,
+            repeats=args.repeats,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline:
+        baseline = perf.load_trajectory(args.baseline)
+    payload = perf.trajectory_dict(results, quick=args.quick, baseline=baseline)
+    if not args.no_write:
+        path = perf.write_trajectory(args.out, results, payload=payload)
+        print(f"wrote trajectory to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload))
+        return 0
+    rows = [
+        [r.name, f"{r.ops_per_s:,.0f} {r.unit}/s", f"{r.wall_time_s:.3f}s"]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["benchmark", "throughput", "wall time"],
+            rows,
+            title=f"blockbench perf @ {payload['git_rev']}"
+            + (" (quick)" if args.quick else ""),
+        )
+    )
+    if baseline is not None:
+        comparison = perf.compare(results, baseline)
+        if comparison:
+            print(
+                format_table(
+                    ["benchmark", "baseline", "current", "speedup"],
+                    [
+                        [name, f"{base:,.0f}", f"{cur:,.0f}", f"{speedup:.2f}x"]
+                        for name, base, cur, speedup in comparison
+                    ],
+                    title=f"vs baseline @ {baseline.get('git_rev', '?')}",
+                )
+            )
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("platforms:")
     for name, spec in PLATFORMS.items():
@@ -379,6 +473,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "suite": _cmd_suite,
     "attack": _cmd_attack,
+    "perf": _cmd_perf,
     "list": _cmd_list,
 }
 

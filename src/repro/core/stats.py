@@ -43,6 +43,11 @@ class StatsCollector:
         self.queue_samples: list[tuple[float, int]] = []
         self.start_time = 0.0
         self.end_time = 0.0
+        # Sorted view of ``latencies``, computed lazily and shared by
+        # every percentile/CDF call: summary() alone needs three
+        # percentiles, and report/export code asks for CDFs on top —
+        # one sort per batch of appends instead of one per query.
+        self._sorted_latencies_cache: list[float] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -75,6 +80,19 @@ class StatsCollector:
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
+    def _sorted_latencies(self) -> list[float]:
+        """Sorted latencies, re-sorted only after new recordings.
+
+        ``latencies`` is a public list (``merge_collectors`` extends it
+        in place), so staleness is detected by length rather than by
+        intercepting every mutation path.
+        """
+        cache = self._sorted_latencies_cache
+        if cache is None or len(cache) != len(self.latencies):
+            cache = sorted(self.latencies)
+            self._sorted_latencies_cache = cache
+        return cache
+
     @property
     def confirmed(self) -> int:
         """Transactions confirmed inside the measurement window."""
@@ -98,7 +116,7 @@ class StatsCollector:
         """Order-statistic percentile of confirmation latency."""
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
+        ordered = self._sorted_latencies()
         rank = min(len(ordered) - 1, max(0, math.ceil(pct / 100 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -106,7 +124,7 @@ class StatsCollector:
         """(latency, cumulative fraction) pairs — Figure 17's curves."""
         if not self.latencies:
             return []
-        ordered = sorted(self.latencies)
+        ordered = self._sorted_latencies()
         n = len(ordered)
         step = max(1, n // points)
         cdf = [
@@ -160,10 +178,10 @@ def merge_collectors(collectors: list[StatsCollector]) -> StatsCollector:
         merged.rejected += collector.rejected
         merged.latencies.extend(collector.latencies)
         merged.confirm_times.extend(collector.confirm_times)
-        merged.start_time = min(
-            (c.start_time for c in collectors), default=0.0
-        )
-        merged.end_time = max((c.end_time for c in collectors), default=0.0)
+    # Window bounds once over all collectors (this used to run inside
+    # the loop above, making the merge quadratic in client count).
+    merged.start_time = min((c.start_time for c in collectors), default=0.0)
+    merged.end_time = max((c.end_time for c in collectors), default=0.0)
     # Queue samples: sum per timestamp across clients.
     by_time: dict[float, int] = {}
     for collector in collectors:

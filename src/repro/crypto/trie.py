@@ -13,6 +13,17 @@ Writes are copy-on-write: ``put`` returns a *new* root hash and leaves
 old nodes in place, which is also how the real MPT retains historical
 state roots (used by ``getBalance(account, block)`` in the analytics
 workload).
+
+Two fast paths (PR 2) keep the write amplification honest without
+paying it twice:
+
+* a decoded-node LRU sits in front of the store, so the hot upper
+  levels of the tree skip both the store read and the blob decode —
+  content addressing makes the cache trivially coherent;
+* the put path short-circuits when a subtree is unchanged (same value
+  written twice), returning the existing hash instead of re-encoding
+  and re-hashing the whole leaf-to-root path — exactly what a real MPT
+  does, since identical content hashes to the identical node.
 """
 
 from __future__ import annotations
@@ -20,8 +31,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Protocol
 
+from hashlib import sha256 as _sha256
+
 from ..errors import CorruptionError
+from ..util.lru import LRUCache
 from .hashing import Hash, sha256
+
+#: Decoded-node LRU sizing: roughly the working set of a few hundred
+#: thousand accounts' upper tree levels, while leaves churn through.
+NODE_CACHE_ENTRIES = 16_384
 
 Nibbles = tuple[int, ...]
 
@@ -54,12 +72,19 @@ class DictNodeStore:
         return len(self._data)
 
 
+#: Per-byte nibble pairs, precomputed once (to_nibbles runs per get/put).
+_BYTE_NIBBLES: tuple[tuple[int, int], ...] = tuple(
+    (b >> 4, b & 0x0F) for b in range(256)
+)
+
+
 def to_nibbles(key: bytes) -> Nibbles:
     """Split a byte key into 4-bit nibbles (two per byte, high first)."""
     out: list[int] = []
+    extend = out.extend
+    pairs = _BYTE_NIBBLES
     for byte in key:
-        out.append(byte >> 4)
-        out.append(byte & 0x0F)
+        extend(pairs[byte])
     return tuple(out)
 
 
@@ -103,31 +128,22 @@ _Node = _Leaf | _Extension | _Branch
 _EMPTY_CHILD = b"\x00" * 32
 
 
+_BRANCH_PREFIX = bytes([_BRANCH])
+
+
 def _encode_node(node: _Node) -> bytes:
     if isinstance(node, _Leaf):
-        return b"".join(
-            (
-                bytes([_LEAF, len(node.path)]),
-                bytes(node.path),
-                node.value,
-            )
-        )
+        return bytes((_LEAF, len(node.path))) + bytes(node.path) + node.value
     if isinstance(node, _Extension):
-        return b"".join(
-            (
-                bytes([_EXTENSION, len(node.path)]),
-                bytes(node.path),
-                node.child,
-            )
+        return (
+            bytes((_EXTENSION, len(node.path))) + bytes(node.path) + node.child
         )
-    parts = [bytes([_BRANCH])]
-    for child in node.children:
-        parts.append(child if child is not None else _EMPTY_CHILD)
+    body = b"".join(
+        [c if c is not None else _EMPTY_CHILD for c in node.children]
+    )
     if node.value is not None:
-        parts.append(b"\x01" + node.value)
-    else:
-        parts.append(b"\x00")
-    return b"".join(parts)
+        return _BRANCH_PREFIX + body + b"\x01" + node.value
+    return _BRANCH_PREFIX + body + b"\x00"
 
 
 def _decode_node(blob: bytes) -> _Node:
@@ -170,29 +186,51 @@ class PatriciaTrie:
     True
     """
 
-    def __init__(self, store: NodeStore) -> None:
+    def __init__(
+        self, store: NodeStore, node_cache_entries: int = NODE_CACHE_ENTRIES
+    ) -> None:
         self.store = store
         self.node_writes = 0
         self.node_reads = 0
         self.bytes_written = 0
+        #: Decoded nodes keyed by digest. Content-addressed storage
+        #: means an entry can never go stale — a digest always names
+        #: the same node bytes. Pass ``node_cache_entries=0`` to
+        #: disable, e.g. when the store's own read counters *model*
+        #: a platform cache and must see every logical read.
+        self._node_cache: LRUCache[bytes, _Node] | None = (
+            LRUCache(node_cache_entries) if node_cache_entries > 0 else None
+        )
 
     # ------------------------------------------------------------------
     # Node persistence
     # ------------------------------------------------------------------
     def _save(self, node: _Node) -> Hash:
         blob = _encode_node(node)
-        digest = sha256(blob)
+        # hashlib called directly: the wrapper costs a Python frame per
+        # saved node, and every put saves the whole leaf-to-root path.
+        digest = _sha256(blob).digest()
         self.store.put(digest, blob)
         self.node_writes += 1
         self.bytes_written += len(blob) + 32
+        if self._node_cache is not None:
+            self._node_cache.put(digest, node)
         return digest
 
     def _load(self, digest: Hash) -> _Node:
-        blob = self.store.get(digest)
         self.node_reads += 1
+        cache = self._node_cache
+        if cache is not None:
+            node = cache.get(digest)
+            if node is not None:
+                return node
+        blob = self.store.get(digest)
         if blob is None:
             raise CorruptionError(f"missing trie node {digest.hex()[:12]}")
-        return _decode_node(blob)
+        node = _decode_node(blob)
+        if cache is not None:
+            cache.put(digest, node)
+        return node
 
     # ------------------------------------------------------------------
     # Read path
@@ -231,13 +269,20 @@ class PatriciaTrie:
     def _put(self, node_hash: Hash, path: Nibbles, value: bytes) -> Hash:
         node = self._load(node_hash)
         if isinstance(node, _Leaf):
-            return self._put_into_leaf(node, path, value)
+            return self._put_into_leaf(node, node_hash, path, value)
         if isinstance(node, _Extension):
-            return self._put_into_extension(node, path, value)
-        return self._put_into_branch(node, path, value)
+            return self._put_into_extension(node, node_hash, path, value)
+        return self._put_into_branch(node, node_hash, path, value)
 
-    def _put_into_leaf(self, node: _Leaf, path: Nibbles, value: bytes) -> Hash:
+    def _put_into_leaf(
+        self, node: _Leaf, node_hash: Hash, path: Nibbles, value: bytes
+    ) -> Hash:
         if node.path == path:
+            if node.value == value:
+                # Identical content hashes to the identical node: skip
+                # the re-encode/re-hash and let the whole path above
+                # reuse its existing nodes.
+                return node_hash
             return self._save(_Leaf(path=path, value=value))
         common = _common_prefix_len(node.path, path)
         branch_children: list[Hash | None] = [None] * 16
@@ -258,11 +303,13 @@ class PatriciaTrie:
         return branch_hash
 
     def _put_into_extension(
-        self, node: _Extension, path: Nibbles, value: bytes
+        self, node: _Extension, node_hash: Hash, path: Nibbles, value: bytes
     ) -> Hash:
         common = _common_prefix_len(node.path, path)
         if common == len(node.path):
             new_child = self._put(node.child, path[common:], value)
+            if new_child == node.child:
+                return node_hash  # unchanged subtree: no path rewrite
             return self._save(_Extension(path=node.path, child=new_child))
         # Split the extension at the divergence point.
         branch_children: list[Hash | None] = [None] * 16
@@ -288,8 +335,12 @@ class PatriciaTrie:
             return self._save(_Extension(path=path[:common], child=branch_hash))
         return branch_hash
 
-    def _put_into_branch(self, node: _Branch, path: Nibbles, value: bytes) -> Hash:
+    def _put_into_branch(
+        self, node: _Branch, node_hash: Hash, path: Nibbles, value: bytes
+    ) -> Hash:
         if not path:
+            if node.value == value:
+                return node_hash
             return self._save(_Branch(children=node.children, value=value))
         index = path[0]
         child = node.children[index]
@@ -297,6 +348,8 @@ class PatriciaTrie:
             new_child = self._save(_Leaf(path=path[1:], value=value))
         else:
             new_child = self._put(child, path[1:], value)
+            if new_child == child:
+                return node_hash  # unchanged subtree: no path rewrite
         children = list(node.children)
         children[index] = new_child
         return self._save(_Branch(children=tuple(children), value=node.value))
@@ -405,8 +458,15 @@ class StateTrie:
     past state — the mechanism behind the analytics workload.
     """
 
-    def __init__(self, store: NodeStore | None = None) -> None:
-        self.trie = PatriciaTrie(store if store is not None else DictNodeStore())
+    def __init__(
+        self,
+        store: NodeStore | None = None,
+        node_cache_entries: int = NODE_CACHE_ENTRIES,
+    ) -> None:
+        self.trie = PatriciaTrie(
+            store if store is not None else DictNodeStore(),
+            node_cache_entries=node_cache_entries,
+        )
         self.root: Hash | None = None
         self.history: list[Hash | None] = []
 

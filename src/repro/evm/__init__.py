@@ -10,6 +10,12 @@ from .programs import (
     kvstore_read_code,
     kvstore_write_code,
 )
+from .program import (
+    Program,
+    clear_program_cache,
+    decode_program,
+    program_cache_stats,
+)
 from .vm import (
     EVM,
     CallContext,
@@ -33,6 +39,10 @@ __all__ = [
     "donothing_code",
     "kvstore_read_code",
     "kvstore_write_code",
+    "Program",
+    "clear_program_cache",
+    "decode_program",
+    "program_cache_stats",
     "EVM",
     "CallContext",
     "DictStorage",

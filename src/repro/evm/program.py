@@ -1,0 +1,240 @@
+"""Bytecode pre-decoding for the miniature EVM (the PR-2 fast path).
+
+The interpreter used to rediscover everything about the bytecode on
+every run of every transaction: a fresh JUMPDEST scan per ``execute``,
+an ``OPCODES.get`` + ``OPCODE_GAS`` dict lookup per step, a byte-slice
+and ``int.from_bytes`` per PUSH, and a ~40-branch if/elif walk per
+opcode. For the CPUHeavy workload that is tens of thousands of steps of
+pure re-decoding per simulated transaction.
+
+This module decodes a code blob **once** into a :class:`Program`:
+
+* one instruction record per byte offset — ``(handler_id, gas, pops,
+  opcode, operand, next_pc, name)`` — so the dispatch loop does a single
+  list index per step instead of two dict lookups and a branch chain;
+* PUSH immediates pre-extracted into ints (``operand``);
+* DUP/SWAP depths pre-computed into ``operand``;
+* the valid-JUMPDEST set pre-scanned once.
+
+Programs are cached in a module-level LRU keyed by the code bytes, so
+repeated executions of the same contract (every simulated transaction)
+skip decoding entirely. Decoding is semantics-free: invalid opcodes and
+truncated PUSH immediates decode into dedicated failure records that
+reproduce the interpreter's lazy, execution-time errors bit-for-bit —
+a bad byte after a RETURN still never fails, exactly as before.
+"""
+
+from __future__ import annotations
+
+from ..util.lru import LRUCache
+from . import opcodes as op
+from .gas import OPCODE_GAS
+
+# Handler ids: indices into the dispatch table the interpreter builds
+# per run (see ``vm.EVM.execute``). Order here and there must match.
+(
+    HID_INVALID,
+    HID_STOP,
+    HID_PUSH,
+    HID_TRUNC_PUSH,
+    HID_ADD,
+    HID_MUL,
+    HID_SUB,
+    HID_DIV,
+    HID_MOD,
+    HID_LT,
+    HID_GT,
+    HID_EQ,
+    HID_ISZERO,
+    HID_AND,
+    HID_OR,
+    HID_XOR,
+    HID_NOT,
+    HID_SHA3,
+    HID_CALLER,
+    HID_CALLVALUE,
+    HID_CALLDATALOAD,
+    HID_POP,
+    HID_MLOAD,
+    HID_MSTORE,
+    HID_SLOAD,
+    HID_SSTORE,
+    HID_JUMP,
+    HID_JUMPI,
+    HID_PC,
+    HID_GAS,
+    HID_JUMPDEST,
+    HID_DUP,
+    HID_SWAP,
+    HID_RETURN,
+    HID_REVERT,
+) = range(35)
+
+#: Number of handler slots (dispatch-table length).
+HANDLER_COUNT = 35
+
+_SIMPLE_HIDS: dict[int, int] = {
+    op.STOP: HID_STOP,
+    op.ADD: HID_ADD,
+    op.MUL: HID_MUL,
+    op.SUB: HID_SUB,
+    op.DIV: HID_DIV,
+    op.MOD: HID_MOD,
+    op.LT: HID_LT,
+    op.GT: HID_GT,
+    op.EQ: HID_EQ,
+    op.ISZERO: HID_ISZERO,
+    op.AND: HID_AND,
+    op.OR: HID_OR,
+    op.XOR: HID_XOR,
+    op.NOT: HID_NOT,
+    op.SHA3: HID_SHA3,
+    op.CALLER: HID_CALLER,
+    op.CALLVALUE: HID_CALLVALUE,
+    op.CALLDATALOAD: HID_CALLDATALOAD,
+    op.POP: HID_POP,
+    op.MLOAD: HID_MLOAD,
+    op.MSTORE: HID_MSTORE,
+    op.SLOAD: HID_SLOAD,
+    op.SSTORE: HID_SSTORE,
+    op.JUMP: HID_JUMP,
+    op.JUMPI: HID_JUMPI,
+    op.PC: HID_PC,
+    op.GAS: HID_GAS,
+    op.JUMPDEST: HID_JUMPDEST,
+    op.RETURN: HID_RETURN,
+    op.REVERT: HID_REVERT,
+}
+
+#: One decoded instruction: (handler_id, gas, pops, opcode, operand,
+#: next_pc, name). ``operand`` is the PUSH immediate or DUP/SWAP stack
+#: index; ``next_pc`` is the fall-through successor.
+Instr = tuple[int, int, int, int, int | None, int, str]
+
+
+class Program:
+    """One immutable decoded code blob, shareable across interpreters."""
+
+    __slots__ = ("code", "length", "insts", "jumpdests")
+
+    def __init__(
+        self,
+        code: bytes,
+        insts: list[Instr],
+        jumpdests: frozenset[int],
+    ) -> None:
+        self.code = code
+        self.length = len(code)
+        self.insts = insts
+        self.jumpdests = jumpdests
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program(len={self.length}, jumpdests={len(self.jumpdests)})"
+        )
+
+
+def scan_jumpdests(code: bytes) -> frozenset[int]:
+    """Valid JUMPDEST offsets (skipping PUSH immediates)."""
+    dests: set[int] = set()
+    pc = 0
+    n = len(code)
+    while pc < n:
+        opcode = code[pc]
+        if opcode == op.JUMPDEST:
+            dests.add(pc)
+        if opcode == op.PUSH:
+            pc += 1 + op.PUSH_IMMEDIATE_BYTES
+        else:
+            pc += 1
+    return frozenset(dests)
+
+
+def _decode(code: bytes) -> Program:
+    """Decode every byte offset; never raises on malformed code."""
+    n = len(code)
+    insts: list[Instr] = []
+    append = insts.append
+    opcodes = op.OPCODES
+    push_width = op.PUSH_IMMEDIATE_BYTES
+    for pc in range(n):
+        opcode = code[pc]
+        info = opcodes.get(opcode)
+        if info is None:
+            # Executed lazily: only fails if the interpreter reaches it.
+            append((HID_INVALID, 0, 0, opcode, None, pc + 1, "INVALID"))
+            continue
+        gas = OPCODE_GAS[opcode]
+        if opcode == op.PUSH:
+            immediate = code[pc + 1 : pc + 1 + push_width]
+            if len(immediate) < push_width:
+                append(
+                    (HID_TRUNC_PUSH, gas, info.pops, opcode, None, n, "PUSH")
+                )
+            else:
+                append(
+                    (
+                        HID_PUSH,
+                        gas,
+                        info.pops,
+                        opcode,
+                        int.from_bytes(immediate, "big"),
+                        pc + 1 + push_width,
+                        "PUSH",
+                    )
+                )
+        elif op.DUP1 <= opcode < op.DUP1 + 16:
+            depth = opcode - op.DUP1 + 1
+            append((HID_DUP, gas, info.pops, opcode, depth, pc + 1, info.name))
+        elif op.SWAP1 <= opcode < op.SWAP1 + 16:
+            # Pre-add the 1 so the handler indexes stack[-operand].
+            depth = opcode - op.SWAP1 + 2
+            append((HID_SWAP, gas, info.pops, opcode, depth, pc + 1, info.name))
+        else:
+            append(
+                (
+                    _SIMPLE_HIDS[opcode],
+                    gas,
+                    info.pops,
+                    opcode,
+                    None,
+                    pc + 1,
+                    info.name,
+                )
+            )
+    return Program(code, insts, scan_jumpdests(code))
+
+
+#: Decoded programs keyed by code bytes. 256 distinct contract bodies
+#: is far beyond what any scenario deploys; sized for safety, not need.
+PROGRAM_CACHE_CAPACITY = 256
+
+_cache: LRUCache[bytes, Program] = LRUCache(PROGRAM_CACHE_CAPACITY)
+
+
+def decode_program(code: bytes, use_cache: bool = True) -> Program:
+    """Decoded :class:`Program` for ``code``, from the LRU when possible."""
+    if not use_cache:
+        return _decode(code)
+    program = _cache.get(code)
+    if program is None:
+        program = _decode(code)
+        _cache.put(code, program)
+    return program
+
+
+def program_cache_stats() -> dict[str, int | float]:
+    """Hit/miss counters for tests and the perf harness."""
+    return {
+        "size": len(_cache),
+        "capacity": _cache.capacity,
+        "hits": _cache.hits,
+        "misses": _cache.misses,
+        "hit_rate": _cache.hit_rate(),
+    }
+
+
+def clear_program_cache() -> None:
+    """Drop all cached programs (test isolation)."""
+    global _cache
+    _cache = LRUCache(PROGRAM_CACHE_CAPACITY)

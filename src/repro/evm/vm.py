@@ -20,18 +20,39 @@ raises :class:`OutOfMemory` — the paper's 'X' cells.
 
 Storage writes are buffered and applied only on successful completion,
 so out-of-gas and REVERT leave contract state untouched.
+
+Dispatch (PR 2): bytecode is pre-decoded once per code blob into a
+cached :class:`~repro.evm.program.Program` — precomputed gas, stack
+depths, PUSH immediates, DUP/SWAP offsets, and the JUMPDEST set — and
+the step loop indexes a handler table instead of walking an if/elif
+chain. The handlers are closures over the run's stack/memory/gas cells,
+so the per-step state stays in fast local/cell variables. Observable
+semantics (gas_used, steps, journal entries, modeled memory, storage
+commit behavior, error strings) are bit-identical to the pre-decoded
+interpreter; ``tests/evm/test_program_cache.py`` pins that equivalence.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import Enum
 
-from ..errors import OutOfGas, OutOfMemory, VMError
+from ..errors import OutOfGas, OutOfMemory
 from . import opcodes as op
-from .gas import MEMORY_WORD_COST, OPCODE_GAS, sstore_cost
+from .gas import MEMORY_WORD_COST, sstore_cost
+from .program import (
+    HANDLER_COUNT,
+    HID_DUP,
+    HID_INVALID,
+    HID_PUSH,
+    HID_SWAP,
+    decode_program,
+)
 
 _DEFAULT_MEMORY_LIMIT = 32 * 1024**3  # the paper's 32 GB servers
+
+_sha256 = hashlib.sha256
 
 
 class Profile(Enum):
@@ -114,6 +135,10 @@ class CallContext:
     args: tuple[int, ...] = ()
 
 
+class _Fail(Exception):
+    """Internal: abort the run with a VM-level error message."""
+
+
 class EVM:
     """One interpreter instance (stateless across runs except storage)."""
 
@@ -121,10 +146,14 @@ class EVM:
         self,
         profile: Profile = Profile.PARITY,
         memory_limit_bytes: int = _DEFAULT_MEMORY_LIMIT,
+        use_program_cache: bool = True,
     ) -> None:
         self.profile = profile
         self.costs = PROFILE_COSTS[profile]
         self.memory_limit_bytes = memory_limit_bytes
+        #: Decode bytecode through the shared program LRU. Disabled only
+        #: by tests that pin cached-vs-uncached equivalence.
+        self.use_program_cache = use_program_cache
 
     # ------------------------------------------------------------------
     def execute(
@@ -136,6 +165,7 @@ class EVM:
         capture_memory: bool = False,
     ) -> ExecutionResult:
         """Run ``code`` to completion; storage commits only on success."""
+        program = decode_program(code, use_cache=self.use_program_cache)
         storage = storage if storage is not None else DictStorage()
         context = context or CallContext()
         stack: list[int] = []
@@ -147,18 +177,235 @@ class EVM:
         steps = 0
         peak_words = 0
         pc = 0
-        code_len = len(code)
-        valid_jumpdests = _scan_jumpdests(code)
-        word_overhead = self.costs.word_overhead_bytes
+        word_mask = op.WORD_MASK
         memory_budget_words = (
             max(0, self.memory_limit_bytes - self.costs.base_overhead_bytes)
-            // max(1, word_overhead)
+            // max(1, self.costs.word_overhead_bytes)
         )
         return_value: int | None = None
+        jumpdests = program.jumpdests
+        args = context.args
+        n_args = len(args)
+        caller = context.caller
+        call_value = context.call_value
+        storage_get = storage.get_word
+        stack_append = stack.append
+        stack_pop = stack.pop
 
-        def fail(kind: type[Exception], message: str) -> ExecutionResult:
-            if kind is OutOfMemory:
-                raise OutOfMemory(message)
+        # -- handler table -------------------------------------------------
+        # One closure per handler id, sharing this run's stack/memory/
+        # gas cells. Handlers return the next pc (for jumps), -1 to
+        # halt, or None to fall through to the instruction's static
+        # successor. The defs cost ~2 microseconds per run and are paid
+        # back within the first dozen steps.
+        def h_stop(operand, pc):
+            return -1
+
+        def h_push(operand, pc):
+            stack_append(operand)
+
+        def h_trunc_push(operand, pc):
+            raise _Fail("truncated PUSH immediate")
+
+        def h_add(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append((a + b) & word_mask)
+
+        def h_mul(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append((a * b) & word_mask)
+
+        def h_sub(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append((a - b) & word_mask)
+
+        def h_div(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(0 if b == 0 else a // b)
+
+        def h_mod(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(0 if b == 0 else a % b)
+
+        def h_lt(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(1 if a < b else 0)
+
+        def h_gt(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(1 if a > b else 0)
+
+        def h_eq(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(1 if a == b else 0)
+
+        def h_iszero(operand, pc):
+            stack_append(1 if stack_pop() == 0 else 0)
+
+        def h_and(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(a & b)
+
+        def h_or(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(a | b)
+
+        def h_xor(operand, pc):
+            b = stack_pop()
+            a = stack_pop()
+            stack_append(a ^ b)
+
+        def h_not(operand, pc):
+            stack_append(stack_pop() ^ word_mask)
+
+        def h_sha3(operand, pc):
+            value = stack_pop()
+            digest = _sha256(value.to_bytes(32, "big")).digest()
+            stack_append(int.from_bytes(digest, "big") & word_mask)
+
+        def h_caller(operand, pc):
+            stack_append(caller)
+
+        def h_callvalue(operand, pc):
+            stack_append(call_value)
+
+        def h_calldataload(operand, pc):
+            index = stack_pop()
+            stack_append(args[index] if index < n_args else 0)
+
+        def h_pop(operand, pc):
+            stack_pop()
+
+        def h_mload(operand, pc):
+            stack_append(memory.get(stack_pop(), 0))
+
+        def h_mstore(operand, pc):
+            nonlocal gas_used, peak_words
+            addr = stack_pop()
+            value = stack_pop()
+            if addr not in memory:
+                gas_used += MEMORY_WORD_COST
+                if len(memory) + 1 > memory_budget_words:
+                    raise OutOfMemory(
+                        f"modeled memory exceeded "
+                        f"{self.memory_limit_bytes} bytes "
+                        f"({len(memory) + 1} words, {self.profile.value})"
+                    )
+            memory[addr] = value
+            if len(memory) > peak_words:
+                peak_words = len(memory)
+
+        def h_sload(operand, pc):
+            key = stack_pop()
+            if key in write_buffer:
+                stack_append(write_buffer[key])
+            else:
+                stack_append(storage_get(key))
+
+        def h_sstore(operand, pc):
+            nonlocal gas_used
+            key = stack_pop()
+            value = stack_pop()
+            old = (
+                write_buffer[key] if key in write_buffer else storage_get(key)
+            )
+            gas_used += sstore_cost(old, value)
+            if gas_limit is not None and gas_used > gas_limit:
+                raise OutOfGas(f"out of gas in SSTORE at pc={pc}")
+            write_buffer[key] = value
+
+        def h_jump(operand, pc):
+            target = stack_pop()
+            if target not in jumpdests:
+                raise _Fail(f"bad jump target {target}")
+            return target
+
+        def h_jumpi(operand, pc):
+            target = stack_pop()
+            condition = stack_pop()
+            if condition:
+                if target not in jumpdests:
+                    raise _Fail(f"bad jump target {target}")
+                return target
+
+        def h_pc(operand, pc):
+            stack_append(pc)
+
+        def h_gas(operand, pc):
+            remaining = (
+                (gas_limit - gas_used) if gas_limit is not None else word_mask
+            )
+            stack_append(remaining if remaining > 0 else 0)
+
+        def h_jumpdest(operand, pc):
+            pass
+
+        def h_dup(operand, pc):
+            stack_append(stack[-operand])
+
+        def h_swap(operand, pc):
+            stack[-1], stack[-operand] = stack[-operand], stack[-1]
+
+        def h_return(operand, pc):
+            nonlocal return_value
+            return_value = stack_pop()
+            return -1
+
+        def h_revert(operand, pc):
+            raise _Fail("explicit revert")
+
+        # Index order must match the HID_* constants in program.py.
+        table = (
+            None,  # HID_INVALID is intercepted before dispatch
+            h_stop,
+            h_push,
+            h_trunc_push,
+            h_add,
+            h_mul,
+            h_sub,
+            h_div,
+            h_mod,
+            h_lt,
+            h_gt,
+            h_eq,
+            h_iszero,
+            h_and,
+            h_or,
+            h_xor,
+            h_not,
+            h_sha3,
+            h_caller,
+            h_callvalue,
+            h_calldataload,
+            h_pop,
+            h_mload,
+            h_mstore,
+            h_sload,
+            h_sstore,
+            h_jump,
+            h_jumpi,
+            h_pc,
+            h_gas,
+            h_jumpdest,
+            h_dup,
+            h_swap,
+            h_return,
+            h_revert,
+        )
+        if len(table) != HANDLER_COUNT:  # pragma: no cover - build-time sanity
+            raise AssertionError("dispatch table out of sync with HID_* ids")
+
+        def fail_result(message: str) -> ExecutionResult:
             return ExecutionResult(
                 success=False,
                 return_value=None,
@@ -170,152 +417,67 @@ class EVM:
                 error=message,
             )
 
+        # -- dispatch loop -------------------------------------------------
+        insts = program.insts
+        code_len = program.length
+        journal_append = journal.append
+        # Sentinel cap keeps the per-step gas check to one same-type int
+        # comparison (int-vs-float is measurably slower); 2**63 gas is
+        # ~10**17 steps, unreachable by construction.
+        gas_cap = gas_limit if gas_limit is not None else 1 << 63
         try:
             while pc < code_len:
-                opcode = code[pc]
-                info = op.OPCODES.get(opcode)
-                if info is None:
-                    return fail(VMError, f"bad opcode 0x{opcode:02x} at pc={pc}")
-                steps += 1
-                gas_used += OPCODE_GAS[opcode]
-                if gas_limit is not None and gas_used > gas_limit:
-                    raise OutOfGas(f"out of gas at pc={pc} (step {steps})")
-                if len(stack) < info.pops:
-                    return fail(VMError, f"stack underflow at pc={pc} ({info.name})")
-                if journaling:
-                    journal.append((pc, opcode, gas_used))
-
-                if opcode == op.STOP:
-                    break
-                elif opcode == op.PUSH:
-                    immediate = code[pc + 1 : pc + 1 + op.PUSH_IMMEDIATE_BYTES]
-                    if len(immediate) < op.PUSH_IMMEDIATE_BYTES:
-                        return fail(VMError, "truncated PUSH immediate")
-                    stack.append(int.from_bytes(immediate, "big"))
-                    pc += 1 + op.PUSH_IMMEDIATE_BYTES
+                hid, gas, pops, opcode, operand, fallthrough, name = insts[pc]
+                # Inline fast paths for the three opcode kinds that
+                # dominate dynamic frequency (a majority of CPUHeavy's
+                # steps are PUSH/DUP/SWAP): same bookkeeping, minus the
+                # dispatch call. Everything else goes through the table.
+                if hid == HID_PUSH:
+                    steps += 1
+                    gas_used += gas
+                    if gas_used > gas_cap:
+                        raise OutOfGas(f"out of gas at pc={pc} (step {steps})")
+                    if journaling:
+                        journal_append((pc, opcode, gas_used))
+                    stack_append(operand)
+                    pc = fallthrough
                     continue
-                elif opcode == op.ADD:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append((a + b) & op.WORD_MASK)
-                elif opcode == op.MUL:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append((a * b) & op.WORD_MASK)
-                elif opcode == op.SUB:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append((a - b) & op.WORD_MASK)
-                elif opcode == op.DIV:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(0 if b == 0 else a // b)
-                elif opcode == op.MOD:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(0 if b == 0 else a % b)
-                elif opcode == op.LT:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(1 if a < b else 0)
-                elif opcode == op.GT:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(1 if a > b else 0)
-                elif opcode == op.EQ:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(1 if a == b else 0)
-                elif opcode == op.ISZERO:
-                    stack.append(1 if stack.pop() == 0 else 0)
-                elif opcode == op.AND:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(a & b)
-                elif opcode == op.OR:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(a | b)
-                elif opcode == op.XOR:
-                    b, a = stack.pop(), stack.pop()
-                    stack.append(a ^ b)
-                elif opcode == op.NOT:
-                    stack.append(stack.pop() ^ op.WORD_MASK)
-                elif opcode == op.SHA3:
-                    import hashlib
-
-                    value = stack.pop()
-                    digest = hashlib.sha256(value.to_bytes(32, "big")).digest()
-                    stack.append(int.from_bytes(digest, "big") & op.WORD_MASK)
-                elif opcode == op.CALLER:
-                    stack.append(context.caller)
-                elif opcode == op.CALLVALUE:
-                    stack.append(context.call_value)
-                elif opcode == op.CALLDATALOAD:
-                    index = stack.pop()
-                    args = context.args
-                    stack.append(args[index] if index < len(args) else 0)
-                elif opcode == op.POP:
-                    stack.pop()
-                elif opcode == op.MLOAD:
-                    stack.append(memory.get(stack.pop(), 0))
-                elif opcode == op.MSTORE:
-                    addr = stack.pop()
-                    value = stack.pop()
-                    if addr not in memory:
-                        gas_used += MEMORY_WORD_COST
-                        if len(memory) + 1 > memory_budget_words:
-                            return fail(
-                                OutOfMemory,
-                                f"modeled memory exceeded "
-                                f"{self.memory_limit_bytes} bytes "
-                                f"({len(memory) + 1} words, {self.profile.value})",
-                            )
-                    memory[addr] = value
-                    if len(memory) > peak_words:
-                        peak_words = len(memory)
-                elif opcode == op.SLOAD:
-                    key = stack.pop()
-                    if key in write_buffer:
-                        stack.append(write_buffer[key])
+                if hid == HID_DUP or hid == HID_SWAP:
+                    steps += 1
+                    gas_used += gas
+                    if gas_used > gas_cap:
+                        raise OutOfGas(f"out of gas at pc={pc} (step {steps})")
+                    if len(stack) < pops:
+                        return fail_result(
+                            f"stack underflow at pc={pc} ({name})"
+                        )
+                    if journaling:
+                        journal_append((pc, opcode, gas_used))
+                    if hid == HID_DUP:
+                        stack_append(stack[-operand])
                     else:
-                        stack.append(storage.get_word(key))
-                elif opcode == op.SSTORE:
-                    key = stack.pop()
-                    value = stack.pop()
-                    old = (
-                        write_buffer[key]
-                        if key in write_buffer
-                        else storage.get_word(key)
-                    )
-                    gas_used += sstore_cost(old, value)
-                    if gas_limit is not None and gas_used > gas_limit:
-                        raise OutOfGas(f"out of gas in SSTORE at pc={pc}")
-                    write_buffer[key] = value
-                elif opcode == op.JUMP:
-                    target = stack.pop()
-                    if target not in valid_jumpdests:
-                        return fail(VMError, f"bad jump target {target}")
-                    pc = target
+                        stack[-1], stack[-operand] = stack[-operand], stack[-1]
+                    pc = fallthrough
                     continue
-                elif opcode == op.JUMPI:
-                    target = stack.pop()
-                    condition = stack.pop()
-                    if condition:
-                        if target not in valid_jumpdests:
-                            return fail(VMError, f"bad jump target {target}")
-                        pc = target
-                        continue
-                elif opcode == op.PC:
-                    stack.append(pc)
-                elif opcode == op.GAS:
-                    remaining = (
-                        (gas_limit - gas_used) if gas_limit is not None else op.WORD_MASK
-                    )
-                    stack.append(max(0, remaining))
-                elif opcode == op.JUMPDEST:
-                    pass
-                elif op.DUP1 <= opcode < op.DUP1 + 16:
-                    stack.append(stack[-(opcode - op.DUP1 + 1)])
-                elif op.SWAP1 <= opcode < op.SWAP1 + 16:
-                    depth = opcode - op.SWAP1 + 1
-                    stack[-1], stack[-depth - 1] = stack[-depth - 1], stack[-1]
-                elif opcode == op.RETURN:
-                    return_value = stack.pop()
+                if hid == HID_INVALID:
+                    return fail_result(f"bad opcode 0x{opcode:02x} at pc={pc}")
+                steps += 1
+                gas_used += gas
+                if gas_used > gas_cap:
+                    raise OutOfGas(f"out of gas at pc={pc} (step {steps})")
+                if len(stack) < pops:
+                    return fail_result(f"stack underflow at pc={pc} ({name})")
+                if journaling:
+                    journal_append((pc, opcode, gas_used))
+                next_pc = table[hid](operand, pc)
+                if next_pc is None:
+                    pc = fallthrough
+                elif next_pc >= 0:
+                    pc = next_pc
+                else:
                     break
-                elif opcode == op.REVERT:
-                    return fail(VMError, "explicit revert")
-                pc += 1
+        except _Fail as exc:
+            return fail_result(str(exc))
         except OutOfGas as exc:
             return ExecutionResult(
                 success=False,
@@ -348,18 +510,3 @@ class EVM:
             + peak_words * self.costs.word_overhead_bytes
             + len(journal) * 48
         )
-
-
-def _scan_jumpdests(code: bytes) -> set[int]:
-    """Valid JUMPDEST offsets (skipping PUSH immediates)."""
-    dests: set[int] = set()
-    pc = 0
-    while pc < len(code):
-        opcode = code[pc]
-        if opcode == op.JUMPDEST:
-            dests.add(pc)
-        if opcode == op.PUSH:
-            pc += 1 + op.PUSH_IMMEDIATE_BYTES
-        else:
-            pc += 1
-    return dests

@@ -59,7 +59,13 @@ class EthereumState(PlatformState):
         self._store: LSMStore | None = None
         if storage_dir is not None:
             self._store = LSMStore(Path(storage_dir), leveldb_config())
-            self.trie = StateTrie(_CachedNodeStore(self._store))
+            # The trie's own decoded-node cache is disabled here: in
+            # disk-backed mode _CachedNodeStore *models* geth's state
+            # cache and the LSM read counters feed the IOHeavy figures,
+            # so every logical node read must reach that layer.
+            self.trie = StateTrie(
+                _CachedNodeStore(self._store), node_cache_entries=0
+            )
         else:
             self.trie = StateTrie()
         self._snapshots: dict[int, int] = {}

@@ -1,0 +1,137 @@
+"""Program-cache equivalence: decoding must never change semantics.
+
+PR 2 made the EVM decode bytecode once into a cached ``Program``
+(jumpdest set, PUSH immediates, handler dispatch ids). These tests pin
+the requirement that caching is *observationally invisible*: every
+``ExecutionResult`` field — gas, steps, journal entries, modeled
+memory, return value, error strings — and every storage commit must be
+identical whether the program was decoded fresh, decoded cold into the
+cache, or served warm from it, for both GETH and PARITY profiles,
+including the failure paths (bad jump, out of gas, REVERT, bad opcode,
+truncated PUSH).
+"""
+
+import pytest
+
+from repro.evm import EVM, CallContext, DictStorage, Profile, assemble
+from repro.evm.program import (
+    clear_program_cache,
+    decode_program,
+    program_cache_stats,
+)
+from repro.evm.programs import cpuheavy_code, kvstore_write_code
+
+BAD_JUMP_ASM = "PUSH 3\nJUMP"
+REVERT_ASM = "PUSH 5\nPUSH 1\nSSTORE\nREVERT"
+SSTORE_ASM = "PUSH 5\nPUSH 1\nSSTORE\nPUSH 1\nRETURN"
+LOOP_ASM = """
+    PUSH 0          ; total
+    PUSH 40         ; i
+loop:
+    DUP1
+    ISZERO
+    PUSH @end
+    JUMPI
+    DUP1
+    SWAP2
+    ADD
+    SWAP1
+    PUSH 1
+    SUB
+    PUSH @loop
+    JUMP
+end:
+    POP
+    RETURN
+"""
+MEMORY_ASM = """
+    PUSH 11
+    PUSH 3
+    MSTORE
+    PUSH 22
+    PUSH 7
+    MSTORE
+    PUSH 3
+    MLOAD
+    RETURN
+"""
+
+CASES = [
+    ("cpuheavy", cpuheavy_code(), (16,), None),
+    ("kvstore_write", kvstore_write_code(), (9, 1234), None),
+    ("loop", assemble(LOOP_ASM), (), None),
+    ("memory", assemble(MEMORY_ASM), (), None),
+    ("bad_jump", assemble(BAD_JUMP_ASM), (), None),
+    ("revert", assemble(REVERT_ASM), (), None),
+    ("out_of_gas_prologue", assemble(SSTORE_ASM), (), 5),
+    ("out_of_gas_mid_sstore", assemble(SSTORE_ASM), (), 1_000),
+    ("bad_opcode", bytes([0x60, 0, 0, 0, 0, 0, 0, 0, 1, 0xEE]), (), None),
+    ("truncated_push", bytes([0x60, 1, 2]), (), None),
+    ("empty", b"", (), None),
+]
+
+
+def _run(code, profile, args, gas_limit, use_cache):
+    vm = EVM(profile, use_program_cache=use_cache)
+    storage = DictStorage()
+    result = vm.execute(
+        code,
+        storage=storage,
+        context=CallContext(caller=7, call_value=3, args=tuple(args)),
+        gas_limit=gas_limit,
+        capture_memory=True,
+    )
+    return result, storage.data
+
+
+@pytest.mark.parametrize("profile", [Profile.GETH, Profile.PARITY])
+@pytest.mark.parametrize(
+    "name,code,args,gas_limit", CASES, ids=[c[0] for c in CASES]
+)
+def test_cached_and_uncached_runs_are_identical(name, code, args, gas_limit, profile):
+    clear_program_cache()
+    uncached, uncached_storage = _run(code, profile, args, gas_limit, False)
+    cold, cold_storage = _run(code, profile, args, gas_limit, True)
+    warm, warm_storage = _run(code, profile, args, gas_limit, True)
+    # ExecutionResult is a dataclass: == compares every field, including
+    # gas_used, steps, journal_entries, modeled memory, and the full
+    # captured memory dict.
+    assert uncached == cold
+    assert cold == warm
+    assert uncached_storage == cold_storage == warm_storage
+
+
+def test_warm_runs_hit_the_cache():
+    clear_program_cache()
+    code = cpuheavy_code()
+    vm = EVM(Profile.PARITY)
+    before = program_cache_stats()
+    vm.execute(code, context=CallContext(args=(8,)))
+    vm.execute(code, context=CallContext(args=(8,)))
+    after = program_cache_stats()
+    assert after["misses"] == before["misses"] + 1
+    assert after["hits"] >= before["hits"] + 1
+    assert after["size"] >= 1
+
+
+def test_cached_program_object_is_shared():
+    clear_program_cache()
+    code = assemble(SSTORE_ASM)
+    assert decode_program(code) is decode_program(code)
+    # Uncached decodes build a fresh object every time.
+    assert decode_program(code, use_cache=False) is not decode_program(
+        code, use_cache=False
+    )
+
+
+def test_profiles_share_the_program_but_not_the_semantics():
+    """GETH journals, PARITY does not — from the same cached Program."""
+    clear_program_cache()
+    code = assemble(SSTORE_ASM)
+    geth = EVM(Profile.GETH).execute(code)
+    parity = EVM(Profile.PARITY).execute(code)
+    assert geth.journal_entries > 0
+    assert parity.journal_entries == 0
+    assert geth.gas_used == parity.gas_used
+    assert geth.steps == parity.steps
+    assert geth.modeled_peak_memory_bytes != parity.modeled_peak_memory_bytes
