@@ -7,6 +7,12 @@ one RPC per block on Ethereum/Parity but a *single* chaincode query on
 Hyperledger thanks to the VersionKVStore contract (paper Figure 20) —
 the network round trips are the whole difference.
 
+The query clients are generator-coroutines over the awaitable
+connector API; ``window`` controls how many RPCs the client keeps in
+flight. ``window=1`` (the default) is the paper's sequential client;
+the wider window overlaps round trips without changing the answer or
+the RPC count — the last column shows the pipelining win.
+
 Run:  python examples/analytics_queries.py
 """
 
@@ -16,6 +22,7 @@ from repro.workloads import preload_history, run_q1, run_q2
 
 N_BLOCKS = 400
 SCAN = 100  # blocks scanned by each query
+WINDOW = 8  # in-flight RPCs for the pipelined Q2 run
 
 
 def main() -> None:
@@ -28,6 +35,11 @@ def main() -> None:
         account = preload.account_names[0]
         q1 = run_q1(cluster, N_BLOCKS - SCAN, N_BLOCKS)
         q2 = run_q2(cluster, account, N_BLOCKS - SCAN, N_BLOCKS)
+        q2_pipelined = run_q2(
+            cluster, account, N_BLOCKS - SCAN, N_BLOCKS,
+            tag="-pipelined", window=WINDOW,
+        )
+        assert q2_pipelined.answer == q2.answer
         rows.append(
             [
                 platform,
@@ -35,18 +47,21 @@ def main() -> None:
                 q1.rpc_count,
                 f"{q2.latency_s * 1000:.1f}",
                 q2.rpc_count,
+                f"{q2_pipelined.latency_s * 1000:.1f}",
             ]
         )
         cluster.close()
     print(
         format_table(
-            ["platform", "Q1 ms", "Q1 RPCs", "Q2 ms", "Q2 RPCs"],
+            ["platform", "Q1 ms", "Q1 RPCs", "Q2 ms", "Q2 RPCs",
+             f"Q2 ms (window={WINDOW})"],
             rows,
             title=f"Analytics over {SCAN} blocks (paper Fig. 13a/13b)",
         )
     )
     print("\nHyperledger's Q2 runs as one chaincode query (Figure 20);"
-          "\nEthereum/Parity must fetch one balance per block.")
+          "\nEthereum/Parity must fetch one balance per block — unless the"
+          "\nclient pipelines, which shrinks latency but not RPC count.")
 
 
 if __name__ == "__main__":

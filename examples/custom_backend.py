@@ -7,6 +7,12 @@ This example wires up *InstantChain*, a toy centralized ledger that
 commits every transaction immediately — useful as an idealized no-
 consensus upper bound.
 
+Under the v2 API every connector method returns a SimFuture, and
+client code is a straight-line generator-coroutine: ``reply = yield
+connector.send_transaction(tx)``. InstantChain resolves its futures
+immediately (there is no network), which the coroutine trampoline
+handles without growing the stack.
+
 Run:  python examples/custom_backend.py
 """
 
@@ -15,7 +21,15 @@ import random
 from repro.chain import Transaction
 from repro.contracts import DictState, create_contract
 from repro.core import IBlockchainConnector, format_table
+from repro.sim import SimFuture, spawn
 from repro.workloads import YCSBConfig, YCSBWorkload
+
+
+def _resolved(payload: dict) -> SimFuture:
+    """An already-answered RPC (InstantChain has no round trips)."""
+    future = SimFuture()
+    future.set_result(payload)
+    return future
 
 
 class InstantChain(IBlockchainConnector):
@@ -30,26 +44,36 @@ class InstantChain(IBlockchainConnector):
     def deploy_application(self, contract_name: str) -> None:
         self.contracts[contract_name] = create_contract(contract_name)
 
-    def send_transaction(self, tx: Transaction, on_reply) -> None:
+    def send_transaction(self, tx: Transaction, on_reply=None) -> SimFuture:
         contract = self.contracts[tx.contract]
         contract.invoke(self.state, tx.function, tx.args)
         self._pending.append(tx.tx_id)
         if len(self._pending) >= 100:
             self.blocks.append(self._pending)
             self._pending = []
-        on_reply({"accepted": True, "tx_id": tx.tx_id})
+        future = _resolved({"accepted": True, "tx_id": tx.tx_id})
+        if on_reply is not None:  # legacy callback compat
+            on_reply(future.result())
+        return future
 
-    def get_latest_block(self, from_height: int, on_reply) -> None:
+    def get_latest_block(self, from_height: int, on_reply=None) -> SimFuture:
         summaries = [
             {"height": h + 1, "tx_ids": txs}
             for h, txs in enumerate(self.blocks)
             if h + 1 > from_height
         ]
-        on_reply({"blocks": summaries, "tip": len(self.blocks)})
+        future = _resolved({"blocks": summaries, "tip": len(self.blocks)})
+        if on_reply is not None:
+            on_reply(future.result())
+        return future
 
-    def query(self, contract: str, function: str, args: tuple, on_reply) -> None:
+    def query(self, contract: str, function: str, args: tuple,
+              on_reply=None) -> SimFuture:
         result = self.contracts[contract].invoke(self.state, function, args)
-        on_reply({"output": result.output})
+        future = _resolved({"output": result.output})
+        if on_reply is not None:
+            on_reply(future.result())
+        return future
 
 
 def main() -> None:
@@ -58,23 +82,28 @@ def main() -> None:
     workload = YCSBWorkload(YCSBConfig(record_count=100))
     rng = random.Random(3)
 
-    confirmed = []
-    for _ in range(1000):
-        tx = workload.next_transaction("client-0", rng, 0.0)
-        chain.send_transaction(tx, lambda reply: None)
-    chain.get_latest_block(0, lambda reply: confirmed.extend(reply["blocks"]))
+    def bench_client():
+        """A complete measurement client in eight straight lines."""
+        executed = 0
+        for _ in range(1000):
+            tx = workload.next_transaction("client-0", rng, 0.0)
+            reply = yield chain.send_transaction(tx)
+            executed += reply["accepted"]
+        update = yield chain.get_latest_block(0)
+        sample = yield chain.query("kvstore", "read", ("user1",))
+        return executed, update["blocks"], sample["output"]
 
-    replies = []
-    chain.query("kvstore", "read", ("user1",), replies.append)
+    executed, confirmed, sample_read = spawn(bench_client()).result()
     print(
         format_table(
             ["backend", "txs executed", "blocks", "sample read"],
-            [["InstantChain", 1000, len(confirmed), repr(replies[0]["output"])[:24]]],
-            title="Custom backend through IBlockchainConnector",
+            [["InstantChain", executed, len(confirmed), repr(sample_read)[:24]]],
+            title="Custom backend through IBlockchainConnector v2",
         )
     )
     print("\nThe same Driver/Workload stack runs against any backend that"
-          "\nimplements deploy/send/get_latest_block/query (paper Fig. 4).")
+          "\nimplements deploy/send/get_latest_block/query (paper Fig. 4);"
+          "\nclients await each call instead of nesting on_reply closures.")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,10 @@ and notes that its publish/subscribe interface "could simplify the
 implementation" of the driver's getLatestBlock polling loop. This
 example runs the completed integration both ways:
 
-1. a live block subscription streaming commit events to a watcher, and
+1. a live block subscription consumed by a watcher *coroutine*
+   (``block = yield subscription.next_block()``), which unsubscribes
+   partway through — tearing the subscription down on the server too,
+   so the node stops publishing to it; and
 2. the same YCSB run in polling and subscribe mode, showing the push
    path confirms transactions without the polling-interval delay.
 
@@ -17,6 +20,8 @@ from repro.core import Driver, DriverConfig, format_table
 from repro.core.connector import RPCClient, SimChainConnector
 from repro.platforms import build_cluster
 from repro.workloads import YCSBConfig, YCSBWorkload
+
+WATCH_UNTIL_HEIGHT = 20  # the watcher cancels after this many blocks
 
 
 def run_once(subscribe: bool, seed: int = 11):
@@ -29,7 +34,18 @@ def run_once(subscribe: bool, seed: int = 11):
     connector = SimChainConnector(cluster, watcher, cluster.node_ids()[0])
     events: list[dict] = []
     if subscribe:
-        connector.subscribe_new_blocks(0, events.append)
+        subscription = connector.subscribe_new_blocks(0)
+
+        def watch():
+            """Consume the stream, then hang up mid-run."""
+            while True:
+                block = yield subscription.next_block()
+                events.append(block)
+                if block["height"] >= WATCH_UNTIL_HEIGHT:
+                    subscription.cancel()  # server stops publishing to us
+                    return
+
+        cluster.scheduler.spawn(watch())
 
     driver = Driver(
         cluster,
@@ -63,7 +79,8 @@ def main() -> None:
         title="ErisDB (Tendermint + EVM): polling vs publish/subscribe",
     ))
 
-    print(f"\nwatcher received {len(events)} block events; first five:")
+    print(f"\nwatcher consumed {len(events)} block events before "
+          f"unsubscribing at height {WATCH_UNTIL_HEIGHT}; first five:")
     for event in events[:5]:
         print(
             f"  height {event['height']:>3}  "

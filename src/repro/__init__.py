@@ -19,16 +19,37 @@ Quickstart::
     )
     print(result.throughput, result.latency)
 
+Custom measurement clients are generator-coroutines over the awaitable
+connector API (``IBlockchainConnector`` v2)::
+
+    from repro import RPCClient, SimChainConnector, build_cluster, spawn
+
+    cluster = build_cluster("hyperledger", 4, seed=1)
+    rpc = RPCClient("probe", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, rpc, cluster.node_ids()[0])
+
+    def probe():
+        reply = yield connector.query("kvstore", "read", ("k",))
+        return reply.get("output")
+
+    future = spawn(probe())
+    cluster.run_until(5.0)
+    print(future.result())
+
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record.
 """
 
 from .core import (
+    BlockSubscription,
     Driver,
     DriverConfig,
     ExperimentResult,
     ExperimentSpec,
     FaultSchedule,
+    IBlockchainConnector,
+    RPCClient,
+    SimChainConnector,
     StatsCollector,
     StatsSummary,
     Workload,
@@ -38,22 +59,31 @@ from .core import (
 )
 from .errors import ReproError
 from .platforms import build_cluster
+from .sim import SimCoroutine, SimFuture, gather, spawn
 from .workloads import make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BlockSubscription",
     "Driver",
     "DriverConfig",
     "ExperimentResult",
     "ExperimentSpec",
     "FaultSchedule",
+    "IBlockchainConnector",
+    "RPCClient",
+    "SimChainConnector",
+    "SimCoroutine",
+    "SimFuture",
     "StatsCollector",
     "StatsSummary",
     "Workload",
     "format_table",
+    "gather",
     "run_experiment",
     "run_partition_attack",
+    "spawn",
     "ReproError",
     "build_cluster",
     "make_workload",

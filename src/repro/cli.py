@@ -53,6 +53,7 @@ import sys
 from typing import Sequence
 
 from .core import (
+    CLIENT_MODES,
     ExperimentSpec,
     FaultSchedule,
     CrashFault,
@@ -99,6 +100,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--duration", type=float, default=30.0, help="seconds")
     run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--poll-interval", type=float, metavar="S",
+        default=DriverConfig.poll_interval_s,
+        help="getLatestBlock polling period per client "
+             f"(default {DriverConfig.poll_interval_s:g}s)",
+    )
+    run.add_argument(
+        "--threads", type=int, metavar="N",
+        default=DriverConfig.threads_per_client,
+        help="worker threads per client, one submission RPC in flight "
+             f"each (default {DriverConfig.threads_per_client})",
+    )
+    run.add_argument(
+        "--retry-interval", type=float, metavar="S",
+        default=DriverConfig.retry_interval_s,
+        help="backoff before a rejected submission is retried "
+             f"(default {DriverConfig.retry_interval_s:g}s)",
+    )
+    run.add_argument(
+        "--client-mode", choices=CLIENT_MODES, default="coroutine",
+        help="client implementation: the awaitable coroutine API or the "
+             "legacy callback adapter (timelines are identical)",
+    )
     run.add_argument(
         "--blocking", action="store_true",
         help="one outstanding transaction per client (latency mode)",
@@ -184,6 +208,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline", metavar="PATH",
         help="embed PATH's results as the baseline and print speedups",
     )
+    perf.add_argument(
+        "--fail-below", action="append", default=[], metavar="NAME=RATIO",
+        help="exit non-zero if NAME's ops/s falls below RATIO x the "
+             "--baseline figure (repeatable), e.g. driver_tx=0.5 — the "
+             "CI guard against silent hot-path regressions",
+    )
     perf.add_argument("--json", action="store_true", help="machine-readable output")
 
     sub.add_parser("list", help="list platforms and workloads")
@@ -208,6 +238,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             request_rate_tx_s=args.rate,
             duration_s=args.duration,
             seed=args.seed,
+            poll_interval_s=args.poll_interval,
+            threads_per_client=args.threads,
+            retry_interval_s=args.retry_interval,
+            client_mode=args.client_mode,
             blocking=args.blocking,
             subscribe=args.subscribe,
             faults=faults,
@@ -403,6 +437,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(f"bench {name} [{attempt}/{total}]", file=sys.stderr)
 
     try:
+        gates = dict(perf.parse_gate(raw) for raw in args.fail_below)
+        if gates and not args.baseline:
+            raise ValueError("--fail-below requires --baseline")
+        # Loaded before the (minutes-long) benchmark run so a missing
+        # or corrupt baseline file fails fast and cleanly.
+        baseline = None
+        if args.baseline:
+            try:
+                baseline = perf.load_trajectory(args.baseline)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ValueError(
+                    f"cannot load baseline {args.baseline!r}: {exc}"
+                ) from None
         results = perf.run_perf(
             names=args.only or None,
             quick=args.quick,
@@ -412,16 +459,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    baseline = None
-    if args.baseline:
-        baseline = perf.load_trajectory(args.baseline)
     payload = perf.trajectory_dict(results, quick=args.quick, baseline=baseline)
+    gate_failures = (
+        perf.check_gates(results, baseline, gates) if baseline is not None else []
+    )
     if not args.no_write:
         path = perf.write_trajectory(args.out, results, payload=payload)
         print(f"wrote trajectory to {path}", file=sys.stderr)
     if args.json:
         print(json.dumps(payload))
-        return 0
+        for failure in gate_failures:
+            print(f"perf gate FAILED: {failure}", file=sys.stderr)
+        return 1 if gate_failures else 0
     rows = [
         [r.name, f"{r.ops_per_s:,.0f} {r.unit}/s", f"{r.wall_time_s:.3f}s"]
         for r in results
@@ -447,7 +496,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                     title=f"vs baseline @ {baseline.get('git_rev', '?')}",
                 )
             )
-    return 0
+    for failure in gate_failures:
+        print(f"perf gate FAILED: {failure}", file=sys.stderr)
+    return 1 if gate_failures else 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:

@@ -5,8 +5,19 @@ outstanding-transaction queue and polling loop, statistics collection,
 fault and attack injection, and experiment orchestration.
 """
 
-from .connector import IBlockchainConnector, RPCClient, SimChainConnector
-from .driver import BenchClient, Driver, DriverConfig
+from .connector import (
+    BlockSubscription,
+    IBlockchainConnector,
+    RPCClient,
+    SimChainConnector,
+)
+from .driver import (
+    CLIENT_MODES,
+    BenchClient,
+    CallbackBenchClient,
+    Driver,
+    DriverConfig,
+)
 from .export import (
     export_commit_series,
     export_latency_cdf,
@@ -34,10 +45,13 @@ from .stats import StatsCollector, StatsSummary, merge_collectors
 from .workload import Workload, preload_state
 
 __all__ = [
+    "BlockSubscription",
     "IBlockchainConnector",
     "RPCClient",
     "SimChainConnector",
     "BenchClient",
+    "CallbackBenchClient",
+    "CLIENT_MODES",
     "Driver",
     "DriverConfig",
     "export_commit_series",

@@ -5,23 +5,60 @@ it by sending a transaction, and for querying the blockchain's states"
 (Section 3.2). The simulation connector speaks the platforms' RPC
 message protocol from a client-side SimNode; a new backend integrates
 by implementing this interface, exactly as in Figure 4.
+
+**v2 — the awaitable surface.** Every RPC-shaped method returns a
+:class:`~repro.sim.SimFuture`, so measurement clients are written as
+straight-line generator-coroutines over the simulated scheduler::
+
+    def client(connector):
+        reply = yield connector.send_transaction(tx)
+        if not reply["accepted"]:
+            return None
+        update = yield connector.get_latest_block(0)
+        return update["blocks"]
+
+    spawn(client(connector))
+
+The old callback signatures still work: every method accepts an
+optional trailing ``on_reply`` callable, which is chained onto the
+returned future and fires inline at resolution — the same scheduler
+event, the same event order, so callback-style and coroutine-style
+clients replay bit-identical timelines (pinned by
+``tests/core/test_client_modes.py``). The callback form is a compat
+shim for existing integrations; new code should await the future.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from abc import ABC, abstractmethod
 from typing import Callable, TYPE_CHECKING
 
 from ..chain import Transaction
 from ..errors import ConnectorError
-from ..sim import Message, SimNode
+from ..sim import Message, SimFuture, SimNode
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..platforms.cluster import Cluster
 
+#: Optional compat callback: receives the reply payload dict.
+ReplyCallback = Callable[[dict], None]
+
+
+def _chain_callback(future: SimFuture, on_reply: ReplyCallback | None) -> SimFuture:
+    """Attach a legacy ``on_reply`` callback to an RPC future.
+
+    The callback sees exactly the payload dict it saw under the v1 API,
+    at exactly the same point in the event order (resolution runs
+    continuations inline).
+    """
+    if on_reply is not None:
+        future.add_done_callback(lambda fut: on_reply(fut.result()))
+    return future
+
 
 class IBlockchainConnector(ABC):
-    """Backend-facing operations BLOCKBENCH needs."""
+    """Backend-facing operations BLOCKBENCH needs (awaitable, v2)."""
 
     @abstractmethod
     def deploy_application(self, contract_name: str) -> None:
@@ -29,34 +66,110 @@ class IBlockchainConnector(ABC):
 
     @abstractmethod
     def send_transaction(
-        self, tx: Transaction, on_reply: Callable[[dict], None]
-    ) -> None:
-        """Submit asynchronously; ``on_reply`` gets {accepted, tx_id}."""
+        self, tx: Transaction, on_reply: ReplyCallback | None = None
+    ) -> SimFuture:
+        """Submit asynchronously; resolves to ``{accepted, tx_id}``."""
 
     @abstractmethod
     def get_latest_block(
-        self, from_height: int, on_reply: Callable[[dict], None]
-    ) -> None:
+        self, from_height: int, on_reply: ReplyCallback | None = None
+    ) -> SimFuture:
         """Confirmed blocks in (from_height, tip] — the polling call."""
 
     @abstractmethod
     def query(
         self, contract: str, function: str, args: tuple,
-        on_reply: Callable[[dict], None],
-    ) -> None:
+        on_reply: ReplyCallback | None = None,
+    ) -> SimFuture:
         """Read-only contract query (no consensus round)."""
 
     def subscribe_new_blocks(
-        self, from_height: int, on_block: Callable[[dict], None]
-    ) -> None:
+        self, from_height: int, on_block: Callable[[dict], None] | None = None
+    ) -> "BlockSubscription":
         """Push-based alternative to :meth:`get_latest_block`.
 
-        Only backends with a publish/subscribe interface (ErisDB,
-        Section 3.2) implement this; the default refuses.
+        Returns a :class:`BlockSubscription` whose ``next_block()``
+        futures yield one block summary each; the legacy ``on_block``
+        callback form delivers the same summaries inline instead. Only
+        backends with a publish/subscribe interface (ErisDB, Section
+        3.2) implement this; the default refuses.
         """
         raise ConnectorError(
             f"{type(self).__name__} backend does not support block subscriptions"
         )
+
+
+class BlockSubscription:
+    """Awaitable handle for a push-based block feed.
+
+    Blocks that arrive while the consumer is not awaiting are buffered
+    in arrival order, so a coroutine doing ``block = yield
+    sub.next_block()`` in a loop sees every event exactly once. In
+    legacy mode (an ``on_block`` callback was given) events bypass the
+    buffer and fire the callback inline at arrival — the v1 behavior.
+    """
+
+    def __init__(
+        self,
+        client: "RPCClient",
+        on_block: Callable[[dict], None] | None = None,
+    ) -> None:
+        self.client = client
+        self.sub_id: int | None = None  # set by the connector
+        self.active = True
+        self._on_block = on_block
+        self._buffer: deque[dict] = deque()
+        self._waiter: SimFuture | None = None
+
+    def _deliver(self, event: dict) -> None:
+        """Fan one ``rpc/event`` payload into the buffer/waiter/callback."""
+        block = event["block"]
+        if self._on_block is not None:
+            self._on_block(block)
+            return
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.set_result(block)
+        else:
+            self._buffer.append(block)
+
+    def next_block(self) -> SimFuture:
+        """A future for the next block summary (FIFO over the feed)."""
+        if self._on_block is not None:
+            raise ConnectorError(
+                "subscription was opened with a legacy on_block callback; "
+                "events are delivered there, not via next_block()"
+            )
+        future = SimFuture()
+        if self._buffer:
+            future.set_result(self._buffer.popleft())
+            return future
+        if not self.active:
+            raise ConnectorError("subscription is cancelled")
+        if self._waiter is not None:
+            raise ConnectorError("a next_block() future is already pending")
+        self._waiter = future
+        return future
+
+    def pending_blocks(self) -> int:
+        """Events buffered but not yet consumed."""
+        return len(self._buffer)
+
+    def cancel(self) -> None:
+        """Tear the subscription down on both ends (idempotent).
+
+        A coroutine blocked on :meth:`next_block` is woken with a
+        :class:`ConnectorError` — its future would otherwise stay
+        pending forever, hanging the consumer silently.
+        """
+        if not self.active:
+            return
+        self.active = False
+        if self.sub_id is not None:
+            self.client.unsubscribe(self.sub_id)
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.set_exception(ConnectorError("subscription cancelled"))
 
 
 class RPCClient(SimNode):
@@ -73,8 +186,11 @@ class RPCClient(SimNode):
         self._next_req = 0
         self._callbacks: dict[int, Callable[[dict], None]] = {}
         # Persistent callbacks for push-based subscriptions; unlike
-        # request callbacks these survive across events.
+        # request callbacks these survive across events. The server a
+        # subscription went to is kept so unsubscribe() can tear down
+        # the server side too.
         self._subscriptions: dict[int, Callable[[dict], None]] = {}
+        self._subscription_servers: dict[int, str] = {}
 
     def request(
         self,
@@ -96,6 +212,27 @@ class RPCClient(SimNode):
             self.set_timer(timeout_s, self._expire, req_id)
         return req_id
 
+    def call(
+        self,
+        server: str,
+        kind: str,
+        payload: dict,
+        size_bytes: int = 192,
+        timeout_s: float | None = None,
+    ) -> SimFuture:
+        """Awaitable :meth:`request`: resolves with the reply payload.
+
+        A request dropped at a saturated server resolves (not raises)
+        with ``{"accepted": False, "timeout": True}`` when the timeout
+        fires, mirroring the v1 timeout callback.
+        """
+        future = SimFuture()
+        self.request(
+            server, kind, payload, future.set_result,
+            size_bytes=size_bytes, timeout_s=timeout_s,
+        )
+        return future
+
     def _expire(self, req_id: int) -> None:
         """Fire a timeout reply if the server never answered (e.g. the
         request was dropped at a full inbox)."""
@@ -115,14 +252,24 @@ class RPCClient(SimNode):
         sub_id = self._next_req
         self._next_req += 1
         self._subscriptions[sub_id] = on_event
+        self._subscription_servers[sub_id] = server
         payload = dict(payload)
         payload["req_id"] = sub_id
         self.send(server, kind, payload, size_bytes)
         return sub_id
 
     def unsubscribe(self, sub_id: int) -> None:
-        """Drop a push subscription registered with :meth:`subscribe`."""
+        """Tear down a push subscription registered with :meth:`subscribe`.
+
+        Drops the local callback *and* tells the server to stop
+        publishing: without the ``rpc/unsubscribe`` message the server
+        would keep pushing ``rpc/event`` traffic at a dead endpoint
+        forever.
+        """
         self._subscriptions.pop(sub_id, None)
+        server = self._subscription_servers.pop(sub_id, None)
+        if server is not None:
+            self.send(server, "rpc/unsubscribe", {"sub_id": sub_id}, 64)
 
     def handle_message(self, message: Message) -> None:
         """Dispatch replies to request callbacks and events to subs."""
@@ -165,71 +312,71 @@ class SimChainConnector(IBlockchainConnector):
     SUBMIT_TIMEOUT_S = 5.0
 
     def send_transaction(
-        self, tx: Transaction, on_reply: Callable[[dict], None]
-    ) -> None:
+        self, tx: Transaction, on_reply: ReplyCallback | None = None
+    ) -> SimFuture:
         """Submit one transaction to this connector's server."""
-        self.client.request(
+        future = self.client.call(
             self.server_id,
             "rpc/send_tx",
             {"tx": tx},
-            on_reply,
             size_bytes=tx.size_bytes() + 48,
             timeout_s=self.SUBMIT_TIMEOUT_S,
         )
+        return _chain_callback(future, on_reply)
 
     def get_latest_block(
-        self, from_height: int, on_reply: Callable[[dict], None]
-    ) -> None:
+        self, from_height: int, on_reply: ReplyCallback | None = None
+    ) -> SimFuture:
         """The paper's getLatestBlock(h): confirmed blocks in (h, t]."""
-        self.client.request(
+        future = self.client.call(
             self.server_id,
             "rpc/get_blocks",
             {"from_height": from_height},
-            on_reply,
             size_bytes=96,
         )
+        return _chain_callback(future, on_reply)
 
     def get_block_transactions(
-        self, height: int, on_reply: Callable[[dict], None]
-    ) -> None:
+        self, height: int, on_reply: ReplyCallback | None = None
+    ) -> SimFuture:
         """Fetch one block's transaction bodies (analytics Q1)."""
-        self.client.request(
+        future = self.client.call(
             self.server_id,
             "rpc/get_block_txs",
             {"height": height},
-            on_reply,
             size_bytes=96,
         )
+        return _chain_callback(future, on_reply)
 
     def get_balance(
         self, contract: str, key: bytes, height: int,
-        on_reply: Callable[[dict], None],
-    ) -> None:
+        on_reply: ReplyCallback | None = None,
+    ) -> SimFuture:
         """Historical state read at a block height (analytics Q2)."""
-        self.client.request(
+        future = self.client.call(
             self.server_id,
             "rpc/get_balance",
             {"contract": contract, "key": key, "height": height},
-            on_reply,
             size_bytes=128,
         )
+        return _chain_callback(future, on_reply)
 
     def query(
         self, contract: str, function: str, args: tuple,
-        on_reply: Callable[[dict], None],
-    ) -> None:
+        on_reply: ReplyCallback | None = None,
+    ) -> SimFuture:
         """Read-only contract invocation (no consensus round)."""
-        self.client.request(
+        future = self.client.call(
             self.server_id,
             "rpc/query",
             {"contract": contract, "function": function, "args": args},
-            on_reply,
             size_bytes=192,
         )
+        return _chain_callback(future, on_reply)
 
     def subscribe_new_blocks(
-        self, from_height: int, on_block: Callable[[dict], None]
-    ) -> None:
+        self, from_height: int, on_block: Callable[[dict], None] | None = None
+    ) -> BlockSubscription:
         """ErisDB-style push feed: one event per executed block."""
         server = next(
             node for node in self.cluster.nodes if node.node_id == self.server_id
@@ -239,9 +386,11 @@ class SimChainConnector(IBlockchainConnector):
                 f"platform {self.cluster.platform!r} has no "
                 "publish/subscribe interface; use get_latest_block polling"
             )
-        self.client.subscribe(
+        subscription = BlockSubscription(self.client, on_block)
+        subscription.sub_id = self.client.subscribe(
             self.server_id,
             "rpc/subscribe",
             {"from_height": from_height},
-            lambda event: on_block(event["block"]),
+            subscription._deliver,
         )
+        return subscription

@@ -10,6 +10,16 @@ the local queue" — exactly the paper's driver architecture.
 Rejected submissions (Parity's intake throttle and signing-queue
 overflow) stay in the client's local backlog and are retried, so the
 queue-length series reproduces Figure 6's growth curves.
+
+The client is written as generator-coroutines over the awaitable
+connector API: the offered-load pump, each submission (with its retry
+backoff), the getLatestBlock polling loop, the pub/sub consumption
+loop, and the queue sampler are each one straight-line coroutine. The
+pre-redesign callback implementation is retained verbatim as
+:class:`CallbackBenchClient` — it exercises the compat ``on_reply``
+adapter and serves as the differential oracle: both client modes must
+replay bit-identical event timelines (``DriverConfig.client_mode``,
+pinned by ``tests/core/test_client_modes.py``).
 """
 
 from __future__ import annotations
@@ -19,10 +29,15 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..chain import Transaction
-from ..sim import Scheduler
+from ..errors import BenchmarkError
+from ..sim import Scheduler, SimCoroutine, spawn
 from .connector import RPCClient, SimChainConnector
 from .stats import StatsCollector, merge_collectors
 from .workload import Workload
+
+#: Valid DriverConfig.client_mode values: the coroutine-native client
+#: and the legacy callback client running through the compat adapter.
+CLIENT_MODES = ("coroutine", "callback")
 
 
 @dataclass
@@ -47,10 +62,52 @@ class DriverConfig:
     #: getLatestBlock polling (ErisDB only — Section 3.2). Confirmation
     #: events arrive pushed, saving one RPC round trip per poll.
     subscribe: bool = False
+    #: Client implementation: "coroutine" (the awaitable API, default)
+    #: or "callback" (the legacy client through the compat adapter).
+    #: Both replay identical timelines; the knob exists so the
+    #: equivalence is continuously testable.
+    client_mode: str = "coroutine"
+
+    def __post_init__(self) -> None:
+        """Reject knob values that would hang or starve the run.
+
+        These knobs are now reachable from the CLI and scenario JSON,
+        so bad values arrive from outside the codebase: a non-positive
+        poll interval reschedules the polling loop at the same
+        simulated instant forever (time never advances), zero threads
+        can never submit, and a negative backoff is an invalid timer.
+        """
+        if self.request_rate_tx_s <= 0:
+            raise BenchmarkError(
+                f"request_rate_tx_s must be positive, got {self.request_rate_tx_s}"
+            )
+        if self.poll_interval_s <= 0:
+            raise BenchmarkError(
+                f"poll_interval_s must be positive, got {self.poll_interval_s}"
+            )
+        if self.retry_interval_s < 0:
+            raise BenchmarkError(
+                f"retry_interval_s must be >= 0, got {self.retry_interval_s}"
+            )
+        if self.threads_per_client < 1:
+            raise BenchmarkError(
+                f"threads_per_client must be >= 1, got {self.threads_per_client}"
+            )
+        if self.client_mode not in CLIENT_MODES:
+            raise BenchmarkError(
+                f"unknown client_mode {self.client_mode!r}; "
+                f"expected one of {CLIENT_MODES}"
+            )
 
 
-class BenchClient:
-    """One workload client bound to one server."""
+class _BenchClientBase:
+    """State shared by both client implementations.
+
+    Everything here is mode-independent: connector wiring, the
+    outstanding/backlog queues, stats, and confirmed-block matching.
+    Only the control flow (coroutines vs callbacks) differs in the
+    subclasses.
+    """
 
     def __init__(
         self,
@@ -82,14 +139,173 @@ class BenchClient:
         # simulated worker thread).
         self._inflight_submissions = 0
 
-    # ------------------------------------------------------------------
+    def _stop(self) -> None:
+        self._running = False
+        self.stats.finish(self.scheduler.now)
+
+    def queue_length(self) -> int:
+        return len(self.outstanding) + len(self.backlog)
+
+    def _next_tx(self) -> Transaction:
+        return self.workload.next_transaction(
+            f"client-{self.index}", self.rng, self.scheduler.now
+        )
+
+    def _process_block_summary(self, block: dict) -> None:
+        """Match one confirmed block's transactions against outstanding."""
+        self._poll_height = max(self._poll_height, block["height"])
+        for tx_id in block["tx_ids"]:
+            submitted_at = self.outstanding.pop(tx_id, None)
+            if submitted_at is not None:
+                confirmed_at = self.scheduler.now
+                if submitted_at <= self._deadline:
+                    self.stats.record_confirmation(submitted_at, confirmed_at)
+                if self.config.blocking and self._running:
+                    self._submit_next_blocking()
+
+    def _submit_next_blocking(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def start(self, duration_s: float) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class BenchClient(_BenchClientBase):
+    """One workload client bound to one server (coroutine-native).
+
+    Four long-lived coroutines per client: the offered-load pump, the
+    confirmation loop (polling or pub/sub), and the queue sampler; plus
+    one short-lived submission coroutine per in-flight transaction.
+    """
+
     def start(self, duration_s: float) -> None:
         now = self.scheduler.now
         self._running = True
         self._deadline = now + duration_s
         self.stats.begin(now)
         if self.config.blocking:
-            self._submit_blocking()
+            self._submit_next_blocking()
+        else:
+            spawn(self._submit_pump())
+        if self.config.subscribe:
+            spawn(self._subscribe_pump())
+        else:
+            spawn(self._poll_pump())
+        spawn(self._sample_pump())
+        self.scheduler.schedule(duration_s, self._stop)
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def _submit_pump(self) -> SimCoroutine:
+        """Offered load: one new transaction per rate tick.
+
+        The tick enqueues regardless of whether a worker thread is
+        free; when all threads are blocked on submission RPCs the
+        backlog grows — Figure 6's curves.
+        """
+        interval = 1.0 / self.config.request_rate_tx_s
+        yield self.scheduler.sleep(0.0)
+        while self._running:
+            self.backlog.append(self._next_tx())
+            if self._inflight_submissions < self.config.threads_per_client:
+                spawn(self._submit_one(self.backlog.popleft()))
+            yield self.scheduler.sleep(interval)
+
+    def _submit_next_blocking(self) -> None:
+        if self._running:
+            spawn(self._submit_one(self._next_tx()))
+
+    def _submit_one(self, tx: Transaction) -> SimCoroutine:
+        """Submit one transaction and see its reply through.
+
+        Occupies one worker thread for the round trip; on rejection
+        (throttle/full queue) the transaction goes back to the backlog
+        and a freed thread retries after a backoff, like a real client
+        facing HTTP 429-style pushback.
+        """
+        submit_time = self.scheduler.now
+        self.stats.record_submission()
+        self._inflight_submissions += 1
+        reply = yield self.connector.send_transaction(tx)
+        self._inflight_submissions -= 1
+        if reply.get("accepted"):
+            self.outstanding[tx.tx_id] = submit_time
+            # A freed worker thread immediately drains the backlog.
+            if (
+                not self.config.blocking
+                and self._running
+                and self.backlog
+                and self._inflight_submissions < self.config.threads_per_client
+            ):
+                spawn(self._submit_one(self.backlog.popleft()))
+        else:
+            self.stats.record_rejection()
+            self.backlog.append(tx)
+            yield self.scheduler.sleep(self.config.retry_interval_s)
+            if (
+                self._running
+                and self.backlog
+                and self._inflight_submissions < self.config.threads_per_client
+            ):
+                spawn(self._submit_one(self.backlog.popleft()))
+
+    # ------------------------------------------------------------------
+    # Confirmation paths (getLatestBlock polling / pub-sub feed)
+    # ------------------------------------------------------------------
+    def _poll_pump(self) -> SimCoroutine:
+        """Fire one getLatestBlock round per poll interval.
+
+        Rounds overlap the interval (the next tick is not gated on the
+        previous reply), so each round is its own small coroutine.
+        Polling keeps going briefly past the deadline to drain
+        confirmations of transactions submitted inside the window.
+        """
+        poll = self.config.poll_interval_s
+        yield self.scheduler.sleep(poll)
+        while self.scheduler.now <= self._deadline + 10 * poll:
+            spawn(self._poll_once())
+            yield self.scheduler.sleep(poll)
+
+    def _poll_once(self) -> SimCoroutine:
+        reply = yield self.connector.get_latest_block(self._poll_height)
+        for block in reply.get("blocks", []):
+            self._process_block_summary(block)
+
+    def _subscribe_pump(self) -> SimCoroutine:
+        """Consume the pub/sub block feed (ErisDB, Section 3.2)."""
+        subscription = self.connector.subscribe_new_blocks(0)
+        while True:
+            block = yield subscription.next_block()
+            self._process_block_summary(block)
+
+    # ------------------------------------------------------------------
+    # Queue sampling
+    # ------------------------------------------------------------------
+    def _sample_pump(self) -> SimCoroutine:
+        interval = self.config.queue_sample_interval_s
+        yield self.scheduler.sleep(interval)
+        while self._running:
+            self.stats.record_queue_length(self.scheduler.now, self.queue_length())
+            yield self.scheduler.sleep(interval)
+
+
+class CallbackBenchClient(_BenchClientBase):
+    """The pre-redesign callback client, kept as the adapter oracle.
+
+    Runs entirely through the compat ``on_reply`` signatures of the v2
+    connector. Its event timeline must stay bit-identical to
+    :class:`BenchClient`'s — that equivalence is what certifies the
+    coroutine rewrite changed no measured behavior.
+    """
+
+    def start(self, duration_s: float) -> None:
+        now = self.scheduler.now
+        self._running = True
+        self._deadline = now + duration_s
+        self.stats.begin(now)
+        if self.config.blocking:
+            self._submit_next_blocking()
         else:
             self.scheduler.schedule(0.0, self._tick_submit)
         if self.config.subscribe:
@@ -101,34 +317,19 @@ class BenchClient:
         )
         self.scheduler.schedule(duration_s, self._stop)
 
-    def _stop(self) -> None:
-        self._running = False
-        self.stats.finish(self.scheduler.now)
-
-    def queue_length(self) -> int:
-        return len(self.outstanding) + len(self.backlog)
-
     # ------------------------------------------------------------------
     # Submission paths
     # ------------------------------------------------------------------
-    def _next_tx(self) -> Transaction:
-        return self.workload.next_transaction(
-            f"client-{self.index}", self.rng, self.scheduler.now
-        )
-
     def _tick_submit(self) -> None:
         if not self._running:
             return
-        # Offered load: one new transaction per tick, regardless of
-        # whether a worker thread is free. When all threads are blocked
-        # on submission RPCs the backlog grows — Figure 6's curves.
         self.backlog.append(self._next_tx())
         if self._inflight_submissions < self.config.threads_per_client:
             self._submit(self.backlog.popleft())
         interval = 1.0 / self.config.request_rate_tx_s
         self.scheduler.schedule(interval, self._tick_submit)
 
-    def _submit_blocking(self) -> None:
+    def _submit_next_blocking(self) -> None:
         if not self._running:
             return
         self._submit(self._next_tx())
@@ -142,7 +343,6 @@ class BenchClient:
             self._inflight_submissions -= 1
             if reply.get("accepted"):
                 self.outstanding[tx.tx_id] = submit_time
-                # A freed worker thread immediately drains the backlog.
                 if (
                     not self.config.blocking
                     and self._running
@@ -151,8 +351,6 @@ class BenchClient:
                 ):
                     self._submit(self.backlog.popleft())
             else:
-                # Rejected (throttle/full queue): back off before retrying,
-                # like a real client facing HTTP 429-style pushback.
                 self.stats.record_rejection()
                 self.backlog.append(tx)
                 self.scheduler.schedule(
@@ -172,20 +370,7 @@ class BenchClient:
     # ------------------------------------------------------------------
     # Polling loop (getLatestBlock)
     # ------------------------------------------------------------------
-    def _process_block_summary(self, block: dict) -> None:
-        """Match one confirmed block's transactions against outstanding."""
-        self._poll_height = max(self._poll_height, block["height"])
-        for tx_id in block["tx_ids"]:
-            submitted_at = self.outstanding.pop(tx_id, None)
-            if submitted_at is not None:
-                confirmed_at = self.scheduler.now
-                if submitted_at <= self._deadline:
-                    self.stats.record_confirmation(submitted_at, confirmed_at)
-                if self.config.blocking and self._running:
-                    self._submit_blocking()
-
     def _tick_poll(self) -> None:
-        # Keep polling briefly past the deadline to drain confirmations.
         if self.scheduler.now > self._deadline + 10 * self.config.poll_interval_s:
             return
 
@@ -209,6 +394,16 @@ class BenchClient:
         )
 
 
+def _client_class(mode: str) -> type[_BenchClientBase]:
+    if mode == "coroutine":
+        return BenchClient
+    if mode == "callback":
+        return CallbackBenchClient
+    raise BenchmarkError(
+        f"unknown client_mode {mode!r}; expected one of {CLIENT_MODES}"
+    )
+
+
 class Driver:
     """The paper's Driver: spawns clients, runs, aggregates statistics."""
 
@@ -216,10 +411,11 @@ class Driver:
         self.cluster = cluster
         self.workload = workload
         self.config = config
-        self.clients: list[BenchClient] = []
+        self.clients: list[_BenchClientBase] = []
 
     def prepare(self) -> None:
         """Deploy contracts and preload state."""
+        client_cls = _client_class(self.config.client_mode)
         for contract in self.workload.required_contracts:
             for node in self.cluster.nodes:
                 node.deploy(contract)
@@ -227,7 +423,7 @@ class Driver:
         for index in range(self.config.n_clients):
             rng = self.cluster.rng.stream(f"client-{index}")
             self.clients.append(
-                BenchClient(index, self.cluster, self.workload, self.config, rng)
+                client_cls(index, self.cluster, self.workload, self.config, rng)
             )
 
     def run(self, extra_drain_s: float = 5.0) -> StatsCollector:

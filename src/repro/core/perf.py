@@ -298,3 +298,55 @@ def compare(
             )
         )
     return rows
+
+
+def parse_gate(raw: str) -> tuple[str, float]:
+    """Parse one ``NAME=RATIO`` regression gate (e.g. ``driver_tx=0.5``)."""
+    name, sep, ratio_text = raw.partition("=")
+    if not sep:
+        raise ValueError(
+            f"bad gate {raw!r}; expected NAME=RATIO, e.g. driver_tx=0.5"
+        )
+    if name not in BENCHMARKS:
+        raise ValueError(
+            f"unknown benchmark {name!r} in gate; available: "
+            f"{', '.join(BENCHMARKS)}"
+        )
+    try:
+        ratio = float(ratio_text)
+    except ValueError:
+        raise ValueError(f"bad ratio {ratio_text!r} in gate {raw!r}") from None
+    if ratio <= 0:
+        raise ValueError(f"gate ratio must be positive, got {ratio}")
+    return name, ratio
+
+
+def check_gates(
+    current: list[BenchResult],
+    baseline: dict,
+    gates: dict[str, float],
+) -> list[str]:
+    """Regression check: current/baseline speedup per gated benchmark.
+
+    Returns one failure message per gated benchmark whose speedup fell
+    below its ratio (empty list = all gates pass). A gated benchmark
+    missing from either side is a failure too — a gate that silently
+    stops measuring is worse than a slow result.
+    """
+    rows = {name: (base, cur, speedup) for name, base, cur, speedup in
+            compare(current, baseline)}
+    failures = []
+    for name, floor in sorted(gates.items()):
+        row = rows.get(name)
+        if row is None:
+            failures.append(
+                f"{name}: not present in both current results and baseline"
+            )
+            continue
+        base, cur, speedup = row
+        if speedup < floor:
+            failures.append(
+                f"{name}: {cur:,.0f} ops/s is {speedup:.2f}x baseline "
+                f"({base:,.0f} ops/s); floor is {floor:.2f}x"
+            )
+    return failures

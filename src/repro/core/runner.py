@@ -31,6 +31,16 @@ class ExperimentSpec:
     blocking: bool = False
     #: Confirm via the backend's push feed instead of polling (ErisDB).
     subscribe: bool = False
+    #: Driver knobs (DriverConfig pass-throughs), sweepable as scenario
+    #: axes: the getLatestBlock poll period, worker threads per client,
+    #: and the backoff before a rejected submission is retried.
+    #: Defaults come from DriverConfig — the single source of truth.
+    poll_interval_s: float = DriverConfig.poll_interval_s
+    threads_per_client: int = DriverConfig.threads_per_client
+    retry_interval_s: float = DriverConfig.retry_interval_s
+    #: Client implementation: "coroutine" (awaitable API) or "callback"
+    #: (legacy adapter path). Timelines are bit-identical; see driver.py.
+    client_mode: str = "coroutine"
     with_monitor: bool = False
     faults: FaultSchedule | None = None
     config: Any = None  # platform config override
@@ -76,6 +86,19 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     # circular.
     from ..workloads import make_workload
 
+    # Built first: DriverConfig validates the driver knobs, so a bad
+    # spec fails before the (comparatively expensive) cluster build.
+    config = DriverConfig(
+        n_clients=spec.n_clients,
+        request_rate_tx_s=spec.request_rate_tx_s,
+        duration_s=spec.duration_s,
+        poll_interval_s=spec.poll_interval_s,
+        threads_per_client=spec.threads_per_client,
+        retry_interval_s=spec.retry_interval_s,
+        blocking=spec.blocking,
+        subscribe=spec.subscribe,
+        client_mode=spec.client_mode,
+    )
     cluster = build_cluster(
         spec.platform,
         spec.n_servers,
@@ -84,17 +107,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         with_monitor=spec.with_monitor,
     )
     workload = make_workload(spec.workload, **spec.workload_params)
-    driver = Driver(
-        cluster,
-        workload,
-        DriverConfig(
-            n_clients=spec.n_clients,
-            request_rate_tx_s=spec.request_rate_tx_s,
-            duration_s=spec.duration_s,
-            blocking=spec.blocking,
-            subscribe=spec.subscribe,
-        ),
-    )
+    driver = Driver(cluster, workload, config)
     driver.prepare()
     if spec.faults is not None:
         spec.faults.arm(cluster)

@@ -56,6 +56,7 @@ from .faults import (
     FaultSchedule,
     PartitionFault,
 )
+from .driver import CLIENT_MODES, DriverConfig
 from .report import format_table
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
 from .stats import StatsSummary
@@ -131,9 +132,21 @@ class ScenarioSpec:
     rates: Sequence[float] | float = (100.0,)
     durations: Sequence[float] | float = (30.0,)
     seeds: Sequence[int] | int = (42,)
+    #: Driver-knob axes (scalar or list, like every other axis): the
+    #: getLatestBlock poll period, worker threads per client, and the
+    #: rejected-submission retry backoff. Sweeping them turns client
+    #: tuning (Section 3.3's "threads per client") into grid points.
+    #: Defaults come from DriverConfig — the single source of truth.
+    poll_intervals: Sequence[float] | float = (DriverConfig.poll_interval_s,)
+    threads_per_client: Sequence[int] | int = (DriverConfig.threads_per_client,)
+    retry_intervals: Sequence[float] | float = (DriverConfig.retry_interval_s,)
     workload_params: dict[str, Any] = field(default_factory=dict)
     blocking: bool = False
     subscribe: bool = False
+    #: Client implementation ("coroutine" or "callback"); not an axis —
+    #: both modes replay identical timelines, so sweeping it would
+    #: duplicate grid points.
+    client_mode: str = "coroutine"
     with_monitor: bool = False
     drain_s: float = 5.0
     faults: dict[str, Any] | None = None
@@ -169,6 +182,11 @@ class ScenarioSpec:
             PLATFORMS.get(platform)  # raises with available names
         for workload in _axis(self.workloads, "workloads"):
             WORKLOADS.get(workload)
+        if self.client_mode not in CLIENT_MODES:
+            raise BenchmarkError(
+                f"unknown client_mode {self.client_mode!r}; "
+                f"expected one of {CLIENT_MODES}"
+            )
 
         configs = list(self.configs) if self.configs is not None else [("", None)]
         clients_axis = (
@@ -176,7 +194,8 @@ class ScenarioSpec:
         )
         specs: list[ExperimentSpec] = []
         for platform, workload, (label, config), servers, clients, rate, \
-                duration, seed in itertools.product(
+                duration, seed, poll_interval, threads, retry_interval \
+                in itertools.product(
             _axis(self.platforms, "platforms"),
             _axis(self.workloads, "workloads"),
             configs,
@@ -185,6 +204,9 @@ class ScenarioSpec:
             _axis(self.rates, "rates"),
             _axis(self.durations, "durations"),
             _axis(self.seeds, "seeds"),
+            _axis(self.poll_intervals, "poll_intervals"),
+            _axis(self.threads_per_client, "threads_per_client"),
+            _axis(self.retry_intervals, "retry_intervals"),
         ):
             specs.append(
                 ExperimentSpec(
@@ -196,6 +218,10 @@ class ScenarioSpec:
                     request_rate_tx_s=float(rate),
                     duration_s=float(duration),
                     seed=int(seed),
+                    poll_interval_s=float(poll_interval),
+                    threads_per_client=int(threads),
+                    retry_interval_s=float(retry_interval),
+                    client_mode=self.client_mode,
                     blocking=self.blocking,
                     subscribe=self.subscribe,
                     with_monitor=self.with_monitor,
@@ -220,6 +246,9 @@ _LOOKUP_ALIASES = {
     "clients": "n_clients",
     "rate": "request_rate_tx_s",
     "duration": "duration_s",
+    "poll_interval": "poll_interval_s",
+    "threads": "threads_per_client",
+    "retry_interval": "retry_interval_s",
 }
 
 GRID_HEADERS = [

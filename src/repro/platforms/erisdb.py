@@ -31,6 +31,7 @@ from .base import PlatformNode
 from .ethereum import EthereumState
 
 RPC_SUBSCRIBE = "rpc/subscribe"
+RPC_UNSUBSCRIBE = "rpc/unsubscribe"
 RPC_EVENT = "rpc/event"
 
 
@@ -94,6 +95,8 @@ class ErisDBNode(PlatformNode):
     def handle_message(self, message: Message) -> None:
         if message.kind == RPC_SUBSCRIBE and not message.corrupted:
             self._on_subscribe(message)
+        elif message.kind == RPC_UNSUBSCRIBE and not message.corrupted:
+            self._on_unsubscribe(message)
         else:
             super().handle_message(message)
 
@@ -120,6 +123,14 @@ class ErisDBNode(PlatformNode):
                 sub_id,
                 block,
             )
+
+    def _on_unsubscribe(self, message: Message) -> None:
+        """Stop publishing to the sender: without this, a client that
+        dropped its local callback would keep receiving (and paying
+        network delivery for) one event per executed block forever."""
+        sub_id = message.payload.get("sub_id")
+        if self._subscribers.get(message.sender) == sub_id:
+            del self._subscribers[message.sender]
 
     def _execute_block(self, block: Block) -> None:
         super()._execute_block(block)

@@ -8,6 +8,7 @@ figures.
 
 from .clock import NEVER, SimTime, Stopwatch, format_time
 from .events import Event, Scheduler
+from .futures import SimCoroutine, SimFuture, gather, spawn
 from .monitor import ResourceMonitor, ResourceSample, ResourceSeries
 from .network import Message, Network, NetworkStats
 from .node import SimNode
@@ -20,6 +21,10 @@ __all__ = [
     "format_time",
     "Event",
     "Scheduler",
+    "SimCoroutine",
+    "SimFuture",
+    "gather",
+    "spawn",
     "ResourceMonitor",
     "ResourceSample",
     "ResourceSeries",

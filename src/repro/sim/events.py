@@ -15,6 +15,7 @@ from typing import Any, Callable
 
 from ..errors import SimulationError
 from .clock import NEVER, SimTime
+from .futures import SimCoroutine, SimFuture, spawn
 
 # Heap entries are plain ``(time, seq, event)`` tuples. The unique,
 # monotonically increasing ``seq`` breaks time ties before comparison
@@ -167,3 +168,26 @@ class Scheduler:
         """Number of live (non-cancelled) events still queued. O(1):
         maintained as a counter rather than scanning the heap."""
         return self._live
+
+    # ------------------------------------------------------------------
+    # Coroutine support (see repro.sim.futures)
+    # ------------------------------------------------------------------
+    def sleep(self, delay: SimTime) -> SimFuture:
+        """A future resolving ``delay`` simulated seconds from now.
+
+        The awaitable replacement for ``schedule(delay, fn)``-style
+        timer callbacks: ``yield scheduler.sleep(0.5)``. Costs exactly
+        one heap event, like the callback it replaces.
+        """
+        future = SimFuture()
+        self.schedule(delay, future.set_result, None)
+        return future
+
+    def spawn(self, coroutine: SimCoroutine) -> SimFuture:
+        """Run a generator-coroutine against this scheduler's timeline.
+
+        Pure convenience over :func:`repro.sim.futures.spawn` — the
+        trampoline itself never touches the heap; only ``sleep`` and
+        the RPC layer do.
+        """
+        return spawn(coroutine)

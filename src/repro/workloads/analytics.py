@@ -15,12 +15,14 @@ difference of Figure 13b.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 
 from ..chain import Block, Transaction
 from ..contracts.base import decode_int
 from ..crypto.hashing import EMPTY_HASH
 from ..errors import BenchmarkError
+from ..sim import SimCoroutine, SimFuture, spawn
 from ..core.connector import RPCClient, SimChainConnector
 
 
@@ -163,141 +165,177 @@ class QueryResult:
     answer: int
 
 
-class _SequentialQuery:
-    """Callback chain driving one RPC at a time, like a real client."""
+class AnalyticsQuery:
+    """A straight-line coroutine client driving one analytics query.
 
-    def __init__(self, cluster, client_name: str) -> None:
+    Subclasses implement :meth:`_query` as a generator-coroutine over
+    the awaitable connector API and return the answer. ``window`` is
+    the client-side pipelining depth: how many RPCs may be in flight at
+    once. The default of 1 reproduces the paper's sequential client
+    ("one RPC at a time"); larger windows overlap round trips without
+    changing the answer or the RPC count.
+    """
+
+    def __init__(self, cluster, client_name: str, window: int = 1) -> None:
+        if window < 1:
+            raise BenchmarkError(f"window must be >= 1, got {window}")
         self.cluster = cluster
         self.scheduler = cluster.scheduler
         self.client = RPCClient(client_name, cluster.scheduler, cluster.network)
         server = cluster.node_ids()[0]
         self.connector = SimChainConnector(cluster, self.client, server)
+        self.window = window
         self.rpc_count = 0
-        self.started_at = 0.0
-        self.finished_at: float | None = None
-        self.answer = 0
 
     def run(self) -> QueryResult:
         """Drive the query to completion; returns latency/RPC count."""
-        self.started_at = self.scheduler.now
-        self._next()
+        started_at = self.scheduler.now
+        future = spawn(self._query())
         # Drive the simulation until the query completes.
-        while self.finished_at is None:
+        while not future.done:
             if not self.scheduler.step():
                 raise BenchmarkError("query never completed (no events left)")
         return QueryResult(
-            latency_s=self.finished_at - self.started_at,
+            latency_s=self.scheduler.now - started_at,
             rpc_count=self.rpc_count,
-            answer=self.answer,
+            answer=future.result(),
         )
 
-    def _next(self) -> None:  # pragma: no cover - overridden
+    def _query(self) -> SimCoroutine:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    def _finish(self, answer: int) -> None:
-        self.answer = answer
-        self.finished_at = self.scheduler.now
+    def _issue(self, future: SimFuture) -> SimFuture:
+        """Count one RPC as it goes on the wire."""
+        self.rpc_count += 1
+        return future
+
+    def _windowed(self, request, items, fold) -> SimCoroutine:
+        """Pipeline ``request(item)`` RPCs with a bounded window.
+
+        Issues at most ``self.window`` requests at a time (pulling the
+        next one as each reply lands) and feeds replies to ``fold`` in
+        item order — so order-sensitive folds like Q2's balance deltas
+        see the same sequence a one-at-a-time client would.
+        """
+        pending: deque[SimFuture] = deque()
+        issued = 0
+        while issued < len(items) or pending:
+            while issued < len(items) and len(pending) < self.window:
+                pending.append(self._issue(request(items[issued])))
+                issued += 1
+            fold((yield pending.popleft()))
 
 
-class Q1TotalValue(_SequentialQuery):
+class Q1TotalValue(AnalyticsQuery):
     """Q1: sum of transaction values in blocks (start, end]."""
 
-    def __init__(self, cluster, start_block: int, end_block: int, tag: str = "") -> None:
-        super().__init__(cluster, f"q1-client{tag}")
+    def __init__(
+        self, cluster, start_block: int, end_block: int, tag: str = "",
+        window: int = 1,
+    ) -> None:
+        super().__init__(cluster, f"q1-client{tag}", window)
         self.heights = list(range(start_block + 1, end_block + 1))
-        self.total = 0
 
-    def _next(self) -> None:
-        if not self.heights:
-            self._finish(self.total)
-            return
-        height = self.heights.pop(0)
-        self.rpc_count += 1
+    def _query(self) -> SimCoroutine:
+        total = 0
 
-        def on_reply(reply: dict) -> None:
-            self.total += sum(tx["value"] for tx in reply.get("txs", []))
-            self._next()
+        def fold(reply: dict) -> None:
+            nonlocal total
+            total += sum(tx["value"] for tx in reply.get("txs", []))
 
-        self.connector.get_block_transactions(height, on_reply)
+        yield self._windowed(
+            self.connector.get_block_transactions, self.heights, fold
+        )
+        return total
 
 
-class Q2LargestTxEthereum(_SequentialQuery):
+class Q2LargestTxEthereum(AnalyticsQuery):
     """Q2 on Ethereum/Parity: one getBalance RPC per block.
 
     The largest balance delta of the account across consecutive blocks
     bounds the largest transaction involving it, which is how the
-    JSON-RPC-only client must compute it (Section 4.2.2).
+    JSON-RPC-only client must compute it (Section 4.2.2). Under the
+    callback API this was a pyramid of nested ``on_reply`` closures;
+    awaitables collapse it to a ``for`` loop over heights with a
+    bounded in-flight window.
     """
 
     def __init__(
-        self, cluster, account: str, start_block: int, end_block: int, tag: str = ""
+        self, cluster, account: str, start_block: int, end_block: int, tag: str = "",
+        window: int = 1,
     ) -> None:
-        super().__init__(cluster, f"q2-client{tag}")
+        super().__init__(cluster, f"q2-client{tag}", window)
         self.account = account
         self.heights = list(range(start_block, end_block + 1))
-        self.previous: int | None = None
-        self.largest = 0
 
-    def _next(self) -> None:
-        if not self.heights:
-            self._finish(self.largest)
-            return
-        height = self.heights.pop(0)
-        self.rpc_count += 1
-
-        def on_reply(reply: dict) -> None:
-            balance = decode_int(reply.get("value"))
-            if self.previous is not None:
-                self.largest = max(self.largest, abs(balance - self.previous))
-            self.previous = balance
-            self._next()
-
-        self.connector.get_balance(
-            "smallbank", b"chk:" + self.account.encode(), height, on_reply
+    def _get_balance(self, height: int) -> SimFuture:
+        return self.connector.get_balance(
+            "smallbank", b"chk:" + self.account.encode(), height
         )
 
+    def _query(self) -> SimCoroutine:
+        previous: int | None = None
+        largest = 0
 
-class Q2LargestTxHyperledger(_SequentialQuery):
+        def fold(reply: dict) -> None:
+            nonlocal previous, largest
+            balance = decode_int(reply.get("value"))
+            if previous is not None:
+                largest = max(largest, abs(balance - previous))
+            previous = balance
+
+        yield self._windowed(self._get_balance, self.heights, fold)
+        return largest
+
+
+class Q2LargestTxHyperledger(AnalyticsQuery):
     """Q2 on Hyperledger: a single VersionKVStore chaincode query."""
 
     def __init__(
-        self, cluster, account: str, start_block: int, end_block: int, tag: str = ""
+        self, cluster, account: str, start_block: int, end_block: int, tag: str = "",
+        window: int = 1,
     ) -> None:
-        super().__init__(cluster, f"q2-client{tag}")
+        super().__init__(cluster, f"q2-client{tag}", window)
         self.account = account
         self.start_block = start_block
         self.end_block = end_block
 
-    def _next(self) -> None:
-        self.rpc_count += 1
-
-        def on_reply(reply: dict) -> None:
-            versions = reply.get("output") or []
-            largest = 0
-            previous: int | None = None
-            for record in reversed(versions):  # oldest first
-                if previous is not None:
-                    largest = max(largest, abs(record["balance"] - previous))
-                previous = record["balance"]
-            self._finish(largest)
-
-        self.connector.query(
-            "versionkv",
-            "account_block_range",
-            (self.account, self.start_block, self.end_block + 1),
-            on_reply,
+    def _query(self) -> SimCoroutine:
+        reply = yield self._issue(
+            self.connector.query(
+                "versionkv",
+                "account_block_range",
+                (self.account, self.start_block, self.end_block + 1),
+            )
         )
+        versions = reply.get("output") or []
+        largest = 0
+        previous: int | None = None
+        for record in reversed(versions):  # oldest first
+            if previous is not None:
+                largest = max(largest, abs(record["balance"] - previous))
+            previous = record["balance"]
+        return largest
 
 
-def run_q1(cluster, start_block: int, end_block: int, tag: str = "") -> QueryResult:
+def run_q1(
+    cluster, start_block: int, end_block: int, tag: str = "", window: int = 1
+) -> QueryResult:
     """Q1: total transaction value in blocks (start, end]."""
-    return Q1TotalValue(cluster, start_block, end_block, tag).run()
+    return Q1TotalValue(cluster, start_block, end_block, tag, window).run()
 
 
-def run_q2(cluster, account: str, start_block: int, end_block: int, tag: str = "") -> QueryResult:
+def run_q2(
+    cluster, account: str, start_block: int, end_block: int, tag: str = "",
+    window: int = 1,
+) -> QueryResult:
     """Q2: largest transfer involving ``account`` in (start, end] —
     per-block RPCs on Ethereum/Parity, one chaincode query on
     Hyperledger."""
     if cluster.platform == "hyperledger":
-        return Q2LargestTxHyperledger(cluster, account, start_block, end_block, tag).run()
-    return Q2LargestTxEthereum(cluster, account, start_block, end_block, tag).run()
+        return Q2LargestTxHyperledger(
+            cluster, account, start_block, end_block, tag, window
+        ).run()
+    return Q2LargestTxEthereum(
+        cluster, account, start_block, end_block, tag, window
+    ).run()

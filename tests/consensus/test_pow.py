@@ -1,6 +1,5 @@
 """Unit tests for Proof-of-Work consensus."""
 
-import pytest
 
 from repro.consensus import PoWConfig, ProofOfWork
 

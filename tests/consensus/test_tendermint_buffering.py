@@ -7,7 +7,7 @@ the protocol buffers near-future round state and acts on it the moment
 the round is entered (tendermint-core behaves the same way).
 """
 
-from repro.chain import Block, Transaction
+from repro.chain import Block
 from repro.consensus.tendermint import (
     FUTURE_HEIGHT_WINDOW,
     PRECOMMIT,

@@ -87,6 +87,45 @@ def test_fault_dict_expands_to_fresh_schedule_per_point():
     assert specs[0].faults.crashes[0].at_time == 5.0
 
 
+def test_driver_knob_axes_expand_and_flow_into_specs():
+    spec = ScenarioSpec(
+        platforms="hyperledger", servers=4, rates=10,
+        poll_intervals=[0.25, 0.5],
+        threads_per_client=[8, 32],
+        retry_intervals=0.1,
+    )
+    specs = spec.expand()
+    assert len(specs) == 4
+    points = {(s.poll_interval_s, s.threads_per_client) for s in specs}
+    assert points == {(0.25, 8), (0.25, 32), (0.5, 8), (0.5, 32)}
+    assert all(s.retry_interval_s == 0.1 for s in specs)
+    assert all(s.client_mode == "coroutine" for s in specs)
+
+
+def test_driver_knob_axes_accepted_from_json():
+    spec = ScenarioSpec.from_dict(
+        {
+            "name": "poll-sweep",
+            "platforms": "hyperledger",
+            "servers": 4,
+            "rates": 10,
+            "poll_intervals": [0.1, 1.0],
+            "threads_per_client": 16,
+            "retry_intervals": [0.05, 0.25],
+            "client_mode": "callback",
+        }
+    )
+    specs = spec.expand()
+    assert len(specs) == 4
+    assert all(s.threads_per_client == 16 for s in specs)
+    assert all(s.client_mode == "callback" for s in specs)
+
+
+def test_unknown_client_mode_rejected_at_expand():
+    with pytest.raises(BenchmarkError, match="unknown client_mode"):
+        ScenarioSpec(client_mode="corotine").expand()
+
+
 def test_unknown_platform_rejected_at_expand():
     with pytest.raises(BenchmarkError, match="unknown platform 'nosuchchain'"):
         ScenarioSpec(platforms="nosuchchain").expand()

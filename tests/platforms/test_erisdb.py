@@ -135,6 +135,92 @@ def test_subscribe_and_poll_agree_on_throughput():
     assert pushed.latency_avg() <= polled.latency_avg() + 0.1
 
 
+def test_unsubscribe_tears_down_server_side_subscription():
+    """unsubscribe() must stop the server publishing, not just drop the
+    local callback — otherwise rpc/event traffic flows forever."""
+    cluster = build_cluster("erisdb", 4, seed=5)
+    client = RPCClient("watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    server = cluster.nodes[0]
+    events: list[dict] = []
+    subscription = connector.subscribe_new_blocks(0, events.append)
+    driver = small_driver(cluster, duration=10)
+    driver.prepare()
+    for bench_client in driver.clients:
+        bench_client.start(10)
+    cluster.run_until(8.0)
+    assert events, "subscription never delivered"
+    assert "watcher" in server._subscribers
+    subscription.cancel()
+    cluster.run_until(9.0)  # let the unsubscribe message arrive
+    assert "watcher" not in server._subscribers
+    published_at_cancel = server.events_published
+    seen_at_cancel = len(events)
+    cluster.run_until(cluster.scheduler.now + 12.0)
+    # The chain kept growing, but nothing more was pushed to us.
+    assert cluster.chain_height() > 0
+    assert len(events) == seen_at_cancel
+    # Other subscribers (none here) aside, the server stopped publishing.
+    assert server.events_published == published_at_cancel
+    cluster.close()
+
+
+def test_subscription_cancel_is_idempotent():
+    cluster = build_cluster("erisdb", 2, seed=5)
+    client = RPCClient("watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    subscription = connector.subscribe_new_blocks(0, lambda b: None)
+    subscription.cancel()
+    subscription.cancel()
+    assert not subscription.active
+    cluster.close()
+
+
+def test_cancel_wakes_pending_waiter_and_blocks_new_ones():
+    """cancel() must not strand a coroutine awaiting next_block()."""
+    cluster = build_cluster("erisdb", 2, seed=5)
+    client = RPCClient("watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    subscription = connector.subscribe_new_blocks(0)
+    outcome: list[str] = []
+
+    def consume():
+        try:
+            yield subscription.next_block()
+            outcome.append("got a block")  # pragma: no cover
+        except ConnectorError:
+            outcome.append("woken by cancel")
+
+    cluster.scheduler.spawn(consume())
+    subscription.cancel()
+    assert outcome == ["woken by cancel"]
+    with pytest.raises(ConnectorError, match="cancelled"):
+        subscription.next_block()
+    cluster.close()
+
+
+def test_awaitable_subscription_stream_buffers_in_order():
+    """next_block() futures deliver every event exactly once, in order."""
+    cluster = build_cluster("erisdb", 4, seed=5)
+    client = RPCClient("watcher", cluster.scheduler, cluster.network)
+    connector = SimChainConnector(cluster, client, cluster.node_ids()[0])
+    subscription = connector.subscribe_new_blocks(0)
+    heights: list[int] = []
+
+    def consume():
+        while True:
+            block = yield subscription.next_block()
+            heights.append(block["height"])
+
+    cluster.scheduler.spawn(consume())
+    small_driver(cluster, duration=15).run()
+    assert heights == sorted(heights)
+    assert len(heights) == len(set(heights))
+    assert heights, "stream delivered nothing"
+    assert subscription.pending_blocks() == 0  # consumer kept up
+    cluster.close()
+
+
 def test_crash_below_threshold_keeps_committing():
     cluster = build_cluster("erisdb", 7, seed=5)  # f = 2
     driver = small_driver(cluster, duration=30)

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.chain import Transaction
-from repro.config import ethereum_config, hyperledger_config, parity_config
 from repro.core import Driver, DriverConfig
 from repro.errors import BenchmarkError, ConnectorError
 from repro.platforms import build_cluster

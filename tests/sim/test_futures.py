@@ -1,0 +1,234 @@
+"""Unit tests for simulation-native futures and coroutines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Scheduler, SimFuture, gather, spawn
+
+
+# ---------------------------------------------------------------------------
+# SimFuture semantics
+# ---------------------------------------------------------------------------
+def test_future_resolves_once():
+    fut = SimFuture()
+    assert not fut.done
+    with pytest.raises(SimulationError):
+        fut.result()
+    fut.set_result(41)
+    assert fut.done
+    assert fut.result() == 41
+    with pytest.raises(SimulationError):
+        fut.set_result(42)
+
+
+def test_future_callbacks_fire_inline_and_immediately_when_done():
+    fut = SimFuture()
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(("before", f.result())))
+    fut.set_result("x")
+    assert seen == [("before", "x")]
+    fut.add_done_callback(lambda f: seen.append(("after", f.result())))
+    assert seen == [("before", "x"), ("after", "x")]
+
+
+def test_future_exception_propagates_via_result():
+    fut = SimFuture()
+    consumed = []
+    fut.add_done_callback(lambda f: consumed.append(f.exception()))
+    fut.set_exception(ValueError("boom"))
+    assert isinstance(consumed[0], ValueError)
+    with pytest.raises(ValueError):
+        fut.result()
+
+
+# ---------------------------------------------------------------------------
+# spawn: the coroutine trampoline
+# ---------------------------------------------------------------------------
+def test_spawn_runs_inline_until_first_pending_future():
+    steps = []
+    fut = SimFuture()
+
+    def coro():
+        steps.append("start")
+        value = yield fut
+        steps.append(value)
+        return "done"
+
+    out = spawn(coro())
+    assert steps == ["start"]  # advanced inline to the first yield
+    assert not out.done
+    fut.set_result("reply")
+    assert steps == ["start", "reply"]  # resumed inline at resolution
+    assert out.done and out.result() == "done"
+
+
+def test_spawn_yielding_resolved_futures_is_iterative_not_recursive():
+    # A long chain of already-resolved futures must not grow the stack.
+    def coro():
+        total = 0
+        for i in range(50_000):
+            fut = SimFuture()
+            fut.set_result(i)
+            total += yield fut
+        return total
+
+    out = spawn(coro())
+    assert out.result() == sum(range(50_000))
+
+
+def test_spawn_nested_generators_run_in_place():
+    def inner(x):
+        fut = SimFuture()
+        fut.set_result(x * 2)
+        doubled = yield fut
+        return doubled + 1
+
+    def outer():
+        a = yield inner(10)
+        b = yield inner(a)
+        return b
+
+    assert spawn(outer()).result() == 43
+
+
+def test_spawn_delivers_nested_exception_at_yield_site():
+    def inner():
+        raise RuntimeError("inner blew up")
+        yield  # pragma: no cover - makes it a generator
+
+    def outer():
+        try:
+            yield inner()
+        except RuntimeError as exc:
+            return f"caught: {exc}"
+
+    assert spawn(outer()).result() == "caught: inner blew up"
+
+
+def test_spawn_strict_raises_unobserved_exceptions():
+    def coro():
+        raise RuntimeError("nobody is watching")
+        yield  # pragma: no cover
+
+    with pytest.raises(RuntimeError):
+        spawn(coro())
+
+
+def test_spawn_rejects_non_awaitable_yields():
+    def coro():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        spawn(coro())
+
+
+def test_spawn_return_value_none_by_default():
+    def coro():
+        yield_done = SimFuture()
+        yield_done.set_result(None)
+        yield yield_done
+
+    assert spawn(coro()).result() is None
+
+
+# ---------------------------------------------------------------------------
+# Scheduler integration: sleep and determinism
+# ---------------------------------------------------------------------------
+def test_scheduler_sleep_resolves_at_the_right_time():
+    sched = Scheduler()
+    times = []
+
+    def coro():
+        yield sched.sleep(1.5)
+        times.append(sched.now)
+        yield sched.sleep(0.5)
+        times.append(sched.now)
+        return "finished"
+
+    out = sched.spawn(coro())
+    sched.run()
+    assert times == [1.5, 2.0]
+    assert out.result() == "finished"
+
+
+def test_sleep_costs_exactly_one_heap_event():
+    sched = Scheduler()
+
+    def coro():
+        yield sched.sleep(1.0)
+
+    sched.spawn(coro())
+    assert sched.pending() == 1
+    sched.run()
+    assert sched.events_processed == 1
+
+
+def test_coroutines_interleave_deterministically_with_callbacks():
+    """Coroutine wake-ups obey the same (time, seq) order as callbacks."""
+    def run_once():
+        sched = Scheduler()
+        order = []
+
+        def coro():
+            order.append(("coro", sched.now))
+            yield sched.sleep(1.0)
+            order.append(("coro", sched.now))
+
+        sched.schedule(1.0, lambda: order.append(("cb-early", sched.now)))
+        sched.spawn(coro())  # its sleep(1.0) is scheduled after cb-early
+        sched.schedule(1.0, lambda: order.append(("cb-late", sched.now)))
+        sched.run()
+        return order
+
+    first, second = run_once(), run_once()
+    assert first == second
+    assert first == [
+        ("coro", 0.0),
+        ("cb-early", 1.0),
+        ("coro", 1.0),
+        ("cb-late", 1.0),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# gather
+# ---------------------------------------------------------------------------
+def test_gather_preserves_input_order():
+    futs = [SimFuture() for _ in range(3)]
+    out = gather(futs)
+    futs[2].set_result("c")
+    futs[0].set_result("a")
+    assert not out.done
+    futs[1].set_result("b")
+    assert out.result() == ["a", "b", "c"]
+
+
+def test_gather_empty_resolves_immediately():
+    assert gather([]).result() == []
+
+
+def test_gather_fails_fast_on_first_error():
+    futs = [SimFuture() for _ in range(3)]
+    out = gather(futs)
+    out.add_done_callback(lambda f: None)  # observe, so nothing re-raises
+    futs[1].set_exception(ValueError("bad"))
+    assert out.done
+    with pytest.raises(ValueError):
+        out.result()
+    # Late sibling results are discarded without error.
+    futs[0].set_result("a")
+    futs[2].set_result("c")
+
+
+def test_gather_inside_coroutine():
+    sched = Scheduler()
+
+    def coro():
+        values = yield gather([sched.sleep(2.0), sched.sleep(1.0)])
+        return (values, sched.now)
+
+    out = sched.spawn(coro())
+    sched.run()
+    values, finished_at = out.result()
+    assert values == [None, None]
+    assert finished_at == 2.0  # waits for the slowest

@@ -214,6 +214,94 @@ def test_suite_missing_file_fails_cleanly(tmp_path, capsys):
     assert "scenario file not found" in capsys.readouterr().err
 
 
+def test_run_accepts_driver_knobs_and_client_mode(capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "donothing",
+            "--servers", "2",
+            "--clients", "1",
+            "--rate", "20",
+            "--duration", "5",
+            "--poll-interval", "0.25",
+            "--threads", "8",
+            "--retry-interval", "0.1",
+            "--client-mode", "callback",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["confirmed"] > 0
+
+
+def _fake_baseline(tmp_path, ops_per_s):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "blockbench-perf/1",
+                "git_rev": "test",
+                "results": [
+                    {
+                        "name": "scheduler_events",
+                        "ops": 1,
+                        "unit": "events",
+                        "wall_time_s": 1.0,
+                        "ops_per_s": ops_per_s,
+                    }
+                ],
+            }
+        )
+    )
+    return str(path)
+
+
+def test_perf_gate_fails_on_regression(tmp_path, capsys):
+    baseline = _fake_baseline(tmp_path, ops_per_s=1e15)  # unbeatable
+    code = main(
+        [
+            "perf", "--quick", "--repeats", "1", "--no-write",
+            "--only", "scheduler_events",
+            "--baseline", baseline,
+            "--fail-below", "scheduler_events=0.9",
+        ]
+    )
+    assert code == 1
+    assert "perf gate FAILED" in capsys.readouterr().err
+
+
+def test_perf_gate_passes_against_modest_baseline(tmp_path, capsys):
+    baseline = _fake_baseline(tmp_path, ops_per_s=1.0)  # trivially beaten
+    code = main(
+        [
+            "perf", "--quick", "--repeats", "1", "--no-write",
+            "--only", "scheduler_events",
+            "--baseline", baseline,
+            "--fail-below", "scheduler_events=0.9",
+        ]
+    )
+    assert code == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_perf_gate_requires_baseline(capsys):
+    code = main(
+        ["perf", "--quick", "--no-write", "--fail-below", "driver_tx=0.5"]
+    )
+    assert code == 2
+    assert "--fail-below requires --baseline" in capsys.readouterr().err
+
+
+def test_perf_gate_rejects_malformed_spec(capsys):
+    code = main(
+        ["perf", "--quick", "--no-write", "--fail-below", "nonsense"]
+    )
+    assert code == 2
+    assert "expected NAME=RATIO" in capsys.readouterr().err
+
+
 def test_rejects_unknown_platform():
     with pytest.raises(SystemExit):
         main(["run", "--platform", "nosuchchain"])
