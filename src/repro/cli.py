@@ -144,7 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser(
         "suite", help="run a declarative scenario suite from a JSON file"
     )
-    suite.add_argument("file", help="scenario file (see repro.core.scenario)")
+    suite.add_argument(
+        "file", nargs="?",
+        help="scenario file (see repro.core.scenario); "
+             "not used with --compare",
+    )
     suite.add_argument(
         "--processes", type=int, default=1, metavar="N",
         help="fan the grid out across N worker processes",
@@ -153,6 +157,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plugin", action="append", default=[], metavar="MODULE",
         help="import MODULE first so its registered platforms/workloads "
              "are available (repeatable)",
+    )
+    suite.add_argument(
+        "--out-dir", metavar="DIR",
+        help="persist each grid point to DIR/runs/<spec-hash>.json as it "
+             "completes (plus a DIR/suite.json manifest)",
+    )
+    suite.add_argument(
+        "--resume", action="store_true",
+        help="skip grid points whose result file already exists in "
+             "--out-dir — continue a killed campaign",
+    )
+    suite.add_argument(
+        "--compare", nargs=2, metavar=("BASE", "CURRENT"),
+        help="diff two --out-dir result directories aligned by spec "
+             "hash instead of running anything; exit 1 on regression",
+    )
+    suite.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="--compare regression tolerance: fail a point whose "
+             "throughput drops (or avg latency rises) by more than "
+             "FRAC of base (default 0.05)",
     )
     suite.add_argument("--json", action="store_true", help="machine-readable output")
     suite.add_argument(
@@ -385,9 +410,68 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite_compare(args: argparse.Namespace) -> int:
+    from .core.compare import DEFAULT_THRESHOLD, compare_suites
+
+    base, current = args.compare
+    threshold = (
+        DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    )
+    comparison = compare_suites(base, current, threshold=threshold)
+    if args.json:
+        print(json.dumps(comparison.to_json()))
+    else:
+        print(comparison.format())
+    regressions = comparison.regressions()
+    if regressions:
+        print(
+            f"suite compare FAILED: {len(regressions)} of "
+            f"{len(comparison.deltas)} point(s) regressed beyond "
+            f"{threshold:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     import importlib
 
+    if args.compare:
+        if args.file is not None:
+            print(
+                "error: --compare takes two result directories and no "
+                "scenario file",
+                file=sys.stderr,
+            )
+            return 2
+        # Run-mode flags would be silently meaningless here; reject
+        # them the same way --threshold is rejected in run mode.
+        run_only = [
+            ("--out-dir", args.out_dir),
+            ("--resume", args.resume),
+            ("--export-dir", args.export_dir),
+            ("--plugin", args.plugin),
+            ("--processes", args.processes != 1),
+        ]
+        offending = [flag for flag, given in run_only if given]
+        if offending:
+            print(
+                f"error: {', '.join(offending)} only apply when running "
+                "a scenario file, not with --compare",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_suite_compare(args)
+    if args.file is None:
+        print("error: a scenario file is required (or --compare)", file=sys.stderr)
+        return 2
+    if args.threshold is not None:
+        print("error: --threshold only applies to --compare", file=sys.stderr)
+        return 2
+    if args.resume and not args.out_dir:
+        print("error: --resume requires --out-dir", file=sys.stderr)
+        return 2
     for module_name in args.plugin:
         try:
             importlib.import_module(module_name)
@@ -405,7 +489,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             f"{min(args.processes, total)} processes",
             file=sys.stderr,
         )
-        result = suite.run(processes=args.processes, plugin_modules=args.plugin)
+        result = suite.run(
+            processes=args.processes,
+            plugin_modules=args.plugin,
+            out_dir=args.out_dir,
+            resume=args.resume,
+        )
     else:
         def progress(index: int, count: int, spec: ExperimentSpec) -> None:
             point = f"{spec.platform}/{spec.workload}"
@@ -417,7 +506,17 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-        result = suite.run(progress=progress)
+        result = suite.run(
+            progress=progress, out_dir=args.out_dir, resume=args.resume
+        )
+    if args.out_dir:
+        executed = len(result.results) - result.resumed
+        print(
+            f"suite {result.name}: executed {executed}, resumed "
+            f"{result.resumed} of {len(result.results)} runs "
+            f"(results in {args.out_dir}/runs)",
+            file=sys.stderr,
+        )
     if args.export_dir:
         paths = result.export(args.export_dir)
         print(f"wrote {', '.join(p.name for p in paths)} to {args.export_dir}/",
@@ -440,8 +539,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         gates = dict(perf.parse_gate(raw) for raw in args.fail_below)
         if gates and not args.baseline:
             raise ValueError("--fail-below requires --baseline")
-        # Loaded before the (minutes-long) benchmark run so a missing
-        # or corrupt baseline file fails fast and cleanly.
+        # Loaded before the (minutes-long) benchmark run so a missing,
+        # corrupt, or wrong-shaped baseline file fails fast and cleanly.
         baseline = None
         if args.baseline:
             try:
@@ -450,6 +549,23 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 raise ValueError(
                     f"cannot load baseline {args.baseline!r}: {exc}"
                 ) from None
+        if gates:
+            # A gate that cannot be evaluated must fail before the run,
+            # not after: check every gated name against both the
+            # baseline's measurements and the --only selection.
+            missing = sorted(set(gates) - perf.baseline_names(baseline))
+            if missing:
+                raise ValueError(
+                    f"baseline {args.baseline!r} has no measurement for "
+                    f"gated benchmark(s): {', '.join(missing)}"
+                )
+            if args.only:
+                skipped = sorted(set(gates) - set(args.only))
+                if skipped:
+                    raise ValueError(
+                        f"gated benchmark(s) {', '.join(skipped)} are "
+                        "excluded by --only and would never be measured"
+                    )
         results = perf.run_perf(
             names=args.only or None,
             quick=args.quick,

@@ -20,12 +20,13 @@ from the protocol implementations; these constants only set scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from .consensus.pbft import PBFTConfig
 from .consensus.poa import PoAConfig
 from .consensus.pow import PoWConfig
 from .consensus.tendermint import TendermintConfig
+from .errors import BenchmarkError
 
 
 @dataclass(frozen=True)
@@ -238,3 +239,41 @@ PLATFORM_PRESETS = {
     "hyperledger": hyperledger_config,
     "erisdb": erisdb_config,
 }
+
+
+def apply_overrides(config, overrides: dict):
+    """Apply a JSON-shaped override dict to a platform config dataclass.
+
+    Scenario files tune platform knobs without Python code:
+    ``{"pbft": {"batch_size": 250}}`` replaces one field of the nested
+    consensus config, ``{"inbox_capacity": 1300}`` a top-level one. A
+    dict value whose target field is itself a dataclass recurses, so
+    any depth of the preset tree is addressable; everything else is
+    assigned verbatim. The input config is never mutated — presets are
+    frozen dataclasses, so each override produces a fresh object via
+    :func:`dataclasses.replace`.
+
+    Unknown field names are an error listing the fields that exist:
+    a silently ignored knob would make a sweep measure the default.
+    """
+    if not overrides:
+        return config
+    if not is_dataclass(config) or isinstance(config, type):
+        raise BenchmarkError(
+            f"cannot apply overrides to {type(config).__name__!r}: "
+            "platform config must be a dataclass instance"
+        )
+    known = {f.name for f in fields(config)}
+    changes = {}
+    for key, value in overrides.items():
+        if key not in known:
+            raise BenchmarkError(
+                f"unknown config field {key!r} for "
+                f"{type(config).__name__}; available: {sorted(known)}"
+            )
+        current = getattr(config, key)
+        if isinstance(value, dict) and is_dataclass(current) \
+                and not isinstance(current, type):
+            value = apply_overrides(current, value)
+        changes[key] = value
+    return replace(config, **changes)

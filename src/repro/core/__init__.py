@@ -32,6 +32,7 @@ from .faults import (
     FaultSchedule,
     PartitionFault,
 )
+from .compare import RunDelta, SuiteComparison, compare_suites
 from .report import SUMMARY_HEADERS, format_table, summary_row
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
 from .scenario import (
@@ -40,6 +41,7 @@ from .scenario import (
     SuiteResult,
     build_fault_schedule,
 )
+from .suitestore import SuiteStore, spec_hash
 from .security import AttackReport, ForkMonitor, ForkSample, run_partition_attack
 from .stats import StatsCollector, StatsSummary, merge_collectors
 from .workload import Workload, preload_state
@@ -73,6 +75,11 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSuite",
     "SuiteResult",
+    "SuiteStore",
+    "spec_hash",
+    "RunDelta",
+    "SuiteComparison",
+    "compare_suites",
     "build_fault_schedule",
     "AttackReport",
     "ForkMonitor",

@@ -1,0 +1,269 @@
+"""Suite comparison: diff two result directories, gate on regressions.
+
+``blockbench suite --compare BASE CURRENT`` is the CI primitive this
+module implements: load every persisted run from two
+:class:`~repro.core.suitestore.SuiteStore` directories, align them by
+content-addressed spec hash (so grid order, parallelism, and partial
+overlap don't matter), and compute per-point throughput and latency
+deltas. A point *regresses* when current throughput falls more than
+``threshold`` below base, or current average latency rises more than
+``threshold`` above base — the simulator is deterministic per seed, so
+any delta at all is a real behavioural change, and the threshold only
+sets how much of one a pipeline tolerates. A point whose *base*
+measured zero (nothing confirmed — e.g. a crash-fault grid point)
+cannot regress: current is never below zero, and work appearing where
+there was none is the improvement direction. Such appeared-from-zero
+points are called out in the human output and carry ``null`` ratios
+in the JSON so they are visible, just not gating.
+
+The result renders both ways: :meth:`SuiteComparison.format` is the
+human table, :meth:`SuiteComparison.to_json` the machine form a CI job
+archives; the CLI exits 1 when ``regressions()`` is non-empty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..errors import BenchmarkError
+from .report import format_table
+from .suitestore import SuiteStore
+
+__all__ = ["RunDelta", "SuiteComparison", "compare_suites"]
+
+COMPARE_SCHEMA = "blockbench-suite-compare/1"
+
+#: Default regression tolerance: 5% on throughput and latency.
+DEFAULT_THRESHOLD = 0.05
+
+
+def _finite(ratio: float) -> float | None:
+    """A ratio for JSON output: None replaces the non-encodable inf."""
+    return ratio if math.isfinite(ratio) else None
+
+
+def _point_label(spec: dict[str, Any]) -> str:
+    """Human description of one grid point from its serialized spec."""
+    text = (
+        f"{spec['platform']}/{spec['workload']} "
+        f"s={spec['n_servers']} c={spec['n_clients']} "
+        f"r={spec['request_rate_tx_s']:g} seed={spec['seed']}"
+    )
+    if spec.get("label"):
+        text += f" [{spec['label']}]"
+    return text
+
+
+@dataclass
+class RunDelta:
+    """One grid point present in both result sets."""
+
+    spec_hash: str
+    point: str
+    base_throughput: float
+    current_throughput: float
+    base_latency_avg: float
+    current_latency_avg: float
+    #: Human-readable reasons this point regressed (empty = clean).
+    failures: list[str]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.failures)
+
+    @property
+    def throughput_ratio(self) -> float:
+        """current/base throughput (1.0 when both sides are zero,
+        infinite when work appeared from a zero base)."""
+        if self.base_throughput == 0:
+            return 1.0 if self.current_throughput == 0 else float("inf")
+        return self.current_throughput / self.base_throughput
+
+    @property
+    def latency_ratio(self) -> float:
+        """current/base average latency (1.0 when both sides are zero,
+        infinite when latency appeared from a zero base)."""
+        if self.base_latency_avg == 0:
+            return 1.0 if self.current_latency_avg == 0 else float("inf")
+        return self.current_latency_avg / self.base_latency_avg
+
+
+def _delta(spec_hash: str, base: dict, current: dict, threshold: float) -> RunDelta:
+    base_summary, cur_summary = base["summary"], current["summary"]
+    delta = RunDelta(
+        spec_hash=spec_hash,
+        point=_point_label(base["spec"]),
+        base_throughput=base_summary["throughput_tx_s"],
+        current_throughput=cur_summary["throughput_tx_s"],
+        base_latency_avg=base_summary["latency_avg_s"],
+        current_latency_avg=cur_summary["latency_avg_s"],
+        failures=[],
+    )
+    if delta.base_throughput > 0:
+        drop = 1.0 - delta.current_throughput / delta.base_throughput
+        if drop > threshold:
+            delta.failures.append(
+                f"throughput {delta.current_throughput:.1f} tx/s is "
+                f"{drop:.1%} below base {delta.base_throughput:.1f} tx/s "
+                f"(tolerance {threshold:.1%})"
+            )
+    if delta.base_latency_avg > 0:
+        rise = delta.current_latency_avg / delta.base_latency_avg - 1.0
+        if rise > threshold:
+            delta.failures.append(
+                f"latency avg {delta.current_latency_avg:.3f}s is "
+                f"{rise:.1%} above base {delta.base_latency_avg:.3f}s "
+                f"(tolerance {threshold:.1%})"
+            )
+    return delta
+
+
+@dataclass
+class SuiteComparison:
+    """The aligned diff of two suite result directories."""
+
+    base_dir: str
+    current_dir: str
+    threshold: float
+    deltas: list[RunDelta]
+    #: Spec hashes with a result on only one side (grid drift — e.g.
+    #: an axis changed between the two campaigns). Reported, but not a
+    #: regression: the gate's job is perf, not schema equality.
+    only_in_base: list[str]
+    only_in_current: list[str]
+
+    def regressions(self) -> list[RunDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    def appeared_from_zero(self) -> list[RunDelta]:
+        """Points whose base measured zero but current did not.
+
+        Not gateable (no ratio exists) and never a regression, but
+        surfaced in both output forms: in a deterministic simulator a
+        point going from "confirmed nothing" to "confirmed something"
+        is a behavioural change worth a human look.
+        """
+        return [
+            delta
+            for delta in self.deltas
+            if math.isinf(delta.throughput_ratio)
+            or math.isinf(delta.latency_ratio)
+        ]
+
+    def to_json(self) -> dict[str, Any]:
+        """Machine-readable comparison (``--compare ... --json``)."""
+        return {
+            "schema": COMPARE_SCHEMA,
+            "base": self.base_dir,
+            "current": self.current_dir,
+            "threshold": self.threshold,
+            "compared": len(self.deltas),
+            "regressed": len(self.regressions()),
+            "only_in_base": self.only_in_base,
+            "only_in_current": self.only_in_current,
+            "results": [
+                {
+                    "spec_hash": delta.spec_hash,
+                    "point": delta.point,
+                    "base_throughput_tx_s": delta.base_throughput,
+                    "current_throughput_tx_s": delta.current_throughput,
+                    # Ratios are null when the base is zero: Infinity
+                    # is not valid JSON and would break strict parsers
+                    # downstream of the gate.
+                    "throughput_ratio": _finite(delta.throughput_ratio),
+                    "base_latency_avg_s": delta.base_latency_avg,
+                    "current_latency_avg_s": delta.current_latency_avg,
+                    "latency_ratio": _finite(delta.latency_ratio),
+                    "regressed": delta.regressed,
+                    "failures": delta.failures,
+                }
+                for delta in self.deltas
+            ],
+        }
+
+    def format(self) -> str:
+        """Render the diff as one ASCII table plus any drift notes."""
+        rows = []
+        for delta in self.deltas:
+            rows.append(
+                [
+                    delta.point,
+                    f"{delta.base_throughput:.1f}",
+                    f"{delta.current_throughput:.1f}",
+                    f"{delta.throughput_ratio:.3f}x",
+                    f"{delta.base_latency_avg:.3f}",
+                    f"{delta.current_latency_avg:.3f}",
+                    f"{delta.latency_ratio:.3f}x",
+                    "REGRESSED" if delta.regressed else "ok",
+                ]
+            )
+        table = format_table(
+            ["point", "base tx/s", "cur tx/s", "tx ratio",
+             "base lat (s)", "cur lat (s)", "lat ratio", "status"],
+            rows,
+            title=(
+                f"suite compare: {self.base_dir} vs {self.current_dir} "
+                f"({len(self.deltas)} points, tolerance {self.threshold:.1%})"
+            ),
+        )
+        notes = []
+        for delta in self.appeared_from_zero():
+            notes.append(
+                f"NOTE {delta.point}: confirmed work appeared from a "
+                "zero base — ratios not evaluable, point not gated"
+            )
+        if self.only_in_base:
+            notes.append(
+                f"{len(self.only_in_base)} point(s) only in base "
+                f"({', '.join(self.only_in_base[:4])}"
+                + ("..." if len(self.only_in_base) > 4 else "") + ")"
+            )
+        if self.only_in_current:
+            notes.append(
+                f"{len(self.only_in_current)} point(s) only in current "
+                f"({', '.join(self.only_in_current[:4])}"
+                + ("..." if len(self.only_in_current) > 4 else "") + ")"
+            )
+        for delta in self.regressions():
+            for failure in delta.failures:
+                notes.append(f"REGRESSION {delta.point}: {failure}")
+        return table + ("\n" + "\n".join(notes) if notes else "")
+
+
+def compare_suites(
+    base_dir: str | Path,
+    current_dir: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> SuiteComparison:
+    """Align two result directories by spec hash and diff them.
+
+    Raises :class:`BenchmarkError` when either side is not a result
+    directory, or when the two share no grid points — a comparison
+    with zero overlap would "pass" vacuously, which is exactly the
+    silent failure a CI gate must not allow.
+    """
+    if threshold < 0:
+        raise BenchmarkError(
+            f"comparison threshold must be non-negative, got {threshold}"
+        )
+    base_runs = SuiteStore.load_runs(base_dir)
+    current_runs = SuiteStore.load_runs(current_dir)
+    shared = sorted(set(base_runs) & set(current_runs))
+    if not shared:
+        raise BenchmarkError(
+            f"no grid points in common between {base_dir} and {current_dir}; "
+            "were they produced by the same scenario file?"
+        )
+    return SuiteComparison(
+        base_dir=str(base_dir),
+        current_dir=str(current_dir),
+        threshold=threshold,
+        deltas=[
+            _delta(h, base_runs[h], current_runs[h], threshold) for h in shared
+        ],
+        only_in_base=sorted(set(base_runs) - set(current_runs)),
+        only_in_current=sorted(set(current_runs) - set(base_runs)),
+    )

@@ -275,8 +275,33 @@ def write_trajectory(
 
 
 def load_trajectory(path: str | Path) -> dict:
-    """Read a previously written trajectory file."""
-    return json.loads(Path(path).read_text())
+    """Read and shape-check a previously written trajectory file.
+
+    Raises :class:`ValueError` when the JSON parses but is not a perf
+    trajectory (wrong top-level type, or ``results`` not a list of
+    named entries) — pointing a gate at the wrong file must fail with
+    a message, not an ``AttributeError`` deep in the comparison.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{path} is not a perf trajectory: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    results = data.get("results", [])
+    if not isinstance(results, list) or not all(
+        isinstance(entry, dict) and "name" in entry for entry in results
+    ):
+        raise ValueError(
+            f"{path} is not a perf trajectory: 'results' must be a list "
+            "of objects with a 'name' field"
+        )
+    return data
+
+
+def baseline_names(baseline: dict) -> set[str]:
+    """Benchmark names a trajectory has measurements for."""
+    return {entry["name"] for entry in baseline.get("results", [])}
 
 
 def compare(

@@ -43,7 +43,13 @@ class ExperimentSpec:
     client_mode: str = "coroutine"
     with_monitor: bool = False
     faults: FaultSchedule | None = None
-    config: Any = None  # platform config override
+    config: Any = None  # platform config override (Python object)
+    #: JSON-shaped platform-knob overrides (scenario-file ``overrides``)
+    #: applied on top of ``config`` or the platform default by
+    #: ``build_cluster`` — e.g. ``{"pbft": {"batch_size": 250}}``.
+    #: Unlike ``config``, this survives serialization, so it is part of
+    #: the content-addressed spec hash resumable suites key on.
+    config_overrides: dict[str, Any] = field(default_factory=dict)
     drain_s: float = 5.0
     #: Scenario bookkeeping, set by the scenario engine: which
     #: ScenarioSpec expanded into this run, and a human label for the
@@ -104,6 +110,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         spec.n_servers,
         seed=spec.seed,
         config=spec.config,
+        config_overrides=spec.config_overrides or None,
         with_monitor=spec.with_monitor,
     )
     workload = make_workload(spec.workload, **spec.workload_params)

@@ -12,7 +12,11 @@ loop by hand; this module makes a sweep a *value*:
   a JSON file (the ``blockbench suite`` subcommand). ``run()``
   executes the whole grid, optionally fanning out across CPU cores
   with :mod:`multiprocessing`, and merges everything into a
-  :class:`SuiteResult`.
+  :class:`SuiteResult`. With ``out_dir=`` every finished grid point is
+  persisted to a content-addressed file as it completes, and
+  ``resume=True`` skips points whose results already exist — a killed
+  campaign picks up where it stopped (see
+  :mod:`repro.core.suitestore`).
 * :class:`SuiteResult` — the merged outcome, consumed by the existing
   export (CSV series) and report (ASCII table) layers, with
   ``one()``/``lookup()`` accessors so harnesses can ask for grid
@@ -60,6 +64,7 @@ from .driver import CLIENT_MODES, DriverConfig
 from .report import format_table
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
 from .stats import StatsSummary
+from .suitestore import SuiteStore
 
 __all__ = [
     "ScenarioSpec",
@@ -109,6 +114,46 @@ def _axis(value: Any, name: str) -> list:
     return [value]
 
 
+def _overrides_label(overrides: dict[str, Any]) -> str:
+    """Flatten an override dict into a grid-point label.
+
+    ``{"pbft": {"batch_size": 250}}`` -> ``"pbft.batch_size=250"``;
+    multiple knobs join with commas in sorted key order so the label
+    (and anything keyed on it) is order-independent.
+    """
+    parts: list[str] = []
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, dict):
+            for key in sorted(value):
+                walk(f"{prefix}.{key}" if prefix else str(key), value[key])
+        else:
+            parts.append(f"{prefix}={value}")
+
+    walk("", overrides)
+    return ",".join(parts)
+
+
+def _overrides_axis(
+    overrides: dict[str, Any] | Sequence[dict[str, Any]] | None,
+) -> list[dict[str, Any]]:
+    """Normalize the ``overrides`` field to a one-dict-per-point axis."""
+    if overrides is None:
+        return [{}]
+    if isinstance(overrides, dict):
+        return [overrides]
+    points = list(overrides)
+    if not points:
+        raise BenchmarkError("scenario axis 'overrides' is empty")
+    for point in points:
+        if not isinstance(point, dict):
+            raise BenchmarkError(
+                "each 'overrides' axis point must be an object of config "
+                f"knobs; got {type(point).__name__}"
+            )
+    return points
+
+
 @dataclass
 class ScenarioSpec:
     """One named experiment grid over the paper's sweep axes.
@@ -120,8 +165,12 @@ class ScenarioSpec:
 
     ``configs`` is a Python-API-only axis of ``(label, platform
     config)`` pairs for block-size-style knob sweeps (Figure 15);
-    ``faults`` is a JSON-shaped dict (see :func:`build_fault_schedule`)
-    instantiated freshly for every grid point.
+    ``overrides`` is its JSON-expressible sibling — a platform-knob
+    dict (or a list of them, making it an axis) applied on top of the
+    platform's config per grid point, e.g.
+    ``{"pbft": {"batch_size": 250}}``; ``faults`` is a JSON-shaped
+    dict (see :func:`build_fault_schedule`) instantiated freshly for
+    every grid point.
     """
 
     name: str = "scenario"
@@ -151,6 +200,12 @@ class ScenarioSpec:
     drain_s: float = 5.0
     faults: dict[str, Any] | None = None
     configs: Sequence[tuple[str, Any]] | None = None
+    #: Platform-config knob overrides, JSON-expressible: one dict
+    #: applies to every grid point; a list of dicts is an axis (one
+    #: grid point per dict, labelled from its flattened keys). Nested
+    #: dicts address nested config dataclasses; see
+    #: :func:`repro.config.apply_overrides`.
+    overrides: dict[str, Any] | Sequence[dict[str, Any]] | None = None
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
@@ -189,16 +244,18 @@ class ScenarioSpec:
             )
 
         configs = list(self.configs) if self.configs is not None else [("", None)]
+        overrides_axis = _overrides_axis(self.overrides)
         clients_axis = (
             _axis(self.clients, "clients") if self.clients is not None else [None]
         )
         specs: list[ExperimentSpec] = []
-        for platform, workload, (label, config), servers, clients, rate, \
-                duration, seed, poll_interval, threads, retry_interval \
-                in itertools.product(
+        for platform, workload, (label, config), overrides, servers, \
+                clients, rate, duration, seed, poll_interval, threads, \
+                retry_interval in itertools.product(
             _axis(self.platforms, "platforms"),
             _axis(self.workloads, "workloads"),
             configs,
+            overrides_axis,
             _axis(self.servers, "servers"),
             clients_axis,
             _axis(self.rates, "rates"),
@@ -208,6 +265,13 @@ class ScenarioSpec:
             _axis(self.threads_per_client, "threads_per_client"),
             _axis(self.retry_intervals, "retry_intervals"),
         ):
+            # The overrides label only disambiguates when overrides
+            # actually form an axis; a single campaign-wide dict would
+            # just repeat the same text on every row.
+            point_label = label
+            if overrides and len(overrides_axis) > 1:
+                olabel = _overrides_label(overrides)
+                point_label = f"{label},{olabel}" if label else olabel
             specs.append(
                 ExperimentSpec(
                     platform=platform,
@@ -231,9 +295,10 @@ class ScenarioSpec:
                         else None
                     ),
                     config=config,
+                    config_overrides=dict(overrides),
                     drain_s=self.drain_s,
                     scenario=self.name,
-                    label=label,
+                    label=point_label,
                 )
             )
         return specs
@@ -274,6 +339,9 @@ class SuiteResult:
 
     name: str
     results: list[ExperimentResult]
+    #: Grid points loaded from a result store instead of executed —
+    #: non-zero only for ``run(out_dir=..., resume=True)``.
+    resumed: int = 0
 
     @property
     def summaries(self) -> list[StatsSummary]:
@@ -459,14 +527,25 @@ class ScenarioSuite:
         processes: int = 1,
         progress: Callable[[int, int, ExperimentSpec], None] | None = None,
         plugin_modules: Sequence[str] = (),
+        out_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> SuiteResult:
         """Execute the full grid and merge the results.
 
         ``processes > 1`` fans runs out across CPU cores with
         :mod:`multiprocessing` (each run is an independent simulation,
         so the grid is embarrassingly parallel); results come back in
-        grid order either way. ``progress`` is invoked before each run
-        in serial mode.
+        grid order either way. ``progress`` is invoked before each
+        executed run in serial mode, with the run's *grid* index.
+
+        ``out_dir`` persists every finished grid point to
+        ``out_dir/runs/<spec-hash>.json`` as soon as it completes
+        (atomically, even under ``processes > 1``), so a killed
+        campaign leaves a valid partial result directory behind.
+        ``resume=True`` loads the points whose files already exist and
+        executes only the missing ones; because the simulator is
+        deterministic per seed, the merged result is identical to an
+        uninterrupted run. See :mod:`repro.core.suitestore`.
 
         Third-party platforms/workloads register at import time of
         their defining module, which spawn-based multiprocessing (the
@@ -475,21 +554,48 @@ class ScenarioSuite:
         imports them before its first run; the built-ins are always
         available.
         """
+        if resume and out_dir is None:
+            raise BenchmarkError("resume=True requires out_dir")
+        store = SuiteStore(out_dir) if out_dir is not None else None
         specs = self.expand()
-        if processes > 1 and len(specs) > 1:
+        results: list[ExperimentResult | None] = [None] * len(specs)
+        pending: list[tuple[int, ExperimentSpec]] = []
+        resumed = 0
+        for index, spec in enumerate(specs):
+            cached = store.load(spec) if (store and resume) else None
+            if cached is not None:
+                results[index] = cached
+                resumed += 1
+            else:
+                pending.append((index, spec))
+        if processes > 1 and len(pending) > 1:
             import multiprocessing
 
-            workers = min(processes, len(specs))
+            workers = min(processes, len(pending))
             with multiprocessing.get_context().Pool(
                 workers,
                 initializer=_import_plugin_modules,
                 initargs=(tuple(plugin_modules),),
             ) as pool:
-                results = pool.map(run_experiment, specs)
+                # imap (not map) so each result is persisted as it
+                # arrives — a crash mid-campaign keeps what finished.
+                for (index, _), result in zip(
+                    pending, pool.imap(run_experiment, [s for _, s in pending])
+                ):
+                    if store is not None:
+                        store.save(result)
+                    results[index] = result
         else:
-            results = []
-            for index, spec in enumerate(specs):
+            for index, spec in pending:
                 if progress is not None:
                     progress(index, len(specs), spec)
-                results.append(run_experiment(spec))
-        return SuiteResult(name=self.name, results=results)
+                result = run_experiment(spec)
+                if store is not None:
+                    store.save(result)
+                results[index] = result
+        suite_result = SuiteResult(
+            name=self.name, results=results, resumed=resumed
+        )
+        if store is not None:
+            store.write_manifest(suite_result)
+        return suite_result

@@ -133,14 +133,19 @@ def build_cluster(
     seed: int = 42,
     contracts: Iterable[str] = DEFAULT_CONTRACTS,
     config=None,
+    config_overrides: dict | None = None,
     storage_dir: str | Path | None = None,
     with_monitor: bool = False,
     monitor_interval: float = 1.0,
 ) -> Cluster:
     """Build and start an N-node testnet of ``platform``.
 
-    ``storage_dir`` switches state persistence to the real LSM engine
-    (one subdirectory per node) — used by the IOHeavy experiment.
+    ``config_overrides`` is a JSON-shaped knob dict (scenario-file
+    ``overrides``) applied to the platform's config — the explicit
+    ``config`` if given, the registered default otherwise — via
+    :func:`repro.config.apply_overrides`. ``storage_dir`` switches
+    state persistence to the real LSM engine (one subdirectory per
+    node) — used by the IOHeavy experiment.
     """
     if n_nodes < 1:
         raise BenchmarkError("cluster needs at least one node")
@@ -158,8 +163,7 @@ def build_cluster(
         return path
 
     spec = PLATFORMS.get(platform)
-    if config is None and spec.default_config is not None:
-        config = spec.default_config()
+    config = spec.make_config(config, config_overrides)
     for node_id in ids:
         nodes.append(
             spec.factory(

@@ -120,6 +120,32 @@ class PlatformSpec:
     default_config: Callable[[], Any] | None = None
     description: str = ""
 
+    def make_config(
+        self, config: Any = None, overrides: dict | None = None
+    ) -> Any:
+        """Resolve the config one run of this platform should use.
+
+        ``config`` (a Python config object) wins over the registered
+        default; ``overrides`` is the scenario-JSON knob dict applied
+        on top of whichever base was picked — the path that lets a
+        scenario file retune a platform without touching its code.
+        """
+        if config is None and self.default_config is not None:
+            config = self.default_config()
+        if overrides:
+            # Imported lazily: repro.config pulls in the consensus
+            # modules, which register themselves through this module —
+            # a module-level import would be circular.
+            from .config import apply_overrides
+
+            if config is None:
+                raise BenchmarkError(
+                    f"platform {self.name!r} has no config to override; "
+                    "it was registered without a default_config"
+                )
+            config = apply_overrides(config, overrides)
+        return config
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:

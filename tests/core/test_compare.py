@@ -1,0 +1,146 @@
+"""Comparison-engine tests: aligning and gating two result stores."""
+
+import json
+
+import pytest
+
+from repro.core import ScenarioSpec, ScenarioSuite, compare_suites
+from repro.errors import BenchmarkError
+
+
+def _run_store(tmp_path, name, rates=(20, 40)):
+    out = tmp_path / name
+    ScenarioSuite(
+        name="cmp",
+        scenarios=[
+            ScenarioSpec(
+                platforms="hyperledger", workloads="donothing",
+                servers=2, clients=2, rates=list(rates), durations=3, seeds=1,
+            )
+        ],
+    ).run(out_dir=out)
+    return out
+
+
+def _doctor(store_dir, scale_throughput=1.0, scale_latency=1.0, index=0):
+    """Rewrite one run file's summary to fake a perf change."""
+    path = sorted((store_dir / "runs").glob("*.json"))[index]
+    data = json.loads(path.read_text())
+    data["summary"]["throughput_tx_s"] *= scale_throughput
+    data["summary"]["latency_avg_s"] *= scale_latency
+    path.write_text(json.dumps(data))
+    return path
+
+
+def test_identical_stores_compare_clean(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    comparison = compare_suites(base, current, threshold=0.0)
+    assert len(comparison.deltas) == 2
+    assert comparison.regressions() == []
+    assert comparison.only_in_base == comparison.only_in_current == []
+    for delta in comparison.deltas:
+        assert delta.throughput_ratio == 1.0
+        assert delta.latency_ratio == 1.0
+
+
+def test_throughput_drop_beyond_threshold_regresses(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor(current, scale_throughput=0.8)
+    comparison = compare_suites(base, current, threshold=0.1)
+    regressions = comparison.regressions()
+    assert len(regressions) == 1
+    assert "throughput" in regressions[0].failures[0]
+    # A drop inside the tolerance passes.
+    assert compare_suites(base, current, threshold=0.25).regressions() == []
+
+
+def test_latency_rise_beyond_threshold_regresses(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor(current, scale_latency=1.5)
+    regressions = compare_suites(base, current, threshold=0.1).regressions()
+    assert len(regressions) == 1
+    assert "latency" in regressions[0].failures[0]
+
+
+def test_improvements_never_regress(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor(current, scale_throughput=2.0, scale_latency=0.5)
+    comparison = compare_suites(base, current, threshold=0.0)
+    assert comparison.regressions() == []
+    assert max(d.throughput_ratio for d in comparison.deltas) == 2.0
+
+
+def test_partial_overlap_reports_drift(tmp_path):
+    base = _run_store(tmp_path, "base", rates=(20, 40))
+    current = _run_store(tmp_path, "current", rates=(40, 80))
+    comparison = compare_suites(base, current)
+    assert len(comparison.deltas) == 1  # rate=40 is the shared point
+    assert len(comparison.only_in_base) == 1
+    assert len(comparison.only_in_current) == 1
+    assert "only in base" in comparison.format()
+
+
+def test_disjoint_stores_error(tmp_path):
+    base = _run_store(tmp_path, "base", rates=(20,))
+    current = _run_store(tmp_path, "current", rates=(80,))
+    with pytest.raises(BenchmarkError, match="no grid points in common"):
+        compare_suites(base, current)
+
+
+def test_missing_directory_errors(tmp_path):
+    base = _run_store(tmp_path, "base")
+    with pytest.raises(BenchmarkError, match="not a suite result directory"):
+        compare_suites(base, tmp_path / "nope")
+
+
+def test_negative_threshold_rejected(tmp_path):
+    base = _run_store(tmp_path, "base")
+    with pytest.raises(BenchmarkError, match="non-negative"):
+        compare_suites(base, base, threshold=-0.1)
+
+
+def test_json_payload_shape(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor(current, scale_throughput=0.5)
+    payload = compare_suites(base, current, threshold=0.1).to_json()
+    assert payload["schema"] == "blockbench-suite-compare/1"
+    assert payload["compared"] == 2
+    assert payload["regressed"] == 1
+    regressed = [r for r in payload["results"] if r["regressed"]]
+    assert len(regressed) == 1
+    assert regressed[0]["throughput_ratio"] == 0.5
+    assert regressed[0]["failures"]
+    assert json.dumps(payload)  # fully serializable
+
+
+def test_zero_base_point_is_visible_but_not_gating(tmp_path):
+    """Work appearing from a zero base: never a regression, ratios are
+    JSON-null (Infinity is not valid JSON), and the human table notes it."""
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor(base, scale_throughput=0.0, scale_latency=0.0)
+    comparison = compare_suites(base, current, threshold=0.0)
+    assert comparison.regressions() == []
+    assert len(comparison.appeared_from_zero()) == 1
+    payload = comparison.to_json()
+    text = json.dumps(payload)
+    assert "Infinity" not in text
+    json.loads(text)  # strict-parseable
+    nulled = [r for r in payload["results"] if r["throughput_ratio"] is None]
+    assert len(nulled) == 1 and nulled[0]["latency_ratio"] is None
+    assert "appeared from a zero base" in comparison.format()
+
+
+def test_format_marks_regressions(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor(current, scale_throughput=0.5)
+    text = compare_suites(base, current, threshold=0.1).format()
+    assert "REGRESSED" in text
+    assert "REGRESSION" in text  # the per-point note line
+    assert "hyperledger/donothing" in text

@@ -76,6 +76,67 @@ def test_config_axis_carries_labels():
     assert labels == ["knob-a", "knob-b"]
 
 
+def test_overrides_axis_expands_with_labels():
+    spec = ScenarioSpec(
+        platforms="hyperledger", servers=4, rates=10,
+        overrides=[
+            {"pbft": {"batch_size": 100}},
+            {"pbft": {"batch_size": 500}, "inbox_capacity": 1300},
+        ],
+    )
+    specs = spec.expand()
+    assert len(specs) == 2
+    assert specs[0].config_overrides == {"pbft": {"batch_size": 100}}
+    assert specs[0].label == "pbft.batch_size=100"
+    # Multi-knob labels flatten in sorted key order.
+    assert specs[1].label == "inbox_capacity=1300,pbft.batch_size=500"
+
+
+def test_single_overrides_dict_applies_without_label():
+    spec = ScenarioSpec(
+        platforms="hyperledger", servers=4, rates=[10, 20],
+        overrides={"pbft": {"batch_size": 250}},
+    )
+    specs = spec.expand()
+    assert len(specs) == 2
+    assert all(s.config_overrides == {"pbft": {"batch_size": 250}} for s in specs)
+    # A campaign-wide dict is not an axis: no label noise on every row.
+    assert all(s.label == "" for s in specs)
+
+
+def test_overrides_accepted_from_json():
+    spec = ScenarioSpec.from_dict(
+        {
+            "name": "batch-sweep",
+            "platforms": "hyperledger",
+            "servers": 4,
+            "rates": 10,
+            "overrides": [
+                {"pbft": {"batch_size": 100}},
+                {"pbft": {"batch_size": 1000}},
+            ],
+        }
+    )
+    assert len(spec.expand()) == 2
+
+
+def test_overrides_axis_rejects_bad_points():
+    with pytest.raises(BenchmarkError, match="axis 'overrides' is empty"):
+        ScenarioSpec(overrides=[]).expand()
+    with pytest.raises(BenchmarkError, match="must be an object"):
+        ScenarioSpec(overrides=["batch_size=100"]).expand()
+
+
+def test_overrides_combine_with_configs_axis_labels():
+    spec = ScenarioSpec(
+        platforms="hyperledger", servers=4, rates=10,
+        configs=[("base", None)],
+        overrides=[{"inbox_capacity": 650}, {"inbox_capacity": 1300}],
+    )
+    labels = [s.label for s in spec.expand()]
+    assert labels == ["base,inbox_capacity=650", "base,inbox_capacity=1300"]
+
+
 def test_fault_dict_expands_to_fresh_schedule_per_point():
     spec = ScenarioSpec(
         servers=4, rates=10, seeds=[1, 2],

@@ -1,0 +1,271 @@
+"""Suite lifecycle tests: spec hashing, the result store, and resume."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    ExperimentSpec,
+    ScenarioSpec,
+    ScenarioSuite,
+    SuiteStore,
+    run_experiment,
+    spec_hash,
+)
+from repro.core.faults import CrashFault, FaultSchedule
+from repro.core.suitestore import RUN_SCHEMA, spec_to_dict
+from repro.config import hyperledger_config
+from repro.errors import BenchmarkError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _suite(**scenario_kwargs) -> ScenarioSuite:
+    defaults = dict(
+        platforms="hyperledger", workloads="donothing",
+        servers=2, clients=2, rates=[20, 40], durations=3, seeds=1,
+    )
+    defaults.update(scenario_kwargs)
+    return ScenarioSuite(name="lifecycle", scenarios=[ScenarioSpec(**defaults)])
+
+
+# ----------------------------------------------------------------------
+# Spec hashing
+# ----------------------------------------------------------------------
+def test_spec_hash_is_deterministic_and_axis_sensitive():
+    base = ExperimentSpec(platform="hyperledger", seed=1)
+    assert spec_hash(base) == spec_hash(ExperimentSpec(platform="hyperledger", seed=1))
+    # Every sweep axis must move the hash — a collision would make
+    # --resume silently serve one grid point's result for another.
+    for change in (
+        dict(platform="ethereum"),
+        dict(seed=2),
+        dict(request_rate_tx_s=99.0),
+        dict(n_servers=4),
+        dict(workload="donothing"),
+        dict(poll_interval_s=0.125),
+        dict(config_overrides={"pbft": {"batch_size": 250}}),
+        dict(faults=FaultSchedule(crashes=[CrashFault(at_time=5.0, count=1)])),
+    ):
+        changed = ExperimentSpec(**{"platform": "hyperledger", "seed": 1, **change})
+        assert spec_hash(changed) != spec_hash(base), change
+
+
+def test_spec_hash_stable_across_process_restarts():
+    """Two fresh interpreters agree with in-process hashing."""
+    spec = ExperimentSpec(
+        platform="hyperledger",
+        seed=3,
+        config_overrides={"pbft": {"batch_size": 250}},
+        faults=FaultSchedule(crashes=[CrashFault(at_time=5.0, count=1)]),
+    )
+    code = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.core import ExperimentSpec, spec_hash\n"
+        "from repro.core.faults import CrashFault, FaultSchedule\n"
+        "spec = ExperimentSpec(platform='hyperledger', seed=3,\n"
+        "    config_overrides={'pbft': {'batch_size': 250}},\n"
+        "    faults=FaultSchedule(crashes=[CrashFault(at_time=5.0, count=1)]))\n"
+        "print(spec_hash(spec))\n"
+    )
+    hashes = {
+        subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, cwd=REPO_ROOT, check=True,
+        ).stdout.strip()
+        for _ in range(2)
+    }
+    assert hashes == {spec_hash(spec)}
+
+
+def test_spec_hash_ignores_fault_runtime_state():
+    armed = FaultSchedule(crashes=[CrashFault(at_time=5.0, count=1)])
+    pristine = FaultSchedule(crashes=[CrashFault(at_time=5.0, count=1)])
+    armed.crashed_node_ids.append("server-0")
+    assert spec_hash(ExperimentSpec(faults=armed)) == spec_hash(
+        ExperimentSpec(faults=pristine)
+    )
+
+
+def test_spec_hash_covers_dataclass_configs():
+    small = ExperimentSpec(config=hyperledger_config())
+    big = ExperimentSpec(
+        config=hyperledger_config(inbox_capacity=1300)
+    )
+    assert spec_hash(small) != spec_hash(big)
+    # The canonical dict carries a type tag alongside the fields.
+    assert spec_to_dict(small)["config"]["__type__"] == "HyperledgerConfig"
+
+
+def test_spec_hash_rejects_unserializable_config():
+    with pytest.raises(BenchmarkError, match="no stable serialization"):
+        spec_hash(ExperimentSpec(config=object()))
+
+
+def test_override_axis_points_hash_apart():
+    suite = _suite(
+        rates=20,
+        overrides=[
+            {"pbft": {"batch_size": 100}},
+            {"pbft": {"batch_size": 500}},
+        ],
+    )
+    specs = suite.expand()
+    assert len({spec_hash(s) for s in specs}) == len(specs) == 2
+
+
+# ----------------------------------------------------------------------
+# The result store
+# ----------------------------------------------------------------------
+def test_store_round_trips_a_result(tmp_path):
+    spec = ExperimentSpec(
+        platform="hyperledger", workload="donothing",
+        n_servers=2, n_clients=2, request_rate_tx_s=20.0,
+        duration_s=3.0, seed=1,
+    )
+    result = run_experiment(spec)
+    store = SuiteStore(tmp_path)
+    path = store.save(result)
+    assert path == tmp_path / "runs" / f"{spec_hash(spec)}.json"
+    loaded = store.load(spec)
+    assert loaded is not None
+    assert loaded.spec is spec  # live spec object, not a reconstruction
+    assert loaded.summary == result.summary
+    assert loaded.queue_series == result.queue_series
+    assert loaded.chain_height == result.chain_height
+    assert loaded.stats.submitted == result.summary.submitted
+
+
+def test_store_treats_damage_as_missing(tmp_path):
+    spec = ExperimentSpec(
+        platform="hyperledger", workload="donothing",
+        n_servers=2, n_clients=2, duration_s=3.0, request_rate_tx_s=20.0,
+    )
+    store = SuiteStore(tmp_path)
+    assert store.load(spec) is None  # never written
+    path = store.path_for(spec)
+    path.write_text("{truncated")
+    assert store.load(spec) is None  # corrupt JSON
+    path.write_text(json.dumps({"schema": "something-else/9"}))
+    assert store.load(spec) is None  # wrong schema
+    payload = json.dumps(
+        {"schema": RUN_SCHEMA, "spec_hash": "0" * 16, "spec": {}}
+    )
+    path.write_text(payload)
+    assert store.load(spec) is None  # hash/name mismatch
+
+
+# ----------------------------------------------------------------------
+# Resume semantics
+# ----------------------------------------------------------------------
+def test_mid_suite_crash_leaves_valid_partial_store(tmp_path, monkeypatch):
+    """A campaign killed after run 1 resumes with only runs 2+ executed."""
+    import repro.core.scenario as scenario_mod
+
+    suite = _suite()
+    total = len(suite.expand())
+    assert total == 2
+
+    calls = []
+    real_run = run_experiment
+
+    def crash_after_first(spec):
+        if calls:
+            raise KeyboardInterrupt("simulated kill")
+        calls.append(spec)
+        return real_run(spec)
+
+    monkeypatch.setattr(scenario_mod, "run_experiment", crash_after_first)
+    with pytest.raises(KeyboardInterrupt):
+        suite.run(out_dir=tmp_path)
+    # The killed campaign left exactly the finished run behind, valid.
+    files = list((tmp_path / "runs").glob("*.json"))
+    assert len(files) == 1
+    assert json.loads(files[0].read_text())["schema"] == RUN_SCHEMA
+
+    executed = []
+
+    def count_runs(spec):
+        executed.append(spec)
+        return real_run(spec)
+
+    monkeypatch.setattr(scenario_mod, "run_experiment", count_runs)
+    result = suite.run(out_dir=tmp_path, resume=True)
+    assert len(executed) == 1  # only the missing grid point ran
+    assert result.resumed == 1
+    assert len(result.results) == total
+    assert all(r.summary.confirmed >= 0 for r in result.results)
+
+
+def test_resumed_suite_result_matches_uninterrupted_run(tmp_path):
+    suite = _suite()
+    uninterrupted = suite.run()
+    partial_dir = tmp_path / "partial"
+    suite.run(out_dir=partial_dir)
+    # Kill one grid point and resume.
+    victim = sorted((partial_dir / "runs").glob("*.json"))[0]
+    victim.unlink()
+    resumed = suite.run(out_dir=partial_dir, resume=True)
+    assert resumed.resumed == len(suite.expand()) - 1
+    assert json.dumps(resumed.to_json(), sort_keys=True) == json.dumps(
+        uninterrupted.to_json(), sort_keys=True
+    )
+    # The grid rows (platform/axes/metrics) align too.
+    assert resumed.to_rows() == uninterrupted.to_rows()
+
+
+def test_resume_with_complete_store_executes_nothing(tmp_path, monkeypatch):
+    import repro.core.scenario as scenario_mod
+
+    suite = _suite()
+    suite.run(out_dir=tmp_path)
+    monkeypatch.setattr(
+        scenario_mod,
+        "run_experiment",
+        lambda spec: pytest.fail("a fully stored suite must not re-run"),
+    )
+    result = suite.run(out_dir=tmp_path, resume=True)
+    assert result.resumed == len(result.results) == 2
+
+
+def test_run_without_resume_overwrites_store(tmp_path):
+    suite = _suite()
+    suite.run(out_dir=tmp_path)
+    before = {
+        p.name: p.read_text() for p in (tmp_path / "runs").glob("*.json")
+    }
+    suite.run(out_dir=tmp_path)  # no resume: everything re-executes
+    after = {
+        p.name: p.read_text() for p in (tmp_path / "runs").glob("*.json")
+    }
+    assert before == after  # deterministic sim: same bytes either way
+
+
+def test_resume_requires_out_dir():
+    with pytest.raises(BenchmarkError, match="requires out_dir"):
+        _suite().run(resume=True)
+
+
+def test_multiprocessing_run_persists_every_point(tmp_path):
+    suite = _suite()
+    result = suite.run(processes=2, out_dir=tmp_path)
+    assert len(list((tmp_path / "runs").glob("*.json"))) == 2
+    # And a subsequent serial resume trusts the parallel store.
+    resumed = suite.run(out_dir=tmp_path, resume=True)
+    assert resumed.resumed == 2
+    assert resumed.to_rows() == result.to_rows()
+
+
+def test_manifest_written_with_run_hashes(tmp_path):
+    suite = _suite()
+    result = suite.run(out_dir=tmp_path)
+    manifest = json.loads((tmp_path / "suite.json").read_text())
+    assert manifest["schema"] == "blockbench-suite/1"
+    assert manifest["suite"] == "lifecycle"
+    assert manifest["runs"] == 2
+    assert manifest["run_hashes"] == [spec_hash(r.spec) for r in result.results]
+    hashes = {p.stem for p in (tmp_path / "runs").glob("*.json")}
+    assert set(manifest["run_hashes"]) == hashes

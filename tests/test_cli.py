@@ -214,6 +214,130 @@ def test_suite_missing_file_fails_cleanly(tmp_path, capsys):
     assert "scenario file not found" in capsys.readouterr().err
 
 
+def _write_quick_suite_file(path, rates=(20, 40)):
+    """A donothing-based grid: faster than _write_suite_file's ycsb."""
+    path.write_text(
+        json.dumps(
+            {
+                "name": "store-suite",
+                "scenarios": [
+                    {
+                        "name": "sweep",
+                        "platforms": "hyperledger",
+                        "workloads": "donothing",
+                        "servers": 2,
+                        "clients": 2,
+                        "rates": list(rates),
+                        "durations": 3,
+                        "seeds": 1,
+                    }
+                ],
+            }
+        )
+    )
+
+
+def test_suite_out_dir_then_resume_reruns_only_missing(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_quick_suite_file(scenario)
+    out_dir = tmp_path / "store"
+    assert main(["suite", str(scenario), "--out-dir", str(out_dir), "--json"]) == 0
+    captured = capsys.readouterr()
+    first = json.loads(captured.out)
+    assert "executed 2, resumed 0 of 2 runs" in captured.err
+    run_files = sorted((out_dir / "runs").glob("*.json"))
+    assert len(run_files) == 2
+    run_files[0].unlink()  # simulate a killed campaign
+    assert main(
+        ["suite", str(scenario), "--out-dir", str(out_dir), "--resume", "--json"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "executed 1, resumed 1 of 2 runs" in captured.err
+    # The merged payload is identical to the uninterrupted run's.
+    assert json.loads(captured.out) == first
+
+
+def test_suite_resume_without_out_dir_fails(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_quick_suite_file(scenario)
+    assert main(["suite", str(scenario), "--resume"]) == 2
+    assert "--resume requires --out-dir" in capsys.readouterr().err
+
+
+def test_suite_compare_identical_stores_exits_zero(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_quick_suite_file(scenario)
+    for name in ("a", "b"):
+        assert main(
+            ["suite", str(scenario), "--out-dir", str(tmp_path / name)]
+        ) == 0
+    capsys.readouterr()
+    code = main(
+        ["suite", "--compare", str(tmp_path / "a"), str(tmp_path / "b"),
+         "--threshold", "0.01", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["compared"] == 2
+    assert payload["regressed"] == 0
+
+
+def test_suite_compare_gates_on_regression(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_quick_suite_file(scenario)
+    for name in ("a", "b"):
+        assert main(
+            ["suite", str(scenario), "--out-dir", str(tmp_path / name)]
+        ) == 0
+    victim = sorted((tmp_path / "b" / "runs").glob("*.json"))[0]
+    data = json.loads(victim.read_text())
+    data["summary"]["throughput_tx_s"] *= 0.5
+    victim.write_text(json.dumps(data))
+    capsys.readouterr()
+    code = main(["suite", "--compare", str(tmp_path / "a"), str(tmp_path / "b")])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "suite compare FAILED" in captured.err
+
+
+def test_suite_compare_missing_store_fails_cleanly(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_quick_suite_file(scenario)
+    assert main(["suite", str(scenario), "--out-dir", str(tmp_path / "a")]) == 0
+    capsys.readouterr()
+    code = main(
+        ["suite", "--compare", str(tmp_path / "a"), str(tmp_path / "nope")]
+    )
+    assert code == 2
+    assert "not a suite result directory" in capsys.readouterr().err
+
+
+def test_suite_compare_rejects_scenario_file_argument(tmp_path, capsys):
+    assert main(
+        ["suite", "extra.json", "--compare", str(tmp_path), str(tmp_path)]
+    ) == 2
+    assert "no scenario file" in capsys.readouterr().err
+
+
+def test_suite_compare_rejects_run_mode_flags(tmp_path, capsys):
+    code = main(
+        ["suite", "--compare", str(tmp_path), str(tmp_path),
+         "--export-dir", "out", "--resume"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--export-dir" in err and "--resume" in err
+    assert "not with --compare" in err
+
+
+def test_suite_threshold_outside_compare_rejected(tmp_path, capsys):
+    scenario = tmp_path / "sweep.json"
+    _write_quick_suite_file(scenario)
+    assert main(["suite", str(scenario), "--threshold", "0.1"]) == 2
+    assert "--threshold only applies to --compare" in capsys.readouterr().err
+
+
 def test_run_accepts_driver_knobs_and_client_mode(capsys):
     code = main(
         [
@@ -300,6 +424,56 @@ def test_perf_gate_rejects_malformed_spec(capsys):
     )
     assert code == 2
     assert "expected NAME=RATIO" in capsys.readouterr().err
+
+
+def test_perf_rejects_non_object_baseline(tmp_path, capsys):
+    """A baseline that parses as JSON but isn't a trajectory must fail
+    with a message, not an AttributeError traceback."""
+    bad = tmp_path / "list.json"
+    bad.write_text("[1, 2, 3]")
+    code = main(
+        ["perf", "--quick", "--repeats", "1", "--no-write",
+         "--only", "scheduler_events",
+         "--baseline", str(bad), "--fail-below", "scheduler_events=0.5"]
+    )
+    assert code == 2
+    assert "not a perf trajectory" in capsys.readouterr().err
+
+
+def test_perf_rejects_baseline_missing_results_shape(tmp_path, capsys):
+    bad = tmp_path / "shape.json"
+    bad.write_text(json.dumps({"results": ["nameless"]}))
+    code = main(
+        ["perf", "--quick", "--no-write", "--baseline", str(bad)]
+    )
+    assert code == 2
+    assert "not a perf trajectory" in capsys.readouterr().err
+
+
+def test_perf_gate_fails_fast_when_baseline_lacks_benchmark(tmp_path, capsys):
+    """The gated name is checked against the baseline BEFORE the
+    (potentially minutes-long) benchmarks run."""
+    baseline = _fake_baseline(tmp_path, ops_per_s=1.0)  # has scheduler_events
+    code = main(
+        ["perf", "--quick", "--repeats", "1", "--no-write",
+         "--only", "trie_puts",
+         "--baseline", baseline, "--fail-below", "trie_puts=0.5"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "no measurement for gated benchmark" in err
+    assert "trie_puts" in err
+
+
+def test_perf_gate_fails_fast_when_only_excludes_gate(tmp_path, capsys):
+    baseline = _fake_baseline(tmp_path, ops_per_s=1.0)
+    code = main(
+        ["perf", "--quick", "--repeats", "1", "--no-write",
+         "--only", "trie_puts",
+         "--baseline", baseline, "--fail-below", "scheduler_events=0.5"]
+    )
+    assert code == 2
+    assert "excluded by --only" in capsys.readouterr().err
 
 
 def test_rejects_unknown_platform():

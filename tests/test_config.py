@@ -70,3 +70,42 @@ def test_configs_frozen():
     config = ethereum_config()
     with pytest.raises(Exception):
         config.name = "other"
+
+
+def test_apply_overrides_nested_knobs():
+    from repro.config import apply_overrides
+
+    base = hyperledger_config()
+    tuned = apply_overrides(
+        base, {"pbft": {"batch_size": 250}, "inbox_capacity": 1300}
+    )
+    assert tuned.pbft.batch_size == 250
+    assert tuned.inbox_capacity == 1300
+    # Untouched knobs carry over; the base config is never mutated.
+    assert tuned.pbft.batch_interval == base.pbft.batch_interval
+    assert base.pbft.batch_size == 500
+
+
+def test_apply_overrides_empty_is_identity():
+    from repro.config import apply_overrides
+
+    base = ethereum_config()
+    assert apply_overrides(base, {}) is base
+
+
+def test_apply_overrides_unknown_field_errors():
+    from repro.config import apply_overrides
+    from repro.errors import BenchmarkError
+
+    with pytest.raises(BenchmarkError, match="unknown config field 'batchsize'"):
+        apply_overrides(hyperledger_config(), {"batchsize": 250})
+    with pytest.raises(BenchmarkError, match="unknown config field 'batchsize'"):
+        apply_overrides(hyperledger_config(), {"pbft": {"batchsize": 250}})
+
+
+def test_apply_overrides_requires_dataclass():
+    from repro.config import apply_overrides
+    from repro.errors import BenchmarkError
+
+    with pytest.raises(BenchmarkError, match="must be a dataclass"):
+        apply_overrides({"not": "a dataclass"}, {"x": 1})

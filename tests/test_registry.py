@@ -131,3 +131,39 @@ def test_invalid_registration_name_rejected():
     registry = Registry("gizmo")
     with pytest.raises(BenchmarkError, match="non-empty string"):
         registry.register("", 1)
+
+
+def test_platform_spec_make_config_applies_overrides():
+    from repro.config import hyperledger_config
+    from repro.registry import PLATFORMS
+
+    spec = PLATFORMS.get("hyperledger")
+    assert spec.make_config().pbft.batch_size == 500
+    tuned = spec.make_config(overrides={"pbft": {"batch_size": 123}})
+    assert tuned.pbft.batch_size == 123
+    # An explicit config is the override base, not the preset.
+    explicit = spec.make_config(
+        hyperledger_config(inbox_capacity=99), {"pbft": {"batch_size": 7}}
+    )
+    assert explicit.inbox_capacity == 99 and explicit.pbft.batch_size == 7
+
+
+def test_platform_spec_make_config_without_default_rejects_overrides():
+    from repro.registry import PlatformSpec
+
+    spec = PlatformSpec(name="bare", factory=object)
+    assert spec.make_config() is None
+    with pytest.raises(BenchmarkError, match="no config to override"):
+        spec.make_config(overrides={"x": 1})
+
+
+def test_build_cluster_applies_config_overrides():
+    from repro.platforms import build_cluster
+
+    cluster = build_cluster(
+        "hyperledger", 2, config_overrides={"pbft": {"batch_size": 123}}
+    )
+    try:
+        assert cluster.nodes[0].hlf_config.pbft.batch_size == 123
+    finally:
+        cluster.close()
