@@ -1,0 +1,33 @@
+"""Block-commit microbenchmark: platform-state writes per second.
+
+Drives the full ``EthereumState`` surface the way block execution
+does — contention-heavy writes buffered in the journaled overlay, the
+net write-set flushed once per ``commit_block`` through the batched
+trie update. The data-model layer's end-to-end commit figure.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_block_commit.py
+"""
+
+from repro.core.perf import bench_block_commit
+
+
+def test_block_commit_writes_per_second():
+    result = bench_block_commit(quick=True)
+    assert result.unit == "writes"
+    assert result.ops == result.meta["blocks"] * result.meta["writes_per_block"]
+    assert result.ops_per_s > 0
+    # Hot keys dedupe in the overlay and shared paths batch in the
+    # update: node writes must come in well under one path per write.
+    assert result.meta["node_writes"] < 3 * result.ops
+    print(f"\nblock_commit: {result.ops_per_s:,.0f} writes/s "
+          f"({result.meta['blocks']} blocks, "
+          f"{result.meta['node_writes']} node writes)")
+
+
+if __name__ == "__main__":
+    result = bench_block_commit()
+    print(f"block_commit: {result.ops_per_s:,.0f} writes/s "
+          f"({result.meta['blocks']} blocks, "
+          f"{result.meta['node_writes']} node writes)")

@@ -174,6 +174,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "hash instead of running anything; exit 1 on regression",
     )
     suite.add_argument(
+        "--gc", action="store_true",
+        help="instead of running, prune run files from --out-dir whose "
+             "spec hashes are no longer in the scenario file's grid "
+             "(stale points from an older grid shape)",
+    )
+    suite.add_argument(
         "--threshold", type=float, default=None, metavar="FRAC",
         help="--compare regression tolerance: fail a point whose "
              "throughput drops (or avg latency rises) by more than "
@@ -450,6 +456,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         run_only = [
             ("--out-dir", args.out_dir),
             ("--resume", args.resume),
+            ("--gc", args.gc),
             ("--export-dir", args.export_dir),
             ("--plugin", args.plugin),
             ("--processes", args.processes != 1),
@@ -472,6 +479,26 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     if args.resume and not args.out_dir:
         print("error: --resume requires --out-dir", file=sys.stderr)
         return 2
+    if args.gc and not args.out_dir:
+        print("error: --gc requires --out-dir", file=sys.stderr)
+        return 2
+    if args.gc:
+        # Nothing runs in gc mode; silently accepting run-mode flags
+        # would let `--gc --resume` prune and exit 0 with the caller
+        # believing the campaign also ran.
+        gc_conflicts = [
+            ("--resume", args.resume),
+            ("--export-dir", args.export_dir),
+            ("--processes", args.processes != 1),
+        ]
+        offending = [flag for flag, given in gc_conflicts if given]
+        if offending:
+            print(
+                f"error: {', '.join(offending)} only apply when running "
+                "a scenario file, not with --gc",
+                file=sys.stderr,
+            )
+            return 2
     for module_name in args.plugin:
         try:
             importlib.import_module(module_name)
@@ -482,6 +509,39 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             )
             return 2
     suite = ScenarioSuite.from_file(args.file)
+    if args.gc:
+        from pathlib import Path
+
+        from .core.suitestore import SuiteStore, spec_hash
+
+        # gc must never invent a store: a typo'd --out-dir would
+        # otherwise be silently created empty and reported clean while
+        # the real store keeps its stale files.
+        if not (Path(args.out_dir) / "runs").is_dir():
+            print(
+                f"error: {args.out_dir} is not a suite result directory "
+                "(no runs/ inside); expected the --out-dir of a previous "
+                "'blockbench suite' run",
+                file=sys.stderr,
+            )
+            return 2
+        keep = {spec_hash(spec) for spec in suite.expand()}
+        removed = SuiteStore(args.out_dir).gc(keep)
+        payload = {
+            "suite": suite.name,
+            "kept": len(keep),
+            "removed": [path.stem for path in removed],
+        }
+        if args.json:
+            print(json.dumps(payload))
+        else:
+            for path in removed:
+                print(f"removed stale run {path.name}", file=sys.stderr)
+            print(
+                f"suite {suite.name}: gc removed {len(removed)} stale run "
+                f"file(s); grid has {len(keep)} point(s)"
+            )
+        return 0
     if args.processes > 1:
         total = len(suite.expand())
         print(

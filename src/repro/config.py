@@ -70,6 +70,13 @@ class PlatformConfig:
     storage_backend: str = "memory"
     #: In-memory state cap in bytes (Parity's OOM behaviour); None = off.
     memory_cap_bytes: int | None = None
+    #: Cross-replica execution memoization: the deterministic sim means
+    #: replicas 2..N re-executing a block from the same pre-state root
+    #: must produce identical write-sets, so only the first replica
+    #: runs the contracts and the rest replay the recorded net writes
+    #: (byte-identical roots and stats). Overridable per scenario via
+    #: ``{"execution_cache": false}``.
+    execution_cache: bool = True
 
 
 # ---------------------------------------------------------------------------

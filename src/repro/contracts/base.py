@@ -81,6 +81,10 @@ class InvocationResult:
 class GasMeter:
     """Accumulates gas for a native invocation using the EVM schedule."""
 
+    # One meter is allocated per executed transaction; __slots__ keeps
+    # the per-tx cost to three ints with no instance dict.
+    __slots__ = ("gas", "reads", "writes")
+
     def __init__(self) -> None:
         self.gas = INTRINSIC_TX_GAS
         self.reads = 0
@@ -109,7 +113,15 @@ class GasMeter:
 
 
 class MeteredState:
-    """StateAccess wrapper that charges a GasMeter for every touch."""
+    """StateAccess wrapper that charges a GasMeter for every touch.
+
+    With a journaled platform state underneath, the presence probes in
+    ``put_state``/``delete_state`` are overlay-dict lookups within a
+    block — the SSTORE set/reset pricing no longer costs a full trie
+    descent per write.
+    """
+
+    __slots__ = ("_state", "_meter")
 
     def __init__(self, state: StateAccess, meter: GasMeter) -> None:
         self._state = state

@@ -258,6 +258,37 @@ class SuiteStore:
         os.replace(tmp, path)
         return path
 
+    def gc(self, keep_hashes: set[str]) -> list[Path]:
+        """Remove run files whose spec hash is not in ``keep_hashes``.
+
+        The pruning half of the store lifecycle: when a scenario grid
+        changes (an axis dropped, a rate retuned), the old grid
+        points' run files linger and would silently inflate any
+        directory-level comparison. Returns the paths removed, sorted.
+        ``suite.json`` is left alone — the next ``run()`` against the
+        store rewrites it from the live grid.
+
+        Anything in ``runs/`` that is not a well-formed run file
+        (``*.json.tmp`` droppings, foreign files) is untouched: gc
+        only ever deletes what the store itself wrote.
+        """
+        removed: list[Path] = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            if path.stem in keep_hashes:
+                continue
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                isinstance(data, dict)
+                and data.get("schema") == RUN_SCHEMA
+                and data.get("spec_hash") == path.stem
+            ):
+                path.unlink()
+                removed.append(path)
+        return removed
+
     @staticmethod
     def load_runs(root: str | Path) -> dict[str, dict[str, Any]]:
         """All valid run payloads in a result directory, keyed by hash.

@@ -12,6 +12,8 @@ Figure 12c is an order of magnitude below Ethereum/Parity's.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..errors import StorageError
 from .hashing import EMPTY_HASH, Hash, hash_items, sha256
 
@@ -76,6 +78,20 @@ class BucketTree:
             self.key_count -= 1
             self._dirty.add(index)
 
+    def update(self, items: Iterable[tuple[bytes, bytes | None]]) -> None:
+        """Apply a net write-set in one pass (``value=None`` deletes).
+
+        Buckets are only marked dirty here; the Merkle work happens at
+        the next :meth:`root_hash`, which recomputes each dirty leaf
+        and every shared interior node exactly once for the whole batch
+        — the bucket-tree analogue of the trie's batched update.
+        """
+        for key, value in items:
+            if value is None:
+                self.delete(key)
+            else:
+                self.put(key, value)
+
     def items(self) -> list[tuple[bytes, bytes]]:
         """All (key, value) pairs, bucket order then key order."""
         out: list[tuple[bytes, bytes]] = []
@@ -96,18 +112,27 @@ class BucketTree:
             hasher_parts.append(bucket[key])
         return hash_items(b"bucket", *hasher_parts)
 
-    def _recompute_path(self, leaf_index: int) -> None:
-        self._levels[0][leaf_index] = self._bucket_digest(leaf_index)
-        index = leaf_index
-        for depth in range(1, len(self._levels)):
-            index //= 2
-            left = self._levels[depth - 1][index * 2]
-            right = self._levels[depth - 1][index * 2 + 1]
-            self._levels[depth][index] = hash_items(b"bnode", left, right)
-
     def root_hash(self) -> Hash:
-        """Flush dirty buckets and return the current root digest."""
-        for index in sorted(self._dirty):
-            self._recompute_path(index)
-        self._dirty.clear()
+        """Flush dirty buckets and return the current root digest.
+
+        Propagates level by level: every dirty leaf digest is computed
+        once, then each *distinct* dirty parent at each interior level
+        is hashed once — K dirty buckets under a shared ancestor cost
+        one ancestor rehash for the whole batch instead of K (the
+        digests themselves are unchanged, so the root stays
+        byte-identical to per-bucket recomputation).
+        """
+        if self._dirty:
+            for index in self._dirty:
+                self._levels[0][index] = self._bucket_digest(index)
+            dirty = {index // 2 for index in self._dirty}
+            for depth in range(1, len(self._levels)):
+                level = self._levels[depth]
+                below = self._levels[depth - 1]
+                for index in dirty:
+                    level[index] = hash_items(
+                        b"bnode", below[index * 2], below[index * 2 + 1]
+                    )
+                dirty = {index // 2 for index in dirty}
+            self._dirty.clear()
         return self._levels[-1][0]

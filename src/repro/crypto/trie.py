@@ -29,7 +29,7 @@ paying it twice:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Protocol
+from typing import Iterable, Iterator, Protocol
 
 from hashlib import sha256 as _sha256
 
@@ -355,6 +355,182 @@ class PatriciaTrie:
         return self._save(_Branch(children=tuple(children), value=node.value))
 
     # ------------------------------------------------------------------
+    # Batched write path (PR 5)
+    # ------------------------------------------------------------------
+    def update(
+        self, root: Hash | None, items: Iterable[tuple[bytes, bytes | None]]
+    ) -> Hash | None:
+        """Apply a whole write-set in one pass; returns the new root.
+
+        ``items`` are ``(key, value)`` pairs applied last-write-wins
+        (``value=None`` deletes the key). The root of a Patricia trie
+        is canonical for the final key-to-value map, so this produces a
+        hash byte-identical to applying the same net writes through
+        :meth:`put`/:meth:`delete` one at a time — but each shared path
+        segment is encoded and hashed **once** for the batch instead of
+        once per write, which is where the block-commit fast path's
+        speedup comes from (K writes under a common prefix collapse
+        into a single path rewrite).
+        """
+        net: dict[bytes, bytes | None] = {}
+        for key, value in items:
+            net[key] = value
+        for key in sorted(k for k, v in net.items() if v is None):
+            if root is None:
+                break
+            root = self._delete(root, to_nibbles(key))
+        puts = sorted(
+            (to_nibbles(key), value)
+            for key, value in net.items()
+            if value is not None
+        )
+        if not puts:
+            return root
+        if root is None:
+            return self._build(puts)
+        return self._batch_put(root, puts)
+
+    def _build(self, items: list[tuple[Nibbles, bytes]]) -> Hash:
+        """Construct a subtree from scratch for sorted, distinct items."""
+        if len(items) == 1:
+            path, value = items[0]
+            return self._save(_Leaf(path=path, value=value))
+        # Sorted paths: the common prefix of all items is the common
+        # prefix of the first and last.
+        common = _common_prefix_len(items[0][0], items[-1][0])
+        if common:
+            prefix = items[0][0][:common]
+            stripped = [(path[common:], value) for path, value in items]
+            branch_hash = self._build_branch(stripped)
+            return self._save(_Extension(path=prefix, child=branch_hash))
+        return self._build_branch(items)
+
+    def _build_branch(self, items: list[tuple[Nibbles, bytes]]) -> Hash:
+        """Branch node over items whose common prefix is already consumed."""
+        branch_value: bytes | None = None
+        groups: dict[int, list[tuple[Nibbles, bytes]]] = {}
+        for path, value in items:
+            if not path:
+                branch_value = value
+            else:
+                groups.setdefault(path[0], []).append((path[1:], value))
+        children: list[Hash | None] = [None] * 16
+        for nibble, group in groups.items():
+            children[nibble] = self._build(group)
+        return self._save(
+            _Branch(children=tuple(children), value=branch_value)
+        )
+
+    def _batch_put(
+        self, node_hash: Hash, items: list[tuple[Nibbles, bytes]]
+    ) -> Hash:
+        """Merge sorted, distinct put items into an existing subtree."""
+        node = self._load(node_hash)
+        if isinstance(node, _Leaf):
+            if len(items) == 1 and items[0][0] == node.path:
+                path, value = items[0]
+                if value == node.value:
+                    return node_hash  # unchanged subtree: no rewrite
+                return self._save(_Leaf(path=path, value=value))
+            if not any(path == node.path for path, _ in items):
+                items = sorted(items + [(node.path, node.value)])
+            return self._build(items)
+        if isinstance(node, _Extension):
+            return self._batch_into_extension(
+                node.path, node.child, items, node_hash=node_hash
+            )
+        # Branch node.
+        branch_value = node.value
+        groups: dict[int, list[tuple[Nibbles, bytes]]] = {}
+        for path, value in items:
+            if not path:
+                branch_value = value
+            else:
+                groups.setdefault(path[0], []).append((path[1:], value))
+        children = list(node.children)
+        changed = branch_value != node.value
+        for nibble, group in groups.items():
+            child = children[nibble]
+            new_child = (
+                self._batch_put(child, group)
+                if child is not None
+                else self._build(group)
+            )
+            if new_child != child:
+                children[nibble] = new_child
+                changed = True
+        if not changed:
+            return node_hash  # every write was a same-value overwrite
+        return self._save(
+            _Branch(children=tuple(children), value=branch_value)
+        )
+
+    def _batch_into_extension(
+        self,
+        ext_path: Nibbles,
+        ext_child: Hash,
+        items: list[tuple[Nibbles, bytes]],
+        node_hash: Hash | None = None,
+    ) -> Hash:
+        """Merge items into an extension segment over ``ext_child``.
+
+        ``node_hash`` is the stored hash of ``Extension(ext_path,
+        ext_child)`` when that node exists (enables the unchanged
+        short-circuit); None when the segment is the virtual remainder
+        of a longer extension that is being split.
+        """
+        prefix_len = len(ext_path)
+        divergence = min(
+            _common_prefix_len(ext_path, path) for path, _ in items
+        )
+        if divergence == prefix_len:
+            # Every item lives under the extension: one recursive merge.
+            new_child = self._batch_put(
+                ext_child, [(path[prefix_len:], v) for path, v in items]
+            )
+            if new_child == ext_child and node_hash is not None:
+                return node_hash  # unchanged subtree: no path rewrite
+            return self._save(_Extension(path=ext_path, child=new_child))
+        # Split at the first nibble where some item leaves the segment.
+        branch_value: bytes | None = None
+        groups: dict[int, list[tuple[Nibbles, bytes]]] = {}
+        for path, value in items:
+            rest = path[divergence:]
+            if not rest:
+                branch_value = value
+            else:
+                groups.setdefault(rest[0], []).append((rest[1:], value))
+        children: list[Hash | None] = [None] * 16
+        ext_nibble = ext_path[divergence]
+        ext_rest = ext_path[divergence + 1 :]
+        under_ext = groups.pop(ext_nibble, None)
+        if under_ext is not None:
+            if ext_rest:
+                children[ext_nibble] = self._batch_into_extension(
+                    ext_rest, ext_child, sorted(under_ext)
+                )
+            else:
+                children[ext_nibble] = self._batch_put(
+                    ext_child, sorted(under_ext)
+                )
+        elif ext_rest:
+            children[ext_nibble] = self._save(
+                _Extension(path=ext_rest, child=ext_child)
+            )
+        else:
+            children[ext_nibble] = ext_child
+        for nibble, group in groups.items():
+            children[nibble] = self._build(sorted(group))
+        branch_hash = self._save(
+            _Branch(children=tuple(children), value=branch_value)
+        )
+        if divergence:
+            return self._save(
+                _Extension(path=ext_path[:divergence], child=branch_hash)
+            )
+        return branch_hash
+
+    # ------------------------------------------------------------------
     # Delete path
     # ------------------------------------------------------------------
     def delete(self, root: Hash | None, key: bytes) -> Hash | None:
@@ -482,6 +658,10 @@ class StateTrie:
 
     def delete(self, key: bytes) -> None:
         self.root = self.trie.delete(self.root, key)
+
+    def update(self, items: Iterable[tuple[bytes, bytes | None]]) -> None:
+        """Apply a net write-set in one batched pass (None = delete)."""
+        self.root = self.trie.update(self.root, items)
 
     def snapshot(self) -> int:
         """Record the current root; returns its snapshot index."""

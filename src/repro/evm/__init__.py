@@ -20,6 +20,7 @@ from .vm import (
     EVM,
     CallContext,
     DictStorage,
+    StateStorage,
     ExecutionResult,
     Profile,
     StorageBackend,
@@ -46,6 +47,7 @@ __all__ = [
     "EVM",
     "CallContext",
     "DictStorage",
+    "StateStorage",
     "ExecutionResult",
     "Profile",
     "StorageBackend",

@@ -109,6 +109,42 @@ class DictStorage(StorageBackend):
             self.data[key] = value
 
 
+class StateStorage(StorageBackend):
+    """Storage backend over a platform ``StateAccess`` facade.
+
+    Bridges the EVM's word-addressed storage to the byte-keyed
+    contract-state interface the platforms expose
+    (:class:`repro.contracts.base.StateAccess`), so Solidity-style
+    bytecode runs against the same journaled state overlay native
+    contracts use: SSTOREs buffered by the VM flush (on success, in
+    sorted slot order) into the overlay, and the platform's
+    ``commit_block`` folds them into the once-per-block batched tree
+    update. Zero-valued words delete the slot, matching both EVM
+    storage-clear semantics and :class:`DictStorage`.
+    """
+
+    __slots__ = ("_state",)
+
+    #: 32-byte big-endian slot addresses, like real EVM storage keys.
+    _KEY_BYTES = 32
+
+    def __init__(self, state) -> None:
+        self._state = state
+
+    def _slot(self, key: int) -> bytes:
+        return key.to_bytes(self._KEY_BYTES, "big")
+
+    def get_word(self, key: int) -> int:
+        blob = self._state.get_state(self._slot(key))
+        return int.from_bytes(blob, "big") if blob is not None else 0
+
+    def set_word(self, key: int, value: int) -> None:
+        if value == 0:
+            self._state.delete_state(self._slot(key))
+        else:
+            self._state.put_state(self._slot(key), value.to_bytes(32, "big"))
+
+
 @dataclass
 class ExecutionResult:
     """Outcome of one VM run."""
@@ -490,9 +526,13 @@ class EVM:
                 error=str(exc),
             )
 
-        # Success: commit buffered storage writes.
-        for key, value in write_buffer.items():
-            storage.set_word(key, value)
+        # Success: commit buffered storage writes. Sorted slot order —
+        # not dict insertion order — so the write-set reaching a
+        # journaled platform overlay is deterministic for a given final
+        # buffer regardless of the SSTORE sequence that produced it
+        # (the same discipline commit_block applies to the overlay).
+        for key in sorted(write_buffer):
+            storage.set_word(key, write_buffer[key])
         return ExecutionResult(
             success=True,
             return_value=return_value,

@@ -9,7 +9,7 @@ entry point (CLI, scenario files, ``run_experiment``) picks them up.
 """
 
 from ..registry import PLATFORMS
-from .base import PlatformNode, PlatformState
+from .base import ExecutionCache, JournaledState, PlatformNode, PlatformState
 from .cluster import DEFAULT_CONTRACTS, Cluster, build_cluster
 from .erisdb import ErisDBNode, ErisDBState
 from .ethereum import EthereumNode, EthereumState
@@ -23,6 +23,8 @@ def available_platforms() -> list[str]:
 
 
 __all__ = [
+    "ExecutionCache",
+    "JournaledState",
     "PlatformNode",
     "PlatformState",
     "DEFAULT_CONTRACTS",

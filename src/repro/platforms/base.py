@@ -27,6 +27,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any
 
+from dataclasses import dataclass
+
 from ..chain import Block, Blockchain, Mempool, Receipt, Transaction
 from ..config import PlatformConfig
 from ..consensus.base import ConsensusProtocol
@@ -34,6 +36,7 @@ from ..contracts import Contract, TxContext, create_contract
 from ..crypto.hashing import EMPTY_HASH, Hash
 from ..errors import ConnectorError, ContractRevert, ExecutionError
 from ..sim import Message, Network, RngRegistry, Scheduler, SimNode
+from ..util.lru import LRUCache
 
 TX_GOSSIP = "tx/gossip"
 RPC_SEND_TX = "rpc/send_tx"
@@ -42,6 +45,10 @@ RPC_GET_BLOCK_TXS = "rpc/get_block_txs"
 RPC_GET_BALANCE = "rpc/get_balance"
 RPC_QUERY = "rpc/query"
 RPC_REPLY = "rpc/reply"
+
+
+#: One net write per key: ``(key, value)`` with ``value=None`` a delete.
+WriteSet = tuple[tuple[bytes, "bytes | None"], ...]
 
 
 class PlatformState(ABC):
@@ -69,8 +76,107 @@ class PlatformState(ABC):
             f"{type(self).__name__} does not support historical state queries"
         )
 
+    def pre_state_root(self) -> Hash | None:
+        """Root of the last *committed* state, or None when the state
+        cannot name one — returning None opts the platform out of
+        cross-replica execution memoization (see
+        :class:`ExecutionCache`)."""
+        return None
+
+    def pending_writes(self) -> "WriteSet | None":
+        """The net uncommitted write-set (sorted), or None when the
+        state does not journal writes — returning None opts out of
+        execution memoization the same way ``pre_state_root`` does."""
+        return None
+
+    def apply_write_set(self, items: "WriteSet") -> None:
+        """Install a recorded write-set (replica replay path). Only
+        reachable on states whose ``pending_writes`` produced the
+        entry, so the base implementation is deliberately absent."""
+        raise ConnectorError(
+            f"{type(self).__name__} does not journal writes; "
+            "nothing can have recorded a write-set to replay"
+        )
+
     def close(self) -> None:
         """Release storage resources."""
+
+
+class JournaledState(PlatformState):
+    """Write-buffering state base: the block-commit fast path.
+
+    All intra-block writes land in an in-memory overlay dict with
+    last-write-wins semantics; reads are read-your-writes (overlay
+    first, committed backing second). ``commit_block`` flushes the
+    *net* write-set once, in deterministic sorted key order, through
+    the platform's batched tree update — so K writes to a hot
+    SmallBank/YCSB key cost one path rewrite at commit instead of K
+    full leaf-to-root rewrites. Only the once-per-block commit root is
+    observable, so the state roots (and every stat derived from them)
+    are byte-identical to unbuffered writes.
+
+    Subclasses implement the three hooks: ``_backing_get`` (committed
+    read), ``_flush`` (apply one sorted net write-set to the tree), and
+    ``_seal`` (record the per-height root and return it).
+    """
+
+    def __init__(self) -> None:
+        #: key -> value, with None recording an uncommitted delete.
+        self._overlay: dict[bytes, bytes | None] = {}
+        #: Memoized sorted write-set; invalidated by every write so
+        #: the cache-store path and commit_block share one sort.
+        self._pending: WriteSet | None = None
+
+    def get(self, key: bytes) -> bytes | None:
+        overlay = self._overlay
+        if key in overlay:
+            return overlay[key]
+        return self._backing_get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._overlay[key] = value
+        self._pending = None
+
+    def delete(self, key: bytes) -> None:
+        self._overlay[key] = None
+        self._pending = None
+
+    def pending_writes(self) -> WriteSet:
+        """The net uncommitted write-set, sorted by key."""
+        if self._pending is None:
+            self._pending = tuple(sorted(self._overlay.items()))
+        return self._pending
+
+    def apply_write_set(self, items: WriteSet) -> None:
+        """Install a recorded write-set into the overlay (replica
+        replay path of :class:`ExecutionCache`). Routed through
+        ``put``/``delete`` so subclass accounting (Parity's memory cap)
+        sees every write."""
+        for key, value in items:
+            if value is None:
+                self.delete(key)
+            else:
+                self.put(key, value)
+
+    def commit_block(self, height: int) -> Hash:
+        items = self.pending_writes()
+        if items:
+            self._flush(items)
+            self._overlay.clear()
+            self._pending = None
+        return self._seal(height)
+
+    @abstractmethod
+    def _backing_get(self, key: bytes) -> bytes | None:
+        """Read one key from the committed backing state."""
+
+    @abstractmethod
+    def _flush(self, items: WriteSet) -> None:
+        """Apply one sorted net write-set to the backing tree."""
+
+    @abstractmethod
+    def _seal(self, height: int) -> Hash:
+        """Record the committed root for ``height`` and return it."""
 
 
 class _NamespacedState:
@@ -81,6 +187,8 @@ class _NamespacedState:
     each contract its own storage trie. A per-contract key prefix
     models both.
     """
+
+    __slots__ = ("_state", "_prefix")
 
     def __init__(self, state: PlatformState, contract_name: str) -> None:
         self._state = state
@@ -94,6 +202,63 @@ class _NamespacedState:
 
     def delete_state(self, key: bytes) -> None:
         self._state.delete(self._prefix + key)
+
+
+@dataclass(frozen=True)
+class CachedExecution:
+    """Time-independent outcome of executing one block once.
+
+    ``receipts`` holds ``(tx_id, success, gas_used, output, error)``
+    per transaction, in block order; the replica replaying the entry
+    stamps its own ``committed_at`` (local simulated time) when it
+    materializes real :class:`~repro.chain.Receipt` objects, so the
+    simulated timeline is untouched — only the redundant Python-level
+    contract execution is skipped.
+    """
+
+    write_set: WriteSet
+    receipts: tuple[tuple[str, bool, int, Any, str], ...]
+
+
+class ExecutionCache:
+    """Cross-replica execution memoization, shared by one cluster.
+
+    The simulation is deterministic: replicas 2..N executing the same
+    block from the same pre-state root must produce identical write
+    sets and receipts. Only the first replica runs the contracts; the
+    rest replay the recorded net write-set into their own overlay and
+    commit — byte-identical roots, a fraction of the CPU. Keyed by
+    ``(pre_state_root, block_hash)``: PoW forks execute different
+    blocks at one height and hit different keys, so divergent branches
+    can never cross-contaminate. Toggleable via the platform config's
+    ``execution_cache`` knob (default on).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._entries: LRUCache[tuple[Hash, Hash], CachedExecution] = (
+            LRUCache(capacity)
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses
+
+    def lookup(
+        self, pre_state_root: Hash, block_hash: Hash
+    ) -> CachedExecution | None:
+        return self._entries.get((pre_state_root, block_hash))
+
+    def store(
+        self,
+        pre_state_root: Hash,
+        block_hash: Hash,
+        entry: CachedExecution,
+    ) -> None:
+        self._entries.put((pre_state_root, block_hash), entry)
 
 
 class PlatformNode(SimNode):
@@ -119,6 +284,9 @@ class PlatformNode(SimNode):
         )
         self.config = config
         self.state = state
+        #: Cluster-shared execution memoization; attached by
+        #: ``build_cluster`` when the platform config enables it.
+        self.execution_cache: ExecutionCache | None = None
         self._rng = rng_registry.stream(node_id)
         self._chain = Blockchain(chain_id)
         self.mempool = Mempool(config.mempool_capacity)
@@ -154,6 +322,10 @@ class PlatformNode(SimNode):
         """Install a Table-1 contract (idempotent)."""
         if contract_name not in self.contracts:
             self.contracts[contract_name] = create_contract(contract_name)
+
+    def attach_execution_cache(self, cache: ExecutionCache | None) -> None:
+        """Share one cluster-wide :class:`ExecutionCache` with this node."""
+        self.execution_cache = cache
 
     # ------------------------------------------------------------------
     # ConsensusHost interface
@@ -247,11 +419,55 @@ class PlatformNode(SimNode):
             self.executed_height = block.height
 
     def _execute_block(self, block: Block) -> None:
+        cache = self.execution_cache
+        pre_root: Hash | None = None
+        entry: CachedExecution | None = None
+        if cache is not None:
+            pre_root = self.state.pre_state_root()
+            if pre_root is not None:
+                entry = cache.lookup(pre_root, block.hash)
+        if entry is not None:
+            # Another replica already executed this exact block from
+            # this exact pre-state: replay its net write-set into our
+            # overlay and materialize receipts from the recorded
+            # time-independent fields. Simulated CPU is still charged
+            # below — only the redundant Python work is skipped.
+            self.state.apply_write_set(entry.write_set)
+            receipts = [
+                Receipt(
+                    tx_id=tx_id,
+                    block_height=block.height,
+                    success=success,
+                    gas_used=gas_used,
+                    output=output,
+                    error=error,
+                    committed_at=self.now,
+                )
+                for tx_id, success, gas_used, output, error in entry.receipts
+            ]
+        else:
+            receipts = [
+                self._execute_tx(tx, block) for tx in block.transactions
+            ]
+            if cache is not None and pre_root is not None:
+                write_set = self.state.pending_writes()
+                if write_set is not None:
+                    cache.store(
+                        pre_root,
+                        block.hash,
+                        CachedExecution(
+                            write_set=write_set,
+                            receipts=tuple(
+                                (r.tx_id, r.success, r.gas_used, r.output,
+                                 r.error)
+                                for r in receipts
+                            ),
+                        ),
+                    )
         seconds = 0.0
         costs = self.config.execution
-        for tx in block.transactions:
-            receipt = self._execute_tx(tx, block.height)
-            self.receipts[tx.tx_id] = receipt
+        for receipt in receipts:
+            self.receipts[receipt.tx_id] = receipt
             # Signature verification was already charged when the block
             # arrived (message_cost); only execution is charged here.
             seconds += receipt.gas_used * costs.seconds_per_gas
@@ -264,7 +480,8 @@ class PlatformNode(SimNode):
         self.executed_block_hashes[block.height] = block.hash
         self._charge(seconds)
 
-    def _execute_tx(self, tx: Transaction, height: int) -> Receipt:
+    def _execute_tx(self, tx: Transaction, block: Block) -> Receipt:
+        height = block.height
         contract = self.contracts.get(tx.contract)
         if contract is None:
             return Receipt(
@@ -275,11 +492,16 @@ class PlatformNode(SimNode):
                 committed_at=self.now,
             )
         facade = _NamespacedState(self.state, tx.contract)
+        # The block's timestamp (the proposer's clock when it sealed
+        # the block), not this replica's local time: every replica must
+        # execute a block identically for replicated state to converge
+        # — exactly Ethereum's TIMESTAMP-opcode semantics, and the
+        # property the ExecutionCache relies on.
         ctx = TxContext(
             sender=tx.sender,
             value=tx.value,
             block_height=height,
-            timestamp=self.now,
+            timestamp=block.header.timestamp,
         )
         try:
             result = contract.invoke(facade, tx.function, tx.args, ctx)

@@ -14,7 +14,7 @@ from typing import Iterable
 from ..errors import BenchmarkError
 from ..registry import PLATFORMS
 from ..sim import Network, ResourceMonitor, RngRegistry, Scheduler
-from .base import PlatformNode
+from .base import ExecutionCache, PlatformNode
 
 # Importing the platform modules runs their @register_platform
 # decorators, populating the registry with the built-in backends.
@@ -170,6 +170,16 @@ def build_cluster(
                 node_id, scheduler, network, rng, config, ids, node_dir(node_id)
             )
         )
+
+    # One shared execution-memoization cache per cluster: the first
+    # replica to execute a block records its write-set, the rest
+    # replay it (see repro.platforms.base.ExecutionCache). Gated by
+    # the platform-config knob so scenarios can A/B it.
+    if getattr(config, "execution_cache", False):
+        cache = ExecutionCache()
+        for node in nodes:
+            if isinstance(node, PlatformNode):
+                node.attach_execution_cache(cache)
 
     for node in nodes:
         node.set_peers(ids)

@@ -40,7 +40,10 @@ class ErisDBState(EthereumState):
 
     Same structure and snapshot semantics as the Ethereum state, but
     never backed by the LSM store: eris-db v0.x kept its merkle state
-    in memory and persisted through Tendermint's block store.
+    in memory and persisted through Tendermint's block store. The
+    journaled overlay and batched per-block trie flush are inherited
+    from :class:`EthereumState`, so Tendermint commits pay one shared
+    path rewrite per block too.
     """
 
     def __init__(self) -> None:

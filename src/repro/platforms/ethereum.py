@@ -22,7 +22,7 @@ from ..registry import register_platform
 from ..sim import Network, RngRegistry, Scheduler
 from ..storage import LSMStore, leveldb_config
 from ..util.lru import LRUCache
-from .base import TX_GOSSIP, PlatformNode, PlatformState
+from .base import TX_GOSSIP, JournaledState, PlatformNode
 
 #: geth's state-cache sizing (entries, not bytes, for simplicity).
 NODE_CACHE_ENTRIES = 120_000
@@ -52,10 +52,18 @@ class _CachedNodeStore:
         self.cache.put(key, value)
 
 
-class EthereumState(PlatformState):
-    """Patricia-Merkle trie over LevelDB (or memory for macro runs)."""
+class EthereumState(JournaledState):
+    """Patricia-Merkle trie over LevelDB (or memory for macro runs).
+
+    Intra-block writes buffer in the journaled overlay
+    (:class:`~repro.platforms.base.JournaledState`); ``commit_block``
+    flushes the net write-set through the trie's batched ``update`` so
+    shared path segments are rewritten once per block, not once per
+    logical put.
+    """
 
     def __init__(self, storage_dir: str | Path | None = None) -> None:
+        super().__init__()
         self._store: LSMStore | None = None
         if storage_dir is not None:
             self._store = LSMStore(Path(storage_dir), leveldb_config())
@@ -70,17 +78,17 @@ class EthereumState(PlatformState):
             self.trie = StateTrie()
         self._snapshots: dict[int, int] = {}
 
-    def get(self, key: bytes) -> bytes | None:
+    def _backing_get(self, key: bytes) -> bytes | None:
         return self.trie.get(key)
 
-    def put(self, key: bytes, value: bytes) -> None:
-        self.trie.put(key, value)
+    def _flush(self, items) -> None:
+        self.trie.update(items)
 
-    def delete(self, key: bytes) -> None:
-        self.trie.delete(key)
-
-    def commit_block(self, height: int) -> Hash:
+    def _seal(self, height: int) -> Hash:
         self._snapshots[height] = self.trie.snapshot()
+        return self.trie.root_hash()
+
+    def pre_state_root(self) -> Hash:
         return self.trie.root_hash()
 
     def get_at(self, height: int, key: bytes) -> bytes | None:

@@ -24,43 +24,51 @@ from ..crypto.hashing import Hash
 from ..registry import register_platform
 from ..sim import Network, RngRegistry, Scheduler
 from ..storage import LSMStore, rocksdb_config
-from .base import PlatformNode, PlatformState
+from .base import JournaledState, PlatformNode
 
 #: Fabric v0.6's default bucket-tree size class.
 N_BUCKETS = 1024
 
 
-class HyperledgerState(PlatformState):
+class HyperledgerState(JournaledState):
     """Bucket-Merkle tree over RocksDB (or memory for macro runs).
 
     No historical state queries: "the system does not have APIs to
     query historical states" (Section 3.4.2) — ``get_at`` raises, and
     the analytics workload must use the VersionKVStore chaincode
     instead, exactly as in the paper.
+
+    Intra-block writes buffer in the journaled overlay; the commit
+    flushes the net write-set through the bucket tree (marking each
+    dirty bucket once) and the LSM store in one sorted pass — Fabric's
+    own per-block state-delta write batch.
     """
 
     def __init__(self, storage_dir: str | Path | None = None) -> None:
+        super().__init__()
         self.tree = BucketTree(n_buckets=N_BUCKETS)
         self._store: LSMStore | None = None
         if storage_dir is not None:
             self._store = LSMStore(Path(storage_dir), rocksdb_config())
 
-    def get(self, key: bytes) -> bytes | None:
+    def _backing_get(self, key: bytes) -> bytes | None:
         if self._store is not None:
             return self._store.get(key)
         return self.tree.get(key)
 
-    def put(self, key: bytes, value: bytes) -> None:
-        self.tree.put(key, value)
+    def _flush(self, items) -> None:
+        self.tree.update(items)
         if self._store is not None:
-            self._store.put(key, value)
+            for key, value in items:
+                if value is None:
+                    self._store.delete(key)
+                else:
+                    self._store.put(key, value)
 
-    def delete(self, key: bytes) -> None:
-        self.tree.delete(key)
-        if self._store is not None:
-            self._store.delete(key)
+    def _seal(self, height: int) -> Hash:
+        return self.tree.root_hash()
 
-    def commit_block(self, height: int) -> Hash:
+    def pre_state_root(self) -> Hash:
         return self.tree.root_hash()
 
     def disk_usage_bytes(self) -> int:

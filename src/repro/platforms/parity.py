@@ -35,36 +35,68 @@ from ..errors import StorageError
 from ..registry import register_platform
 from ..sim import Message, Network, RngRegistry, Scheduler
 from ..storage import MemKVStore
-from .base import TX_GOSSIP, PlatformNode, PlatformState
+from .base import TX_GOSSIP, JournaledState, PlatformNode
 
 SIGN_REQ = "parity/sign-req"
 
 
-class ParityState(PlatformState):
+class ParityState(JournaledState):
     """Patricia trie whose nodes live entirely in process memory.
 
     ``memory_cap_bytes`` reproduces the paper's Figure 12 finding that
     Parity "holds all the state information in memory ... but fails to
     handle large data": exceeding the cap raises an out-of-memory
-    StorageError, surfaced as the 'X' cells.
+    StorageError, surfaced as the 'X' cells. The journaled overlay is
+    process memory too, so uncommitted writes count against the cap at
+    ``put`` time (key + value payload bytes); the trie nodes the
+    commit-time flush materializes are charged by the backing
+    :class:`MemKVStore` itself.
     """
 
     def __init__(self, memory_cap_bytes: int | None = None) -> None:
+        super().__init__()
         self._store = MemKVStore(memory_cap_bytes=memory_cap_bytes)
         self.trie = StateTrie(self._store)
         self._snapshots: dict[int, int] = {}
-
-    def get(self, key: bytes) -> bytes | None:
-        return self.trie.get(key)
+        self._overlay_bytes = 0
 
     def put(self, key: bytes, value: bytes) -> None:
-        self.trie.put(key, value)
+        # Net accounting: an overwrite of a journaled key replaces its
+        # contribution (the overlay is last-write-wins — K rewrites of
+        # a hot SmallBank key occupy one entry, not K).
+        old = self._overlay.get(key)
+        if old is not None:
+            self._overlay_bytes -= len(key) + len(old)
+        super().put(key, value)
+        self._overlay_bytes += len(key) + len(value)
+        cap = self._store.memory_cap_bytes
+        if cap is not None:
+            total = self._store.approx_bytes() + self._overlay_bytes
+            if total > cap:
+                raise StorageError(
+                    f"out of memory: {total} bytes (committed state + "
+                    f"journaled writes) exceeds cap {cap} "
+                    "(Parity-style in-memory state)"
+                )
 
     def delete(self, key: bytes) -> None:
-        self.trie.delete(key)
+        old = self._overlay.get(key)
+        if old is not None:
+            self._overlay_bytes -= len(key) + len(old)
+        super().delete(key)
 
-    def commit_block(self, height: int) -> Hash:
+    def _backing_get(self, key: bytes) -> bytes | None:
+        return self.trie.get(key)
+
+    def _flush(self, items) -> None:
+        self.trie.update(items)
+        self._overlay_bytes = 0
+
+    def _seal(self, height: int) -> Hash:
         self._snapshots[height] = self.trie.snapshot()
+        return self.trie.root_hash()
+
+    def pre_state_root(self) -> Hash:
         return self.trie.root_hash()
 
     def get_at(self, height: int, key: bytes) -> bytes | None:
@@ -77,7 +109,7 @@ class ParityState(PlatformState):
         return self.trie.get_at(snapshot, key)
 
     def memory_bytes(self) -> int:
-        return self._store.approx_bytes()
+        return self._store.approx_bytes() + self._overlay_bytes
 
 
 class ParityNode(PlatformNode):

@@ -1,0 +1,145 @@
+"""Cross-replica execution memoization tests (PR 5).
+
+The simulator is deterministic, so replicas executing the same block
+from the same pre-state root must produce identical results; the
+:class:`~repro.platforms.base.ExecutionCache` makes replicas 2..N
+replay the first replica's recorded write-set instead of re-running
+the contracts. These tests pin the semantic contract: **cache on and
+cache off are byte-identical** — same StatsSummary, same chain height,
+same per-node state roots — on all four platforms.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import Driver, DriverConfig
+from repro.core.runner import ExperimentSpec, run_experiment
+from repro.platforms import ExecutionCache, build_cluster
+from repro.platforms.base import CachedExecution
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+#: Kept small: the differential runs every platform twice.
+DURATION_S = {
+    "hyperledger": 12.0,
+    "ethereum": 15.0,
+    "parity": 12.0,
+    "erisdb": 12.0,
+}
+
+
+def _run(platform: str, cache_on: bool):
+    spec = ExperimentSpec(
+        platform=platform,
+        workload="ycsb",
+        n_servers=4,
+        n_clients=2,
+        request_rate_tx_s=40.0,
+        duration_s=DURATION_S[platform],
+        seed=5,
+        config_overrides={"execution_cache": cache_on},
+    )
+    return run_experiment(spec)
+
+
+@pytest.mark.parametrize(
+    "platform", ["hyperledger", "ethereum", "parity", "erisdb"]
+)
+def test_cache_on_vs_off_is_byte_identical(platform):
+    on = _run(platform, True)
+    off = _run(platform, False)
+    assert asdict(on.summary) == asdict(off.summary)
+    assert on.chain_height == off.chain_height
+    assert on.total_blocks == off.total_blocks
+
+
+@pytest.mark.parametrize(
+    "platform", ["hyperledger", "ethereum", "parity", "erisdb"]
+)
+def test_cache_replicas_agree_on_state_roots(platform):
+    """With the cache on, every node's committed roots match the
+    cache-off run of the same seed, height by height."""
+
+    def roots(cache_on):
+        cluster = build_cluster(
+            platform, 4, seed=5,
+            config_overrides={"execution_cache": cache_on},
+        )
+        driver = Driver(
+            cluster,
+            YCSBWorkload(YCSBConfig(record_count=50)),
+            DriverConfig(
+                n_clients=2, request_rate_tx_s=40,
+                duration_s=DURATION_S[platform],
+            ),
+        )
+        driver.run()
+        per_node = [dict(node._height_roots) for node in cluster.nodes]
+        cluster.close()
+        return per_node
+
+    on, off = roots(True), roots(False)
+    assert on == off
+    # And the run actually executed blocks on every node.
+    assert all(node_roots for node_roots in on)
+
+
+def test_cache_is_hit_by_replicas():
+    cluster = build_cluster("hyperledger", 4, seed=5)
+    driver = Driver(
+        cluster,
+        YCSBWorkload(YCSBConfig(record_count=50)),
+        DriverConfig(n_clients=2, request_rate_tx_s=40, duration_s=12.0),
+    )
+    driver.run()
+    cache = cluster.nodes[0].execution_cache
+    assert cache is not None
+    assert all(node.execution_cache is cache for node in cluster.nodes)
+    # 4 replicas execute every block: 1 miss (the first executor) and
+    # 3 hits per block.
+    assert cache.misses > 0
+    assert cache.hits == 3 * cache.misses
+    cluster.close()
+
+
+def test_cache_knob_off_detaches_cache():
+    cluster = build_cluster(
+        "hyperledger", 2, seed=1,
+        config_overrides={"execution_cache": False},
+    )
+    assert all(node.execution_cache is None for node in cluster.nodes)
+    cluster.close()
+
+
+def test_cache_is_per_cluster_not_global():
+    a = build_cluster("hyperledger", 2, seed=1)
+    b = build_cluster("hyperledger", 2, seed=1)
+    assert a.nodes[0].execution_cache is not b.nodes[0].execution_cache
+    a.close()
+    b.close()
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour
+# ---------------------------------------------------------------------------
+def test_execution_cache_lookup_and_counters():
+    cache = ExecutionCache(capacity=2)
+    entry = CachedExecution(
+        write_set=((b"k", b"v"),),
+        receipts=(("tx1", True, 21_000, None, ""),),
+    )
+    assert cache.lookup(b"root", b"block") is None
+    cache.store(b"root", b"block", entry)
+    assert cache.lookup(b"root", b"block") is entry
+    assert cache.lookup(b"other-root", b"block") is None  # pre-state keyed
+    assert cache.lookup(b"root", b"other-block") is None  # block keyed
+    assert (cache.hits, cache.misses) == (1, 3)
+
+
+def test_execution_cache_evicts_beyond_capacity():
+    cache = ExecutionCache(capacity=2)
+    entry = CachedExecution(write_set=(), receipts=())
+    for i in range(3):
+        cache.store(b"root%d" % i, b"block", entry)
+    assert cache.lookup(b"root0", b"block") is None  # evicted (LRU)
+    assert cache.lookup(b"root2", b"block") is entry

@@ -1,0 +1,140 @@
+"""Tests for pruning stale run files from a suite store (PR 5).
+
+``blockbench suite FILE --gc --out-dir DIR`` removes run files whose
+spec hashes are no longer in the scenario file's grid — the lifecycle
+step that keeps a long-lived result store aligned with a grid that
+changed shape.
+"""
+
+import json
+
+from repro.cli import main
+from repro.core import ScenarioSpec, ScenarioSuite, SuiteStore, spec_hash
+from repro.core.suitestore import RUN_SCHEMA
+
+
+def _suite(rates):
+    return ScenarioSuite(
+        name="gc-grid",
+        scenarios=[
+            ScenarioSpec(
+                platforms="hyperledger", workloads="donothing",
+                servers=2, clients=2, rates=rates, durations=3, seeds=1,
+            )
+        ],
+    )
+
+
+def _scenario_file(tmp_path, rates):
+    path = tmp_path / f"scenario-{'-'.join(map(str, rates))}.json"
+    path.write_text(json.dumps({
+        "name": "gc-grid",
+        "scenarios": [{
+            "name": "gc-grid",
+            "platforms": "hyperledger",
+            "workloads": "donothing",
+            "servers": 2,
+            "clients": 2,
+            "rates": rates,
+            "durations": 3,
+            "seeds": 1,
+        }],
+    }))
+    return path
+
+
+def test_store_gc_removes_only_stale_hashes(tmp_path):
+    store_dir = tmp_path / "store"
+    _suite([20, 40]).run(out_dir=store_dir)
+    store = SuiteStore(store_dir)
+    live = {spec_hash(spec) for spec in _suite([20]).expand()}
+    stale = {spec_hash(spec) for spec in _suite([40]).expand()}
+    removed = store.gc(live)
+    assert {path.stem for path in removed} == stale
+    remaining = {p.stem for p in (store_dir / "runs").glob("*.json")}
+    assert remaining == live
+
+
+def test_store_gc_ignores_foreign_files(tmp_path):
+    store_dir = tmp_path / "store"
+    _suite([20]).run(out_dir=store_dir)
+    # Not a run file the store wrote: must survive gc untouched.
+    foreign = store_dir / "runs" / "notes.json"
+    foreign.write_text(json.dumps({"schema": "something-else"}))
+    broken = store_dir / "runs" / "broken.json"
+    broken.write_text("{truncated")
+    removed = SuiteStore(store_dir).gc(keep_hashes=set())
+    assert foreign.exists() and broken.exists()
+    assert all(p.stem not in ("notes", "broken") for p in removed)
+    assert len(removed) == 1  # the one real (now stale) run file
+
+
+def test_store_gc_keeps_valid_run_files_in_keep_set(tmp_path):
+    store_dir = tmp_path / "store"
+    result = _suite([20]).run(out_dir=store_dir)
+    keep = {spec_hash(r.spec) for r in result.results}
+    assert SuiteStore(store_dir).gc(keep) == []
+
+
+def test_cli_gc_prunes_after_grid_change(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    wide = _scenario_file(tmp_path, [20, 40])
+    assert main(["suite", str(wide), "--out-dir", str(store_dir)]) == 0
+    assert len(list((store_dir / "runs").glob("*.json"))) == 2
+    narrow = _scenario_file(tmp_path, [20])
+    capsys.readouterr()
+    assert main([
+        "suite", str(narrow), "--gc", "--out-dir", str(store_dir), "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kept"] == 1
+    assert len(payload["removed"]) == 1
+    survivors = list((store_dir / "runs").glob("*.json"))
+    assert len(survivors) == 1
+    data = json.loads(survivors[0].read_text())
+    assert data["schema"] == RUN_SCHEMA
+    assert data["spec"]["request_rate_tx_s"] == 20.0
+    # The pruned store still resumes cleanly: only the removed point
+    # re-runs.
+    assert main([
+        "suite", str(wide), "--out-dir", str(store_dir), "--resume",
+    ]) == 0
+    assert len(list((store_dir / "runs").glob("*.json"))) == 2
+
+
+def test_cli_gc_rejects_nonexistent_store(tmp_path, capsys):
+    """A typo'd --out-dir must error, not be silently created empty
+    and reported clean."""
+    scenario = _scenario_file(tmp_path, [20])
+    missing = tmp_path / "no-such-store"
+    assert main([
+        "suite", str(scenario), "--gc", "--out-dir", str(missing),
+    ]) == 2
+    assert "not a suite result directory" in capsys.readouterr().err
+    assert not missing.exists()
+
+
+def test_cli_gc_requires_out_dir(tmp_path, capsys):
+    scenario = _scenario_file(tmp_path, [20])
+    assert main(["suite", str(scenario), "--gc"]) == 2
+    assert "--gc requires --out-dir" in capsys.readouterr().err
+
+
+def test_cli_gc_conflicts_with_compare(tmp_path, capsys):
+    assert main([
+        "suite", "--compare", str(tmp_path / "a"), str(tmp_path / "b"),
+        "--gc",
+    ]) == 2
+    assert "--gc" in capsys.readouterr().err
+
+
+def test_cli_gc_rejects_run_mode_flags(tmp_path, capsys):
+    scenario = _scenario_file(tmp_path, [20])
+    store = tmp_path / "store"
+    _suite([20]).run(out_dir=store)
+    assert main([
+        "suite", str(scenario), "--gc", "--out-dir", str(store), "--resume",
+    ]) == 2
+    assert "--resume" in capsys.readouterr().err
+    # The store is untouched by the rejected invocation.
+    assert len(list((store / "runs").glob("*.json"))) == 1

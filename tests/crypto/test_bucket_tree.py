@@ -120,3 +120,52 @@ def test_property_matches_dict_model(ops):
     for key, value in model.items():
         assert tree.get(key) == value
     assert tree.key_count == len(model)
+
+
+# ---------------------------------------------------------------------------
+# Batched update (PR 5): one level-wise Merkle flush per write-set
+# ---------------------------------------------------------------------------
+def test_update_matches_per_key_operations():
+    batched, direct = BucketTree(16), BucketTree(16)
+    writes = [(b"k%03d" % i, b"v%03d" % i) for i in range(64)]
+    batched.update(writes)
+    for key, value in writes:
+        direct.put(key, value)
+    assert batched.root_hash() == direct.root_hash()
+
+
+def test_update_handles_deletes_and_overwrites():
+    batched, direct = BucketTree(16), BucketTree(16)
+    for tree in (batched, direct):
+        tree.put(b"stays", b"1")
+        tree.put(b"goes", b"2")
+        tree.root_hash()
+    batched.update([(b"goes", None), (b"stays", b"updated"), (b"new", b"3")])
+    direct.delete(b"goes")
+    direct.put(b"stays", b"updated")
+    direct.put(b"new", b"3")
+    assert batched.root_hash() == direct.root_hash()
+    assert batched.get(b"goes") is None
+    assert batched.key_count == direct.key_count == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.binary(min_size=1, max_size=5),
+            st.one_of(st.none(), st.binary(max_size=5)),
+        ),
+        max_size=60,
+    )
+)
+def test_property_update_root_matches_sequential(batch):
+    batched, direct = BucketTree(8), BucketTree(8)
+    batched.update(batch)
+    for key, value in batch:
+        if value is None:
+            direct.delete(key)
+        else:
+            direct.put(key, value)
+    assert batched.root_hash() == direct.root_hash()
+    assert batched.key_count == direct.key_count

@@ -123,6 +123,116 @@ def test_state_trie_root_hash_changes():
     assert state.root_hash() != r0
 
 
+# ---------------------------------------------------------------------------
+# Batched update (PR 5): one pass per block-commit write-set
+# ---------------------------------------------------------------------------
+def _sequential(ops):
+    """Reference: the same ops applied one put/delete at a time."""
+    trie = PatriciaTrie(DictNodeStore())
+    root = None
+    for key, value in ops:
+        if value is None:
+            root = trie.delete(root, key)
+        else:
+            root = trie.put(root, key, value)
+    return trie, root
+
+
+def test_update_empty_batch_keeps_root(trie):
+    root = trie.put(None, b"k", b"v")
+    assert trie.update(root, []) == root
+    assert trie.update(None, []) is None
+
+
+def test_update_batch_matches_sequential_puts(trie):
+    batch = [(b"acct:%04d" % i, b"%08d" % i) for i in range(200)]
+    _, expected = _sequential(batch)
+    assert trie.update(None, batch) == expected
+
+
+def test_update_is_last_write_wins(trie):
+    root = trie.update(None, [(b"k", b"v1"), (b"k", b"v2"), (b"k", b"v3")])
+    assert trie.get(root, b"k") == b"v3"
+    assert root == trie.put(None, b"k", b"v3")
+
+
+def test_update_shares_path_segments(trie):
+    """K writes under a common prefix: far fewer node writes than K
+    full leaf-to-root path rewrites."""
+    batch = [(b"acct:%016d" % i, b"x") for i in range(500)]
+    sequential_trie, expected = _sequential(batch)
+    root = trie.update(None, batch)
+    assert root == expected
+    assert trie.node_writes < sequential_trie.node_writes / 3
+
+
+def test_update_mixed_puts_and_deletes(trie):
+    root = trie.update(None, [(b"a", b"1"), (b"ab", b"2"), (b"abc", b"3")])
+    root = trie.update(root, [(b"ab", None), (b"abcd", b"4"), (b"a", b"9")])
+    assert dict(trie.items(root)) == {b"a": b"9", b"abc": b"3", b"abcd": b"4"}
+    _, expected = _sequential(
+        [(b"a", b"1"), (b"ab", b"2"), (b"abc", b"3"),
+         (b"ab", None), (b"abcd", b"4"), (b"a", b"9")]
+    )
+    assert root == expected
+
+
+def test_update_delete_then_put_same_key_in_one_batch(trie):
+    """Within one batch the net write wins: delete-then-put is a put."""
+    root = trie.put(None, b"k", b"old")
+    root = trie.update(root, [(b"k", None), (b"k", b"new")])
+    assert trie.get(root, b"k") == b"new"
+    assert root == trie.put(None, b"k", b"new")
+
+
+def test_update_put_then_delete_same_key_in_one_batch(trie):
+    root = trie.put(None, b"keep", b"1")
+    root = trie.update(root, [(b"k", b"v"), (b"k", None)])
+    assert root == trie.put(None, b"keep", b"1")
+
+
+def test_update_delete_of_missing_key_is_noop(trie):
+    root = trie.put(None, b"k", b"v")
+    assert trie.update(root, [(b"nope", None)]) == root
+    assert trie.update(None, [(b"nope", None)]) is None
+
+
+def test_update_same_value_overwrites_keep_root(trie):
+    root = trie.update(None, [(b"a", b"1"), (b"b", b"2")])
+    assert trie.update(root, [(b"a", b"1"), (b"b", b"2")]) == root
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=6),
+                  st.one_of(st.none(), st.binary(max_size=8))),
+        max_size=40,
+    ),
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=6),
+                  st.one_of(st.none(), st.binary(max_size=8))),
+        max_size=40,
+    ),
+)
+def test_property_update_matches_sequential(pre_ops, batch):
+    """Differential oracle: batched update == puts/deletes one at a
+    time, for any pre-state and any batch (including in-batch
+    overwrites, deletes of missing keys, and delete/put interleave)."""
+    _, expected_pre = _sequential(pre_ops)
+    seq_trie, expected = _sequential(pre_ops + batch)
+    batched = PatriciaTrie(DictNodeStore())
+    root = None
+    for key, value in pre_ops:
+        root = (
+            batched.delete(root, key)
+            if value is None
+            else batched.put(root, key, value)
+        )
+    assert root == expected_pre
+    assert batched.update(root, batch) == expected
+
+
 _keys = st.binary(min_size=1, max_size=8)
 _values = st.binary(min_size=1, max_size=16)
 

@@ -234,3 +234,98 @@ def test_modeled_memory_grows_with_words():
 from repro.evm.vm import PROFILE_COSTS
 
 PROFILE_BASE_GETH = PROFILE_COSTS[Profile.GETH].base_overhead_bytes
+
+
+# ---------------------------------------------------------------------------
+# StateStorage: EVM words over the platform StateAccess interface (PR 5)
+# ---------------------------------------------------------------------------
+def test_state_storage_bridges_to_state_access():
+    from repro.contracts.base import DictState
+    from repro.evm import StateStorage
+
+    state = DictState()
+    storage = StateStorage(state)
+    write = "PUSH 41\nPUSH 1\nSSTORE\nPUSH 1\nRETURN"
+    assert run(write, storage=storage).success
+    # The write landed as a 32-byte big-endian slot in the kv state.
+    assert state.data[(1).to_bytes(32, "big")] == (41).to_bytes(32, "big")
+    # A fresh adapter over the same state sees the committed word.
+    assert run("PUSH 1\nSLOAD\nRETURN", storage=StateStorage(state)).return_value == 41
+
+
+def test_state_storage_zero_write_deletes_slot():
+    from repro.contracts.base import DictState
+    from repro.evm import StateStorage
+
+    state = DictState()
+    storage = StateStorage(state)
+    storage.set_word(7, 99)
+    assert (7).to_bytes(32, "big") in state.data
+    storage.set_word(7, 0)
+    assert (7).to_bytes(32, "big") not in state.data
+    assert storage.get_word(7) == 0
+
+
+def test_state_storage_matches_dict_storage_results():
+    """Differential: the same program against DictStorage and
+    StateStorage returns identical results and final word maps."""
+    from repro.contracts.base import DictState
+    from repro.evm import StateStorage
+
+    asm = """
+        PUSH 5
+        PUSH 1
+        SSTORE
+        PUSH 7
+        PUSH 2
+        SSTORE
+        PUSH 0
+        PUSH 1
+        SSTORE
+        PUSH 2
+        SLOAD
+        RETURN
+    """
+    dict_storage = DictStorage()
+    state = DictState()
+    a = run(asm, storage=dict_storage)
+    b = run(asm, storage=StateStorage(state))
+    assert (a.success, a.return_value, a.gas_used) == (
+        b.success, b.return_value, b.gas_used
+    )
+    words = {
+        int.from_bytes(k, "big"): int.from_bytes(v, "big")
+        for k, v in state.data.items()
+    }
+    assert words == dict_storage.data == {2: 7}
+
+
+def test_commit_order_is_sorted_slot_order():
+    """Storage commit flushes in sorted slot order regardless of the
+    SSTORE sequence — the write-set a journaled overlay records is
+    deterministic for a given final buffer."""
+    class RecordingStorage(DictStorage):
+        def __init__(self):
+            super().__init__()
+            self.order = []
+
+        def set_word(self, key, value):
+            self.order.append(key)
+            super().set_word(key, value)
+
+    storage = RecordingStorage()
+    asm = """
+        PUSH 1
+        PUSH 9
+        SSTORE
+        PUSH 1
+        PUSH 3
+        SSTORE
+        PUSH 1
+        PUSH 6
+        SSTORE
+        PUSH 1
+        RETURN
+    """
+    assert run(asm, storage=storage).success
+    assert storage.order == sorted(storage.order) == [3, 6, 9]
