@@ -53,6 +53,7 @@ import sys
 from typing import Sequence
 
 from .core import (
+    ARRIVAL_PROCESSES,
     CLIENT_MODES,
     ExperimentSpec,
     FaultSchedule,
@@ -134,6 +135,31 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--crash", type=int, default=0, metavar="N",
         help="crash N servers at mid-run (Figure 9 style)",
+    )
+    run.add_argument(
+        "--arrival-process", choices=ARRIVAL_PROCESSES, default=None,
+        help="switch to the open-loop driver: transactions arrive by "
+             "this process at --arrival-rate regardless of back-pressure "
+             "(closed-loop client knobs are ignored)",
+    )
+    run.add_argument(
+        "--arrival-rate", type=float, metavar="TX_S", default=None,
+        help="aggregate open-loop arrival rate (tx/s); requires "
+             "--arrival-process",
+    )
+    run.add_argument(
+        "--arrival-accounts", type=int, metavar="N", default=100_000,
+        help="open-loop sender population size (default 100000)",
+    )
+    run.add_argument(
+        "--arrival-zipf-s", type=float, metavar="S", default=0.0,
+        help="Zipf skew over sender accounts (0 = uniform, default)",
+    )
+    run.add_argument(
+        "--stats-reservoir", type=int, metavar="K", default=0,
+        help="cap per-collector latency samples at K via reservoir "
+             "sampling (0 = unbounded, the default; see "
+             "repro.core.stats for the percentile-accuracy tradeoff)",
     )
     run.add_argument("--json", action="store_true", help="machine-readable output")
     run.add_argument(
@@ -260,6 +286,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults = FaultSchedule(
             crashes=[CrashFault(at_time=args.duration / 2, count=args.crash)]
         )
+    arrival = None
+    if args.arrival_process is not None:
+        if args.arrival_rate is None:
+            print(
+                "error: --arrival-process requires --arrival-rate",
+                file=sys.stderr,
+            )
+            return 2
+        arrival = {
+            "process": args.arrival_process,
+            "rate": args.arrival_rate,
+            "accounts": args.arrival_accounts,
+            "zipf_s": args.arrival_zipf_s,
+        }
+    elif args.arrival_rate is not None:
+        print(
+            "error: --arrival-rate requires --arrival-process",
+            file=sys.stderr,
+        )
+        return 2
     result = run_experiment(
         ExperimentSpec(
             platform=args.platform,
@@ -276,6 +322,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             blocking=args.blocking,
             subscribe=args.subscribe,
             faults=faults,
+            arrival=arrival,
+            stats_reservoir=args.stats_reservoir,
         )
     )
     summary = result.summary

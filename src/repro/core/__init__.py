@@ -13,10 +13,12 @@ from .connector import (
 )
 from .driver import (
     CLIENT_MODES,
+    BatchClient,
     BenchClient,
     CallbackBenchClient,
     Driver,
     DriverConfig,
+    OpenLoopDriver,
 )
 from .export import (
     export_commit_series,
@@ -44,18 +46,26 @@ from .scenario import (
 from .suitestore import SuiteStore, spec_hash
 from .security import AttackReport, ForkMonitor, ForkSample, run_partition_attack
 from .stats import StatsCollector, StatsSummary, merge_collectors
-from .workload import Workload, preload_state
+from .workload import (
+    ARRIVAL_PROCESSES,
+    ArrivalGenerator,
+    ArrivalSpec,
+    Workload,
+    preload_state,
+)
 
 __all__ = [
     "BlockSubscription",
     "IBlockchainConnector",
     "RPCClient",
     "SimChainConnector",
+    "BatchClient",
     "BenchClient",
     "CallbackBenchClient",
     "CLIENT_MODES",
     "Driver",
     "DriverConfig",
+    "OpenLoopDriver",
     "export_commit_series",
     "export_latency_cdf",
     "export_queue_series",
@@ -90,4 +100,7 @@ __all__ = [
     "merge_collectors",
     "Workload",
     "preload_state",
+    "ARRIVAL_PROCESSES",
+    "ArrivalGenerator",
+    "ArrivalSpec",
 ]

@@ -23,6 +23,8 @@ archives; the CLI exits 1 when ``regressions()`` is non-empty.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
@@ -134,6 +136,11 @@ class SuiteComparison:
     #: regression: the gate's job is perf, not schema equality.
     only_in_base: list[str]
     only_in_current: list[str]
+    #: True when the two directories shared no spec hashes directly
+    #: and were aligned by *projected* hashes instead (bookkeeping
+    #: fields like scenario name and grid-point label stripped) — the
+    #: cross-scenario-file comparison mode.
+    projected: bool = False
 
     def regressions(self) -> list[RunDelta]:
         return [delta for delta in self.deltas if delta.regressed]
@@ -160,6 +167,7 @@ class SuiteComparison:
             "base": self.base_dir,
             "current": self.current_dir,
             "threshold": self.threshold,
+            "projected": self.projected,
             "compared": len(self.deltas),
             "regressed": len(self.regressions()),
             "only_in_base": self.only_in_base,
@@ -210,6 +218,12 @@ class SuiteComparison:
             ),
         )
         notes = []
+        if self.projected:
+            notes.append(
+                "NOTE points aligned by projected spec hash (scenario "
+                "name and label ignored) — the directories came from "
+                "different scenario files"
+            )
         for delta in self.appeared_from_zero():
             notes.append(
                 f"NOTE {delta.point}: confirmed work appeared from a "
@@ -233,6 +247,49 @@ class SuiteComparison:
         return table + ("\n" + "\n".join(notes) if notes else "")
 
 
+#: Spec fields stripped before computing a projected hash: pure
+#: bookkeeping the scenario engine stamps on each grid point. Two
+#: scenario files sweeping the same physical axes differ exactly here.
+_PROJECTION_EXCLUDED = ("scenario", "label")
+
+
+def _projected_hash(spec: dict[str, Any]) -> str:
+    """Content hash of a serialized spec minus bookkeeping fields.
+
+    Same construction as :func:`~repro.core.suitestore.spec_hash`
+    (sorted-key JSON, sha256, 16 hex chars) over the stored spec dict,
+    so it works across code revisions — the JSON is the common
+    language, not the live ExperimentSpec class.
+    """
+    data = {k: v for k, v in spec.items() if k not in _PROJECTION_EXCLUDED}
+    canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def _project_runs(
+    runs: dict[str, dict[str, Any]], side: str
+) -> dict[str, dict[str, Any]]:
+    """Re-key one side's runs by projected hash, rejecting collisions.
+
+    A collision means two grid points differ *only* in scenario name /
+    label — aligning either with the other side would be arbitrary, so
+    the comparison refuses rather than silently picking one.
+    """
+    projected: dict[str, dict[str, Any]] = {}
+    for spec_hash_ in sorted(runs):
+        data = runs[spec_hash_]
+        key = _projected_hash(data["spec"])
+        if key in projected:
+            raise BenchmarkError(
+                f"cannot align {side} by projected axes: runs "
+                f"{projected[key]['spec_hash']} and {spec_hash_} differ "
+                "only in scenario/label, so cross-file alignment would "
+                "be ambiguous"
+            )
+        projected[key] = data
+    return projected
+
+
 def compare_suites(
     base_dir: str | Path,
     current_dir: str | Path,
@@ -240,10 +297,17 @@ def compare_suites(
 ) -> SuiteComparison:
     """Align two result directories by spec hash and diff them.
 
+    Directories produced by *different* scenario files never share a
+    spec hash (the scenario name and point labels are hashed), even
+    when they sweep identical physical axes. When the direct
+    intersection is empty, alignment falls back to projected hashes —
+    the serialized specs minus bookkeeping fields — and the result is
+    flagged ``projected``.
+
     Raises :class:`BenchmarkError` when either side is not a result
-    directory, or when the two share no grid points — a comparison
-    with zero overlap would "pass" vacuously, which is exactly the
-    silent failure a CI gate must not allow.
+    directory, or when even the projected intersection is empty — a
+    comparison with zero overlap would "pass" vacuously, which is
+    exactly the silent failure a CI gate must not allow.
     """
     if threshold < 0:
         raise BenchmarkError(
@@ -251,11 +315,18 @@ def compare_suites(
         )
     base_runs = SuiteStore.load_runs(base_dir)
     current_runs = SuiteStore.load_runs(current_dir)
+    projected = False
     shared = sorted(set(base_runs) & set(current_runs))
     if not shared:
+        base_runs = _project_runs(base_runs, "base")
+        current_runs = _project_runs(current_runs, "current")
+        shared = sorted(set(base_runs) & set(current_runs))
+        projected = True
+    if not shared:
         raise BenchmarkError(
-            f"no grid points in common between {base_dir} and {current_dir}; "
-            "were they produced by the same scenario file?"
+            f"no grid points in common between {base_dir} and "
+            f"{current_dir}, even after projecting away scenario "
+            "names/labels; the directories sweep disjoint axes"
         )
     return SuiteComparison(
         base_dir=str(base_dir),
@@ -266,4 +337,5 @@ def compare_suites(
         ],
         only_in_base=sorted(set(base_runs) - set(current_runs)),
         only_in_current=sorted(set(current_runs) - set(base_runs)),
+        projected=projected,
     )

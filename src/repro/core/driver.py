@@ -33,11 +33,12 @@ from ..errors import BenchmarkError
 from ..sim import Scheduler, SimCoroutine, spawn
 from .connector import RPCClient, SimChainConnector
 from .stats import StatsCollector, merge_collectors
-from .workload import Workload
+from .workload import ArrivalGenerator, ArrivalSpec, Workload
 
-#: Valid DriverConfig.client_mode values: the coroutine-native client
-#: and the legacy callback client running through the compat adapter.
-CLIENT_MODES = ("coroutine", "callback")
+#: Valid DriverConfig.client_mode values: the coroutine-native client,
+#: the legacy callback client running through the compat adapter, and
+#: the vectorized batch client (N homogeneous clients, shared ticks).
+CLIENT_MODES = ("coroutine", "callback", "batch")
 
 
 @dataclass
@@ -62,11 +63,20 @@ class DriverConfig:
     #: getLatestBlock polling (ErisDB only — Section 3.2). Confirmation
     #: events arrive pushed, saving one RPC round trip per poll.
     subscribe: bool = False
-    #: Client implementation: "coroutine" (the awaitable API, default)
-    #: or "callback" (the legacy client through the compat adapter).
-    #: Both replay identical timelines; the knob exists so the
-    #: equivalence is continuously testable.
+    #: Client implementation: "coroutine" (the awaitable API, default),
+    #: "callback" (the legacy client through the compat adapter), or
+    #: "batch" (one BatchClient drives all N clients from shared tick
+    #: events). All replay identical timelines; the knobs exist so the
+    #: equivalences are continuously testable.
     client_mode: str = "coroutine"
+    #: Open-loop mode: when set, the run is driven by an aggregate
+    #: arrival process (OpenLoopDriver) instead of N closed-loop
+    #: clients; n_clients / request_rate_tx_s / threads_per_client are
+    #: ignored in favor of the arrival spec.
+    arrival: ArrivalSpec | None = None
+    #: Bound the latency sample set held in memory (reservoir size, 0 =
+    #: keep every sample). See StatsCollector for the accuracy tradeoff.
+    stats_reservoir: int = 0
 
     def __post_init__(self) -> None:
         """Reject knob values that would hang or starve the run.
@@ -98,6 +108,10 @@ class DriverConfig:
                 f"unknown client_mode {self.client_mode!r}; "
                 f"expected one of {CLIENT_MODES}"
             )
+        if self.stats_reservoir < 0:
+            raise BenchmarkError(
+                f"stats_reservoir must be >= 0, got {self.stats_reservoir}"
+            )
 
 
 class _BenchClientBase:
@@ -127,7 +141,12 @@ class _BenchClientBase:
         self.server_id = server_ids[index % len(server_ids)]
         self.rpc = RPCClient(f"client-{index}", cluster.scheduler, cluster.network)
         self.connector = SimChainConnector(cluster, self.rpc, self.server_id)
-        self.stats = StatsCollector(cluster.platform, workload.name)
+        self.stats = StatsCollector(
+            cluster.platform,
+            workload.name,
+            reservoir=config.stats_reservoir,
+            reservoir_seed=index,
+        )
         # Outstanding = submitted, awaiting confirmation.
         self.outstanding: dict[str, float] = {}
         # Backlog = generated/rejected, awaiting (re)submission.
@@ -168,6 +187,11 @@ class _BenchClientBase:
 
     def start(self, duration_s: float) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def stat_collectors(self) -> list[StatsCollector]:
+        """Per-client collectors in client order (one here; the batch
+        client returns one per slot so merges stay order-identical)."""
+        return [self.stats]
 
 
 class BenchClient(_BenchClientBase):
@@ -394,6 +418,224 @@ class CallbackBenchClient(_BenchClientBase):
         )
 
 
+class BatchClient:
+    """N homogeneous closed-loop clients driven from shared tick events.
+
+    Where N individual clients schedule 3 recurring heap events each
+    (submit, poll, sample — plus one stop timer apiece), the batch
+    schedules 4 *total* and sweeps all client slots inside each tick.
+    Per-slot state lives in parallel arrays indexed by slot; each slot
+    keeps its own RPC endpoint, connector, rng stream, and collector —
+    the exact objects the individual clients would own — so every
+    network send and rng draw happens in the same global order.
+
+    Why the timeline is bit-identical to N :class:`CallbackBenchClient`
+    objects (pinned by ``tests/core/test_batch_client.py``): with a
+    homogeneous config, the N clients' same-kind tick events carry the
+    same timestamp and consecutive-in-client-order heap positions, and
+    no foreign event can sort between them — message deliveries and
+    retry timers sit at jitter-perturbed times that never collide with
+    the tick grid. Collapsing N adjacent firings into one event that
+    loops slots in client order therefore reorders nothing, and the
+    callback client is itself pinned bit-identical to the coroutine
+    client, so the equivalence composes across all three modes.
+    """
+
+    def __init__(
+        self,
+        indices: list[int],
+        cluster,
+        workload: Workload,
+        config: DriverConfig,
+        rngs: list[random.Random],
+    ) -> None:
+        if len(indices) != len(rngs):
+            raise BenchmarkError("one rng stream per client slot required")
+        self.indices = list(indices)
+        self.cluster = cluster
+        self.workload = workload
+        self.config = config
+        self.scheduler: Scheduler = cluster.scheduler
+        server_ids = cluster.node_ids()
+        # Per-slot strided state: position s in every array belongs to
+        # client indices[s]. Same construction order as N individual
+        # clients so RPC node registration order is preserved.
+        self.rngs = list(rngs)
+        self.rpcs: list[RPCClient] = []
+        self.connectors: list[SimChainConnector] = []
+        self.stats_slots: list[StatsCollector] = []
+        self.outstanding: list[dict[str, float]] = []
+        self.backlogs: list[deque[Transaction]] = []
+        self.poll_heights: list[int] = []
+        self.inflight: list[int] = []
+        for index in self.indices:
+            rpc = RPCClient(f"client-{index}", cluster.scheduler, cluster.network)
+            self.rpcs.append(rpc)
+            self.connectors.append(
+                SimChainConnector(cluster, rpc, server_ids[index % len(server_ids)])
+            )
+            self.stats_slots.append(
+                StatsCollector(
+                    cluster.platform,
+                    workload.name,
+                    reservoir=config.stats_reservoir,
+                    reservoir_seed=index,
+                )
+            )
+            self.outstanding.append({})
+            self.backlogs.append(deque())
+            self.poll_heights.append(0)
+            self.inflight.append(0)
+        self._running = False
+        self._deadline = 0.0
+
+    # Compatibility with the single-client surface Driver exposes.
+    @property
+    def stats(self) -> StatsCollector:
+        return merge_collectors(self.stats_slots)
+
+    def stat_collectors(self) -> list[StatsCollector]:
+        return self.stats_slots
+
+    def queue_length(self, slot: int) -> int:
+        return len(self.outstanding[slot]) + len(self.backlogs[slot])
+
+    def _next_tx(self, slot: int) -> Transaction:
+        return self.workload.next_transaction(
+            f"client-{self.indices[slot]}", self.rngs[slot], self.scheduler.now
+        )
+
+    def start(self, duration_s: float) -> None:
+        now = self.scheduler.now
+        self._running = True
+        self._deadline = now + duration_s
+        for stats in self.stats_slots:
+            stats.begin(now)
+        # Per-slot startup actions run in slot order before the shared
+        # ticks are armed — the same interleaving (submit, subscribe
+        # per client, in client order) the individual clients produce.
+        for slot in range(len(self.indices)):
+            if self.config.blocking:
+                self._submit_next_blocking(slot)
+            if self.config.subscribe:
+                self.connectors[slot].subscribe_new_blocks(
+                    0, lambda block, s=slot: self._process_block_summary(s, block)
+                )
+        if not self.config.blocking:
+            self.scheduler.schedule(0.0, self._tick_submit)
+        if not self.config.subscribe:
+            self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
+        self.scheduler.schedule(
+            self.config.queue_sample_interval_s, self._tick_sample
+        )
+        self.scheduler.schedule(duration_s, self._stop)
+
+    def _stop(self) -> None:
+        self._running = False
+        now = self.scheduler.now
+        for stats in self.stats_slots:
+            stats.finish(now)
+
+    # ------------------------------------------------------------------
+    # Submission paths (one tick sweeps every slot)
+    # ------------------------------------------------------------------
+    def _tick_submit(self) -> None:
+        if not self._running:
+            return
+        threads = self.config.threads_per_client
+        for slot in range(len(self.indices)):
+            self.backlogs[slot].append(self._next_tx(slot))
+            if self.inflight[slot] < threads:
+                self._submit(slot, self.backlogs[slot].popleft())
+        self.scheduler.schedule(
+            1.0 / self.config.request_rate_tx_s, self._tick_submit
+        )
+
+    def _submit_next_blocking(self, slot: int) -> None:
+        if not self._running:
+            return
+        self._submit(slot, self._next_tx(slot))
+
+    def _submit(self, slot: int, tx: Transaction) -> None:
+        submit_time = self.scheduler.now
+        self.stats_slots[slot].record_submission()
+        self.inflight[slot] += 1
+
+        def on_reply(reply: dict) -> None:
+            self.inflight[slot] -= 1
+            if reply.get("accepted"):
+                self.outstanding[slot][tx.tx_id] = submit_time
+                if (
+                    not self.config.blocking
+                    and self._running
+                    and self.backlogs[slot]
+                    and self.inflight[slot] < self.config.threads_per_client
+                ):
+                    self._submit(slot, self.backlogs[slot].popleft())
+            else:
+                self.stats_slots[slot].record_rejection()
+                self.backlogs[slot].append(tx)
+                self.scheduler.schedule(
+                    self.config.retry_interval_s, self._retry_backlog, slot
+                )
+
+        self.connectors[slot].send_transaction(tx, on_reply)
+
+    def _retry_backlog(self, slot: int) -> None:
+        if (
+            self._running
+            and self.backlogs[slot]
+            and self.inflight[slot] < self.config.threads_per_client
+        ):
+            self._submit(slot, self.backlogs[slot].popleft())
+
+    # ------------------------------------------------------------------
+    # Confirmation paths
+    # ------------------------------------------------------------------
+    def _tick_poll(self) -> None:
+        if self.scheduler.now > self._deadline + 10 * self.config.poll_interval_s:
+            return
+        for slot in range(len(self.indices)):
+            self.connectors[slot].get_latest_block(
+                self.poll_heights[slot],
+                lambda reply, s=slot: self._on_poll_reply(s, reply),
+            )
+        self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
+
+    def _on_poll_reply(self, slot: int, reply: dict) -> None:
+        for block in reply.get("blocks", []):
+            self._process_block_summary(slot, block)
+
+    def _process_block_summary(self, slot: int, block: dict) -> None:
+        self.poll_heights[slot] = max(self.poll_heights[slot], block["height"])
+        outstanding = self.outstanding[slot]
+        for tx_id in block["tx_ids"]:
+            submitted_at = outstanding.pop(tx_id, None)
+            if submitted_at is not None:
+                confirmed_at = self.scheduler.now
+                if submitted_at <= self._deadline:
+                    self.stats_slots[slot].record_confirmation(
+                        submitted_at, confirmed_at
+                    )
+                if self.config.blocking and self._running:
+                    self._submit_next_blocking(slot)
+
+    # ------------------------------------------------------------------
+    # Queue sampling
+    # ------------------------------------------------------------------
+    def _tick_sample(self) -> None:
+        if not self._running:
+            return
+        now = self.scheduler.now
+        for slot in range(len(self.indices)):
+            self.stats_slots[slot].record_queue_length(
+                now, self.queue_length(slot)
+            )
+        self.scheduler.schedule(
+            self.config.queue_sample_interval_s, self._tick_sample
+        )
+
+
 def _client_class(mode: str) -> type[_BenchClientBase]:
     if mode == "coroutine":
         return BenchClient
@@ -415,16 +657,26 @@ class Driver:
 
     def prepare(self) -> None:
         """Deploy contracts and preload state."""
-        client_cls = _client_class(self.config.client_mode)
         for contract in self.workload.required_contracts:
             for node in self.cluster.nodes:
                 node.deploy(contract)
         self.workload.preload(self.cluster)
-        for index in range(self.config.n_clients):
-            rng = self.cluster.rng.stream(f"client-{index}")
+        indices = list(range(self.config.n_clients))
+        rngs = [self.cluster.rng.stream(f"client-{i}") for i in indices]
+        if self.config.client_mode == "batch":
+            # One vectorized client drives every slot.
+            self.clients.append(
+                BatchClient(indices, self.cluster, self.workload, self.config, rngs)
+            )
+            return
+        client_cls = _client_class(self.config.client_mode)
+        for index, rng in zip(indices, rngs):
             self.clients.append(
                 client_cls(index, self.cluster, self.workload, self.config, rng)
             )
+
+    def _collectors(self) -> list[StatsCollector]:
+        return [s for client in self.clients for s in client.stat_collectors()]
 
     def run(self, extra_drain_s: float = 5.0) -> StatsCollector:
         """Run the configured duration; returns merged statistics."""
@@ -435,8 +687,196 @@ class Driver:
         self.cluster.run_until(
             self.cluster.scheduler.now + self.config.duration_s + extra_drain_s
         )
-        return merge_collectors([c.stats for c in self.clients])
+        return merge_collectors(self._collectors())
 
     def queue_series(self) -> list[tuple[float, int]]:
         """Summed client queue lengths over time (Figures 6 and 18)."""
-        return merge_collectors([c.stats for c in self.clients]).queue_samples
+        return merge_collectors(self._collectors()).queue_samples
+
+
+class OpenLoopDriver:
+    """Open-loop load harness: an aggregate arrival process, no clients.
+
+    Closed-loop clients (:class:`BenchClient` and friends) are coupled
+    to the system under test — a saturated server back-pressures them
+    through their in-flight caps, so offered load sags exactly when the
+    measurement is most interesting. The open-loop harness severs that
+    coupling: an :class:`ArrivalGenerator` emits transactions at the
+    configured aggregate rate regardless of how the backend responds,
+    which is both the BlockMeter recipe for "make sure the harness is
+    not the bottleneck" and the only shape that scales to 100k–1M
+    simulated senders (state is one dict entry per outstanding tx, not
+    one coroutine per client).
+
+    Mechanics: arrivals are pre-scheduled a chunk at a time through the
+    scheduler's ``push_many`` bulk insert; each arrival draws a sender
+    account from the arrival spec (uniform or Zipf-skewed), builds a
+    transaction, and fires it at the sender's home server (``account %
+    n_servers``) with no in-flight cap. Rejected submissions retry
+    after the configured backoff. One poller per server matches
+    confirmed blocks against that server's outstanding set.
+    """
+
+    #: Arrivals pre-scheduled per push_many batch. Bounds generator
+    #: look-ahead memory while amortizing heap maintenance.
+    ARRIVAL_CHUNK = 4096
+
+    def __init__(self, cluster, workload: Workload, config: DriverConfig) -> None:
+        if config.arrival is None:
+            raise BenchmarkError("OpenLoopDriver requires DriverConfig.arrival")
+        self.cluster = cluster
+        self.workload = workload
+        self.config = config
+        self.arrival: ArrivalSpec = config.arrival
+        self.scheduler: Scheduler = cluster.scheduler
+        self.generator = ArrivalGenerator(
+            self.arrival, cluster.rng.stream("arrivals")
+        )
+        self.txgen_rng = cluster.rng.stream("openloop-txgen")
+        self.server_ids = cluster.node_ids()
+        self.rpcs = [
+            RPCClient(f"openloop-{sid}", cluster.scheduler, cluster.network)
+            for sid in self.server_ids
+        ]
+        self.connectors = [
+            SimChainConnector(cluster, rpc, sid)
+            for rpc, sid in zip(self.rpcs, self.server_ids)
+        ]
+        self.stats = StatsCollector(
+            cluster.platform,
+            workload.name,
+            reservoir=config.stats_reservoir,
+            reservoir_seed=cluster.rng.master_seed,
+        )
+        # Per-server outstanding sets: a tx is only ever confirmed by
+        # the poller of the server it was submitted to.
+        self.outstanding: list[dict[str, float]] = [{} for _ in self.server_ids]
+        self.poll_heights = [0] * len(self.server_ids)
+        self._retries_pending = 0
+        self._running = False
+        self._deadline = 0.0
+        self._arrival_clock = 0.0
+
+    def prepare(self) -> None:
+        """Deploy contracts and preload state."""
+        for contract in self.workload.required_contracts:
+            for node in self.cluster.nodes:
+                node.deploy(contract)
+        self.workload.preload(self.cluster)
+
+    def start(self, duration_s: float) -> None:
+        now = self.scheduler.now
+        self._running = True
+        self._deadline = now + duration_s
+        self._arrival_clock = now
+        self.stats.begin(now)
+        self._schedule_chunk()
+        self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
+        self.scheduler.schedule(
+            self.config.queue_sample_interval_s, self._tick_sample
+        )
+        self.scheduler.schedule(duration_s, self._stop)
+
+    def run(self, extra_drain_s: float = 5.0) -> StatsCollector:
+        """Run the configured duration; returns the collector."""
+        self.start(self.config.duration_s)
+        self.cluster.run_until(
+            self.cluster.scheduler.now + self.config.duration_s + extra_drain_s
+        )
+        return self.stats
+
+    def queue_series(self) -> list[tuple[float, int]]:
+        return self.stats.queue_samples
+
+    def queue_length(self) -> int:
+        return sum(len(o) for o in self.outstanding) + self._retries_pending
+
+    def _stop(self) -> None:
+        self._running = False
+        self.stats.finish(self.scheduler.now)
+
+    # ------------------------------------------------------------------
+    # Arrival pump
+    # ------------------------------------------------------------------
+    def _schedule_chunk(self) -> None:
+        """Pre-schedule the next chunk of arrivals in one bulk insert."""
+        now = self.scheduler.now
+        clock = self._arrival_clock
+        items: list[tuple[float, object, tuple]] = []
+        exhausted = False
+        while len(items) < self.ARRIVAL_CHUNK:
+            gap, sender = next(self.generator)
+            clock += gap
+            if clock > self._deadline:
+                exhausted = True
+                break
+            items.append((clock - now, self._arrive, (sender,)))
+        self._arrival_clock = clock
+        if items:
+            self.scheduler.push_many(items)
+            if not exhausted:
+                # Continue right after the last scheduled arrival (same
+                # instant, later sequence number).
+                self.scheduler.schedule_at(clock, self._schedule_chunk)
+
+    def _arrive(self, sender: int) -> None:
+        tx = self.workload.next_transaction(
+            f"account-{sender}", self.txgen_rng, self.scheduler.now
+        )
+        self._submit(sender % len(self.server_ids), tx)
+
+    def _submit(self, server_index: int, tx: Transaction) -> None:
+        submit_time = self.scheduler.now
+        self.stats.record_submission()
+
+        def on_reply(reply: dict) -> None:
+            if reply.get("accepted"):
+                self.outstanding[server_index][tx.tx_id] = submit_time
+            else:
+                self.stats.record_rejection()
+                if self._running:
+                    self._retries_pending += 1
+                    self.scheduler.schedule(
+                        self.config.retry_interval_s, self._retry, server_index, tx
+                    )
+
+        self.connectors[server_index].send_transaction(tx, on_reply)
+
+    def _retry(self, server_index: int, tx: Transaction) -> None:
+        self._retries_pending -= 1
+        if self._running:
+            self._submit(server_index, tx)
+
+    # ------------------------------------------------------------------
+    # Confirmation polling (one round per server per tick)
+    # ------------------------------------------------------------------
+    def _tick_poll(self) -> None:
+        if self.scheduler.now > self._deadline + 10 * self.config.poll_interval_s:
+            return
+        for server_index in range(len(self.server_ids)):
+            self.connectors[server_index].get_latest_block(
+                self.poll_heights[server_index],
+                lambda reply, s=server_index: self._on_poll_reply(s, reply),
+            )
+        self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
+
+    def _on_poll_reply(self, server_index: int, reply: dict) -> None:
+        outstanding = self.outstanding[server_index]
+        for block in reply.get("blocks", []):
+            self.poll_heights[server_index] = max(
+                self.poll_heights[server_index], block["height"]
+            )
+            for tx_id in block["tx_ids"]:
+                submitted_at = outstanding.pop(tx_id, None)
+                if submitted_at is not None and submitted_at <= self._deadline:
+                    self.stats.record_confirmation(
+                        submitted_at, self.scheduler.now
+                    )
+
+    def _tick_sample(self) -> None:
+        if not self._running:
+            return
+        self.stats.record_queue_length(self.scheduler.now, self.queue_length())
+        self.scheduler.schedule(
+            self.config.queue_sample_interval_s, self._tick_sample
+        )

@@ -21,6 +21,11 @@ simulated second:
 * ``driver_tx`` — end-to-end macro-benchmark transactions/s of wall
   time: one full ``run_experiment`` through consensus, mempool, blocks
   and stats.
+* ``driver_tx_100k`` — the open-loop megaclient path: a Poisson
+  arrival process over a 100k-account Zipf population driving a full
+  cluster, confirmed tx/s of wall (PR 6's tentpole measurement).
+* ``arrival_gen`` — raw arrival-process generation: (gap, sender)
+  draws/s from the seeded Poisson + Zipf generators.
 
 Each benchmark reports ops/s over wall time (best of ``repeats`` to
 shave scheduler noise). ``run_perf`` returns structured results and
@@ -317,6 +322,147 @@ def bench_driver(quick: bool = False) -> BenchResult:
     )
 
 
+#: Coroutine-path reference for ``driver_tx_100k``, memoized per
+#: process: the reference exists to scale the headline number, costs
+#: ~30s of wall time at the 100k-client population, and is fully
+#: deterministic — re-measuring it on every best-of-N repeat would
+#: triple the harness runtime without changing the answer.
+_COROUTINE_REF: dict | None = None
+
+
+def _coroutine_reference() -> dict:
+    """Measure the per-coroutine path at the full 100k-client scale.
+
+    One sim second, zero drain: long enough to pay the population's
+    real costs (construction, 100k submission RPCs, the polling fleet)
+    and short enough to keep the harness usable. The comparable figure
+    is *simulated seconds per wall second* — at equal population and
+    offered load, how much faster does the clock advance.
+    """
+    global _COROUTINE_REF
+    if _COROUTINE_REF is None:
+        from .runner import ExperimentSpec, run_experiment
+
+        sim_s = 1.0
+        spec = ExperimentSpec(
+            platform="hyperledger",
+            workload="ycsb",
+            n_servers=4,
+            n_clients=100_000,
+            request_rate_tx_s=0.02,  # x 100k clients = 2000 tx/s aggregate
+            duration_s=sim_s,
+            seed=7,
+            client_mode="coroutine",
+            stats_reservoir=10_000,
+            drain_s=0.0,
+        )
+        start = time.perf_counter()
+        run_experiment(spec)
+        wall = time.perf_counter() - start
+        _COROUTINE_REF = {
+            "ref_clients": spec.n_clients,
+            "ref_sim_duration_s": sim_s,
+            "ref_wall_s": round(wall, 3),
+            "ref_sim_s_per_wall_s": sim_s / wall,
+        }
+    return dict(_COROUTINE_REF)
+
+
+def bench_driver_100k(quick: bool = False) -> BenchResult:
+    """Open-loop megaclient driver: confirmed tx/s of wall at 100k clients.
+
+    The tentpole measurement: a Poisson arrival process over a 100k
+    Zipf-skewed sender population (one simulated client each) drives a
+    4-server Hyperledger cluster at 2000 tx/s aggregate — a population
+    the per-coroutine closed-loop path cannot hold (100k poll loops on
+    the heap). ops/s is confirmed transactions per wall second; meta
+    carries the cross-path comparison as *simulated seconds per wall
+    second* at equal population and offered load, measured against a
+    real coroutine run (skipped in quick mode — it costs ~30s).
+    """
+    from .runner import ExperimentSpec, run_experiment
+
+    duration = 4.0 if quick else 10.0
+    rate = 1000.0 if quick else 2000.0
+    spec = ExperimentSpec(
+        platform="hyperledger",
+        workload="ycsb",
+        n_servers=4,
+        n_clients=1,  # ignored: the arrival spec switches to open loop
+        request_rate_tx_s=1.0,
+        duration_s=duration,
+        seed=7,
+        arrival={
+            "process": "poisson",
+            "rate": rate,
+            "accounts": 100_000,
+            "zipf_s": 1.1,
+        },
+        stats_reservoir=10_000,
+    )
+    start = time.perf_counter()
+    result = run_experiment(spec)
+    wall = time.perf_counter() - start
+    confirmed = result.summary.confirmed
+    meta = {
+        "accounts": 100_000,
+        "arrival_process": "poisson",
+        "arrival_rate_tx_s": rate,
+        "zipf_s": 1.1,
+        "sim_duration_s": duration,
+        "submitted": result.summary.submitted,
+        "sim_s_per_wall_s": duration / wall,
+    }
+    if quick:
+        meta["coroutine_ref"] = "skipped (quick mode)"
+    else:
+        ref = _coroutine_reference()
+        meta.update(ref)
+        meta["speedup_vs_coroutine"] = (
+            (duration / wall) / ref["ref_sim_s_per_wall_s"]
+        )
+    return BenchResult(
+        name="driver_tx_100k",
+        ops=confirmed,
+        unit="tx",
+        wall_time_s=wall,
+        ops_per_s=confirmed / wall,
+        meta=meta,
+    )
+
+
+def bench_arrival_gen(quick: bool = False) -> BenchResult:
+    """Arrival-process generator throughput in (gap, sender) draws/s.
+
+    The open-loop driver's per-transaction fixed cost: one exponential
+    gap plus one Zipf sender draw (bisect over the cumulative weights
+    of a 100k-account population). This is the rate ceiling arrivals
+    can be *generated* at, independent of what the cluster does with
+    them.
+    """
+    import random
+
+    from .workload import ArrivalGenerator, ArrivalSpec
+
+    draws = 200_000 if quick else 1_000_000
+    spec = ArrivalSpec(
+        process="poisson", rate_tx_s=1000.0, accounts=100_000, zipf_s=1.1
+    )
+    gen = ArrivalGenerator(spec, random.Random(7))
+    start = time.perf_counter()
+    for _ in range(draws):
+        next(gen)
+    wall = time.perf_counter() - start
+    return BenchResult(
+        name="arrival_gen",
+        ops=draws,
+        unit="draws",
+        wall_time_s=wall,
+        ops_per_s=draws / wall,
+        meta={"accounts": 100_000, "zipf_s": 1.1, "process": "poisson"},
+    )
+
+
 BENCHMARKS: dict[str, Callable[[bool], BenchResult]] = {
     "evm_cpuheavy": bench_evm,
     "trie_puts": bench_trie,
@@ -324,6 +470,8 @@ BENCHMARKS: dict[str, Callable[[bool], BenchResult]] = {
     "replica_execute": bench_replica_execute,
     "scheduler_events": bench_scheduler,
     "driver_tx": bench_driver,
+    "driver_tx_100k": bench_driver_100k,
+    "arrival_gen": bench_arrival_gen,
 }
 
 

@@ -11,9 +11,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..platforms.cluster import build_cluster
-from .driver import Driver, DriverConfig
+from .driver import Driver, DriverConfig, OpenLoopDriver
 from .faults import FaultSchedule
 from .stats import StatsCollector, StatsSummary
+from .workload import ArrivalSpec
 
 
 @dataclass
@@ -38,9 +39,18 @@ class ExperimentSpec:
     poll_interval_s: float = DriverConfig.poll_interval_s
     threads_per_client: int = DriverConfig.threads_per_client
     retry_interval_s: float = DriverConfig.retry_interval_s
-    #: Client implementation: "coroutine" (awaitable API) or "callback"
-    #: (legacy adapter path). Timelines are bit-identical; see driver.py.
+    #: Client implementation: "coroutine" (awaitable API), "callback"
+    #: (legacy adapter path), or "batch" (vectorized BatchClient).
+    #: Timelines are bit-identical across all three; see driver.py.
     client_mode: str = "coroutine"
+    #: Open-loop arrival process (JSON shape, see ArrivalSpec): when
+    #: set, the run uses the OpenLoopDriver instead of closed-loop
+    #: clients and ignores n_clients / request_rate_tx_s /
+    #: threads_per_client / blocking / subscribe / client_mode.
+    arrival: dict[str, Any] | None = None
+    #: Bound the latency sample set in memory (reservoir size; 0 keeps
+    #: every sample). See StatsCollector for the accuracy tradeoff.
+    stats_reservoir: int = 0
     with_monitor: bool = False
     faults: FaultSchedule | None = None
     config: Any = None  # platform config override (Python object)
@@ -104,6 +114,12 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         blocking=spec.blocking,
         subscribe=spec.subscribe,
         client_mode=spec.client_mode,
+        arrival=(
+            ArrivalSpec.from_dict(spec.arrival)
+            if spec.arrival is not None
+            else None
+        ),
+        stats_reservoir=spec.stats_reservoir,
     )
     cluster = build_cluster(
         spec.platform,
@@ -114,7 +130,10 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         with_monitor=spec.with_monitor,
     )
     workload = make_workload(spec.workload, **spec.workload_params)
-    driver = Driver(cluster, workload, config)
+    if config.arrival is not None:
+        driver = OpenLoopDriver(cluster, workload, config)
+    else:
+        driver = Driver(cluster, workload, config)
     driver.prepare()
     if spec.faults is not None:
         spec.faults.arm(cluster)

@@ -61,6 +61,7 @@ from .faults import (
     PartitionFault,
 )
 from .driver import CLIENT_MODES, DriverConfig
+from .workload import ArrivalSpec
 from .report import format_table
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
 from .stats import StatsSummary
@@ -154,6 +155,26 @@ def _overrides_axis(
     return points
 
 
+def _arrival_axis(
+    arrival: dict[str, Any] | Sequence[dict[str, Any]] | None,
+) -> list[dict[str, Any] | None]:
+    """Normalize the ``arrival`` field to a one-spec-per-point axis.
+
+    Each point is validated eagerly through ArrivalSpec so a typo'd
+    process name fails at expand time, not mid-campaign.
+    """
+    if arrival is None:
+        return [None]
+    points: list[Any] = (
+        [arrival] if isinstance(arrival, dict) else list(arrival)
+    )
+    if not points:
+        raise BenchmarkError("scenario axis 'arrival' is empty")
+    for point in points:
+        ArrivalSpec.from_dict(point)  # raises on bad shape/values
+    return points
+
+
 @dataclass
 class ScenarioSpec:
     """One named experiment grid over the paper's sweep axes.
@@ -206,6 +227,14 @@ class ScenarioSpec:
     #: dicts address nested config dataclasses; see
     #: :func:`repro.config.apply_overrides`.
     overrides: dict[str, Any] | Sequence[dict[str, Any]] | None = None
+    #: Open-loop arrival process: ``{"process": "poisson", "rate":
+    #: 5000, "accounts": 100000, "zipf_s": 1.1}`` switches every grid
+    #: point to the OpenLoopDriver; a list of such dicts is an axis.
+    #: ``None`` (default) keeps the closed-loop clients.
+    arrival: dict[str, Any] | Sequence[dict[str, Any]] | None = None
+    #: Latency-sample reservoir bound for every grid point (0 = keep
+    #: every sample). See StatsCollector.
+    stats_reservoir: int = 0
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
@@ -245,17 +274,19 @@ class ScenarioSpec:
 
         configs = list(self.configs) if self.configs is not None else [("", None)]
         overrides_axis = _overrides_axis(self.overrides)
+        arrival_axis = _arrival_axis(self.arrival)
         clients_axis = (
             _axis(self.clients, "clients") if self.clients is not None else [None]
         )
         specs: list[ExperimentSpec] = []
-        for platform, workload, (label, config), overrides, servers, \
-                clients, rate, duration, seed, poll_interval, threads, \
-                retry_interval in itertools.product(
+        for platform, workload, (label, config), overrides, arrival, \
+                servers, clients, rate, duration, seed, poll_interval, \
+                threads, retry_interval in itertools.product(
             _axis(self.platforms, "platforms"),
             _axis(self.workloads, "workloads"),
             configs,
             overrides_axis,
+            arrival_axis,
             _axis(self.servers, "servers"),
             clients_axis,
             _axis(self.rates, "rates"),
@@ -272,6 +303,11 @@ class ScenarioSpec:
             if overrides and len(overrides_axis) > 1:
                 olabel = _overrides_label(overrides)
                 point_label = f"{label},{olabel}" if label else olabel
+            if arrival is not None and len(arrival_axis) > 1:
+                alabel = _overrides_label({"arrival": arrival})
+                point_label = (
+                    f"{point_label},{alabel}" if point_label else alabel
+                )
             specs.append(
                 ExperimentSpec(
                     platform=platform,
@@ -296,6 +332,8 @@ class ScenarioSpec:
                     ),
                     config=config,
                     config_overrides=dict(overrides),
+                    arrival=dict(arrival) if arrival is not None else None,
+                    stats_reservoir=self.stats_reservoir,
                     drain_s=self.drain_s,
                     scenario=self.name,
                     label=point_label,

@@ -103,6 +103,17 @@ def _canonical_faults(faults: Any) -> dict[str, Any] | None:
     return data
 
 
+#: Spec fields added after the run-file schema shipped. At their
+#: defaults they are *omitted* from the canonical dict, so every spec
+#: hash computed before they existed stays valid (committed baselines,
+#: resumable result directories); a non-default value enters the dict
+#: and hashes the run apart, as any real axis must.
+_OPTIONAL_SPEC_FIELDS: dict[str, Any] = {
+    "arrival": None,
+    "stats_reservoir": 0,
+}
+
+
 def spec_to_dict(spec: ExperimentSpec) -> dict[str, Any]:
     """Every field of ``spec`` as JSON-serializable values.
 
@@ -116,6 +127,11 @@ def spec_to_dict(spec: ExperimentSpec) -> dict[str, Any]:
             value = _canonical_faults(value)
         elif field_.name == "config":
             value = _canonical_config(value)
+        if (
+            field_.name in _OPTIONAL_SPEC_FIELDS
+            and value == _OPTIONAL_SPEC_FIELDS[field_.name]
+        ):
+            continue
         data[field_.name] = value
     return data
 

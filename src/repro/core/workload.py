@@ -5,18 +5,153 @@ transactions to be sent to the blockchain. Specifically, it has a
 getNextTransaction method which returns a new blockchain transaction"
 (Section 3.2). ``preload`` covers the store-population step the
 benchmarks perform before measurement.
+
+Also home to the **open-loop arrival machinery**: an
+:class:`ArrivalSpec` describes an aggregate arrival process (Poisson or
+uniform inter-arrival gaps, optionally Zipf-skewed over a population of
+sender accounts) and :class:`ArrivalGenerator` turns it into a seeded,
+deterministic stream of ``(gap_s, sender_id)`` pairs. Unlike the
+closed-loop clients in ``core/driver.py`` — which wait for replies and
+back off under pushback — an open-loop stream offers load at its
+configured rate no matter how the system responds, which is the harness
+shape BlockMeter-style "is the load generator the bottleneck?" studies
+require.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from bisect import bisect_left
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import TYPE_CHECKING, Iterator
 
 from ..chain import Transaction
+from ..errors import BenchmarkError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..platforms.cluster import Cluster
+
+#: Supported inter-arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "uniform")
+
+
+@dataclass
+class ArrivalSpec:
+    """Open-loop arrival process configuration.
+
+    Scenario-JSON shape (the ``arrival`` axis)::
+
+        {"process": "poisson", "rate": 5000, "accounts": 100000, "zipf_s": 1.1}
+
+    ``rate`` is the *aggregate* offered load in tx/s across the whole
+    population — there is no per-client rate because there are no
+    per-client coroutines. ``zipf_s = 0`` picks senders uniformly;
+    larger values skew traffic toward low-numbered accounts with
+    Zipf exponent ``s`` (weight of account k is 1/(k+1)^s).
+    """
+
+    process: str = "poisson"
+    rate_tx_s: float = 1000.0
+    accounts: int = 1000
+    zipf_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise BenchmarkError(
+                f"unknown arrival process {self.process!r}; "
+                f"expected one of {ARRIVAL_PROCESSES}"
+            )
+        if self.rate_tx_s <= 0:
+            raise BenchmarkError(
+                f"arrival rate must be positive, got {self.rate_tx_s}"
+            )
+        if self.accounts < 1:
+            raise BenchmarkError(
+                f"arrival accounts must be >= 1, got {self.accounts}"
+            )
+        if self.zipf_s < 0:
+            raise BenchmarkError(
+                f"zipf_s must be >= 0, got {self.zipf_s}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalSpec":
+        if not isinstance(data, dict):
+            raise BenchmarkError(
+                f"arrival must be an object, got {type(data).__name__}"
+            )
+        known = {"process", "rate", "accounts", "zipf_s"}
+        unknown = set(data) - known
+        if unknown:
+            raise BenchmarkError(
+                f"unknown arrival key(s): {', '.join(sorted(unknown))}; "
+                f"expected {', '.join(sorted(known))}"
+            )
+        return cls(
+            process=data.get("process", "poisson"),
+            rate_tx_s=float(data.get("rate", 1000.0)),
+            accounts=int(data.get("accounts", 1000)),
+            zipf_s=float(data.get("zipf_s", 0.0)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "process": self.process,
+            "rate": self.rate_tx_s,
+            "accounts": self.accounts,
+            "zipf_s": self.zipf_s,
+        }
+
+
+class ArrivalGenerator:
+    """Seeded, deterministic ``(gap_s, sender_id)`` stream.
+
+    All randomness comes from the injected ``rng`` (a named stream off
+    the cluster's RngRegistry), so the same seed replays the same
+    arrival timeline across process restarts — pinned by
+    ``tests/core/test_arrivals.py``. Zipf sender selection is an O(log
+    accounts) bisect over precomputed cumulative weights; the weight
+    table is built once per generator, not per draw.
+    """
+
+    def __init__(self, spec: ArrivalSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._cumulative: list[float] | None = None
+        if spec.zipf_s > 0:
+            s = spec.zipf_s
+            self._cumulative = list(
+                accumulate(1.0 / (k + 1) ** s for k in range(spec.accounts))
+            )
+
+    def next_gap(self) -> float:
+        """Simulated seconds until the next arrival."""
+        if self.spec.process == "poisson":
+            return self.rng.expovariate(self.spec.rate_tx_s)
+        return 1.0 / self.spec.rate_tx_s
+
+    def next_sender(self) -> int:
+        """Account index of the next arrival's sender."""
+        cumulative = self._cumulative
+        if cumulative is None:
+            return self.rng.randrange(self.spec.accounts)
+        u = self.rng.random() * cumulative[-1]
+        index = bisect_left(cumulative, u)
+        return min(index, self.spec.accounts - 1)
+
+    def __next__(self) -> tuple[float, int]:
+        # Gap first, sender second: the draw order is part of the
+        # pinned deterministic stream — do not reorder.
+        return self.next_gap(), self.next_sender()
+
+    def __iter__(self) -> Iterator[tuple[float, int]]:
+        return self
+
+    def take(self, n: int) -> list[tuple[float, int]]:
+        """The next ``n`` arrivals as a list (bulk-scheduling helper)."""
+        return [next(self) for _ in range(n)]
 
 
 class Workload(ABC):

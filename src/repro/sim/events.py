@@ -6,12 +6,26 @@ on a single priority queue keyed by simulated time. Determinism is
 guaranteed by breaking time ties with a monotonically increasing
 sequence number, so two runs with the same seed replay the exact same
 event order.
+
+Two fast paths keep the dispatch rate high enough that the scheduler is
+never the layer being measured (the ISSUE 6 scale work):
+
+* Events scheduled at *exactly the current instant* — the ``0.0``-delay
+  hand-offs every simulated node uses to yield between messages — go to
+  a FIFO run queue instead of the heap. Dispatch order is unchanged
+  (the run queue is consumed in sequence order, interleaved with any
+  same-timestamp heap entries by their sequence numbers); only the
+  ``heappush``/``heappop`` pair is skipped.
+* :meth:`Scheduler.push_many` bulk-schedules a batch of timers with one
+  ``heapify`` instead of N ``heappush`` calls — the entry point the
+  open-loop arrival pump uses to pre-schedule a chunk of arrivals.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from collections import deque
+from typing import Any, Callable, Iterable
 
 from ..errors import SimulationError
 from .clock import NEVER, SimTime
@@ -22,6 +36,8 @@ from .futures import SimCoroutine, SimFuture, spawn
 # ever reaches the (non-comparable) event, and tuple comparison in C is
 # several times faster than a dataclass __lt__ — this queue is pushed
 # and popped for every simulated message, timer, and client tick.
+# Run-queue entries are ``(seq, event)`` — their time is always the
+# scheduler's current instant.
 
 
 class Event:
@@ -70,79 +86,179 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._queue: list[tuple[SimTime, int, Event]] = []
+        # Events scheduled at exactly ``now`` while the clock already
+        # stands there: consumed FIFO (== seq order) without touching
+        # the heap. Invariant: every entry's time is the current
+        # instant, so the queue always drains before the clock moves.
+        self._runq: deque[tuple[int, Event]] = deque()
         self._seq = 0
         self.now: SimTime = 0.0
-        self._running = False
         self.events_processed = 0
-        # Live-event counter: pending() is O(1) instead of scanning the
-        # heap (monitors and the driver sample it every simulated
-        # second). _cancelled counts tombstones still buried in the
-        # heap so compaction can trigger before they dominate memory.
-        self._live = 0
+        # Tombstones (cancelled events) still buried in the heap or run
+        # queue. pending() derives the live count from the container
+        # sizes minus this, so the hot dispatch path maintains no
+        # separate live counter.
         self._cancelled = 0
 
     def schedule(self, delay: SimTime, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        event = Event(fn, args, self)
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._runq.append((seq, event))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, seq, event))
+        return event
 
     def schedule_at(self, when: SimTime, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
-        if when < self.now:
+        now = self.now
+        if when < now:
             raise SimulationError(
-                f"cannot schedule at {when:.6f}s; current time is {self.now:.6f}s"
+                f"cannot schedule at {when:.6f}s; current time is {now:.6f}s"
             )
         event = Event(fn, args, self)
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event))
-        self._live += 1
+        self._seq = seq = self._seq + 1
+        if when == now:
+            self._runq.append((seq, event))
+        else:
+            heapq.heappush(self._queue, (when, seq, event))
         return event
+
+    def push_many(
+        self,
+        items: Iterable[tuple[SimTime, Callable[..., Any], tuple[Any, ...]]],
+    ) -> list[Event]:
+        """Bulk-schedule ``(delay, fn, args)`` entries; returns their Events.
+
+        One ``heapify`` over the merged heap replaces N ``heappush``
+        sift-ups when the batch is large relative to the pending queue
+        — the win the open-loop arrival pump depends on when it
+        pre-schedules a chunk of arrivals at once. Order semantics are
+        identical to N sequential :meth:`schedule` calls (entries take
+        consecutive sequence numbers in input order).
+        """
+        now = self.now
+        queue = self._queue
+        seq = self._seq
+        events: list[Event] = []
+        entries: list[tuple[SimTime, int, Event]] = []
+        for delay, fn, args in items:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule {delay:.6f}s in the past"
+                )
+            seq += 1
+            event = Event(fn, args, self)
+            events.append(event)
+            entries.append((now + delay, seq, event))
+        self._seq = seq
+        # Crossover: k pushes cost O(k log n); extend+heapify O(n + k).
+        if len(entries) * 4 >= len(queue):
+            queue.extend(entries)
+            heapq.heapify(queue)
+        else:
+            for entry in entries:
+                heapq.heappush(queue, entry)
+        return events
 
     def _on_cancel(self) -> None:
         """Bookkeeping for Event.cancel(); compacts tombstones lazily."""
-        self._live -= 1
         self._cancelled += 1
         if (
             self._cancelled >= self.COMPACT_FLOOR
-            and self._cancelled > len(self._queue) // 2
+            and self._cancelled > (len(self._queue) + len(self._runq)) // 2
         ):
             self._queue = [
                 entry for entry in self._queue if not entry[2].cancelled
             ]
             heapq.heapify(self._queue)
+            if self._runq:
+                self._runq = deque(
+                    entry for entry in self._runq if not entry[1].cancelled
+                )
             self._cancelled = 0
 
     def peek_time(self) -> SimTime:
         """Time of the next pending event, or ``NEVER`` if queue is empty."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+        runq = self._runq
+        while runq and runq[0][1].cancelled:
+            runq.popleft()
             self._cancelled -= 1
-        return self._queue[0][0] if self._queue else NEVER
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        if runq:
+            return self.now  # run-queue entries live at the current instant
+        return queue[0][0] if queue else NEVER
+
+    def _pop_next(self) -> tuple[SimTime, Event] | None:
+        """Pop the next live event honoring (time, seq) order, or None."""
+        queue = self._queue
+        runq = self._runq
+        pop = heapq.heappop
+        while True:
+            if runq:
+                # A heap entry at the same instant with a smaller seq
+                # was scheduled earlier and goes first.
+                head = queue[0] if queue else None
+                if head is not None and head[0] == self.now and head[1] < runq[0][0]:
+                    when, _seq, event = pop(queue)
+                else:
+                    when, event = self.now, runq.popleft()[1]
+            elif queue:
+                when, _seq, event = pop(queue)
+            else:
+                return None
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            return when, event
 
     def step(self) -> bool:
         """Run the single next event. Returns False when nothing is left."""
+        nxt = self._pop_next()
+        if nxt is None:
+            return False
+        when, event = nxt
+        self.now = when
+        self.events_processed += 1
+        # Detach before firing so a later cancel() of this handle
+        # cannot corrupt the tombstone counter.
+        event._scheduler = None
+        event.fn(*event.args)
+        return True
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping after ``max_events``."""
         queue = self._queue
-        while queue:
-            when, _seq, event = heapq.heappop(queue)
+        runq = self._runq
+        pop = heapq.heappop
+        remaining = -1 if max_events is None else max_events
+        # Inlined _pop_next: this loop is the simulator's innermost
+        # hot path, so it avoids a Python call per dispatched event.
+        while True:
+            if runq:
+                head = queue[0] if queue else None
+                if head is not None and head[0] == self.now and head[1] < runq[0][0]:
+                    when, _seq, event = pop(queue)
+                else:
+                    when, event = self.now, runq.popleft()[1]
+            elif queue:
+                when, _seq, event = pop(queue)
+            else:
+                return
             if event.cancelled:
                 self._cancelled -= 1
                 continue
             self.now = when
             self.events_processed += 1
-            self._live -= 1
-            # Detach before firing so a later cancel() of this handle
-            # cannot double-decrement the live counter.
             event._scheduler = None
             event.fn(*event.args)
-            return True
-        return False
-
-    def run(self, max_events: int | None = None) -> None:
-        """Drain the queue, optionally stopping after ``max_events``."""
-        remaining = max_events
-        while self.step():
-            if remaining is not None:
+            if remaining != -1:
                 remaining -= 1
                 if remaining <= 0:
                     return
@@ -157,17 +273,42 @@ class Scheduler:
             raise SimulationError(
                 f"deadline {deadline:.6f}s is before current time {self.now:.6f}s"
             )
+        queue = self._queue
+        runq = self._runq
+        pop = heapq.heappop
         while True:
-            next_time = self.peek_time()
-            if next_time > deadline:
+            if runq:
+                # Run-queue entries live at the current instant, which
+                # is always <= deadline.
+                head = queue[0] if queue else None
+                if head is not None and head[0] == self.now and head[1] < runq[0][0]:
+                    when, _seq, event = pop(queue)
+                else:
+                    when, event = self.now, runq.popleft()[1]
+            elif queue:
+                head = queue[0]
+                if head[2].cancelled:
+                    pop(queue)
+                    self._cancelled -= 1
+                    continue
+                if head[0] > deadline:
+                    break
+                when, _seq, event = pop(queue)
+            else:
                 break
-            self.step()
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self.now = when
+            self.events_processed += 1
+            event._scheduler = None
+            event.fn(*event.args)
         self.now = deadline
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued. O(1):
-        maintained as a counter rather than scanning the heap."""
-        return self._live
+        derived from the container sizes minus buried tombstones."""
+        return len(self._queue) + len(self._runq) - self._cancelled
 
     # ------------------------------------------------------------------
     # Coroutine support (see repro.sim.futures)

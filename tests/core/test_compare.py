@@ -144,3 +144,74 @@ def test_format_marks_regressions(tmp_path):
     assert "REGRESSED" in text
     assert "REGRESSION" in text  # the per-point note line
     assert "hyperledger/donothing" in text
+
+
+# ---------------------------------------------------------------------------
+# Cross-scenario-file projection (PR 6)
+# ---------------------------------------------------------------------------
+def _named_store(tmp_path, dirname, scenario_name, rates=(20, 40)):
+    out = tmp_path / dirname
+    ScenarioSuite(
+        name=scenario_name,
+        scenarios=[
+            ScenarioSpec(
+                platforms="hyperledger", workloads="donothing",
+                servers=2, clients=2, rates=list(rates), durations=3, seeds=1,
+                name=scenario_name,
+            )
+        ],
+    ).run(out_dir=out)
+    return out
+
+
+def test_same_axes_different_scenario_names_align_by_projection(tmp_path):
+    """Two scenario files sweeping identical physical axes never share
+    a direct spec hash (the name is hashed); the projected alignment
+    must recover the point-by-point diff and flag itself."""
+    base = _named_store(tmp_path, "base", "alpha")
+    current = _named_store(tmp_path, "current", "beta")
+    comparison = compare_suites(base, current, threshold=0.0)
+    assert comparison.projected is True
+    assert len(comparison.deltas) == 2
+    assert comparison.regressions() == []
+    assert comparison.to_json()["projected"] is True
+    assert "projected spec hash" in comparison.format()
+
+
+def test_direct_alignment_never_reports_projected(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    comparison = compare_suites(base, current)
+    assert comparison.projected is False
+    assert comparison.to_json()["projected"] is False
+    assert "projected spec hash" not in comparison.format()
+
+
+def test_projection_still_gates_regressions(tmp_path):
+    base = _named_store(tmp_path, "base", "alpha")
+    current = _named_store(tmp_path, "current", "beta")
+    _doctor(current, scale_throughput=0.5)
+    comparison = compare_suites(base, current, threshold=0.1)
+    assert comparison.projected is True
+    assert len(comparison.regressions()) == 1
+
+
+def test_projection_with_disjoint_physical_axes_errors(tmp_path):
+    base = _named_store(tmp_path, "base", "alpha", rates=(20,))
+    current = _named_store(tmp_path, "current", "beta", rates=(80,))
+    with pytest.raises(BenchmarkError, match="disjoint axes"):
+        compare_suites(base, current)
+
+
+def test_projection_collision_is_rejected(tmp_path):
+    """Two runs on one side that differ only in scenario/label project
+    to the same key; aligning either would be arbitrary, so refuse."""
+    base = _named_store(tmp_path, "base", "alpha", rates=(20,))
+    extra = _named_store(tmp_path, "extra", "gamma", rates=(20,))
+    # Splice gamma's run file into base's store: same physical point,
+    # different scenario name.
+    src = next((extra / "runs").glob("*.json"))
+    (base / "runs" / src.name).write_text(src.read_text())
+    current = _named_store(tmp_path, "current", "beta", rates=(20,))
+    with pytest.raises(BenchmarkError, match="ambiguous"):
+        compare_suites(base, current)

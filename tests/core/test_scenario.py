@@ -351,3 +351,76 @@ def test_progress_callback_fires_per_run():
     )
     suite.run(progress=lambda i, n, spec: seen.append((i, n, spec.platform)))
     assert seen == [(0, 2, "hyperledger"), (1, 2, "hyperledger")]
+
+
+def test_arrival_axis_expands_with_labels():
+    spec = ScenarioSpec(
+        name="openloop",
+        platforms="hyperledger",
+        workloads="ycsb",
+        servers=4,
+        rates=1,
+        durations=5,
+        arrival=[
+            {"process": "poisson", "rate": 500.0},
+            {"process": "poisson", "rate": 1000.0, "zipf_s": 1.1},
+        ],
+    )
+    specs = spec.expand()
+    assert len(specs) == 2
+    assert specs[0].arrival == {"process": "poisson", "rate": 500.0}
+    assert specs[1].arrival["rate"] == 1000.0
+    # Axis points of a multi-point arrival axis are labelled apart.
+    assert specs[0].label != specs[1].label
+
+
+def test_single_arrival_dict_applies_without_label():
+    spec = ScenarioSpec(
+        name="openloop",
+        platforms="hyperledger",
+        workloads="ycsb",
+        servers=4,
+        rates=1,
+        durations=5,
+        arrival={"process": "uniform", "rate": 200.0},
+        stats_reservoir=5000,
+    )
+    specs = spec.expand()
+    assert len(specs) == 1
+    assert specs[0].arrival == {"process": "uniform", "rate": 200.0}
+    assert specs[0].stats_reservoir == 5000
+    assert specs[0].label == ""
+
+
+def test_arrival_axis_rejects_bad_points_eagerly():
+    spec = ScenarioSpec(
+        name="openloop",
+        platforms="hyperledger",
+        workloads="ycsb",
+        servers=4,
+        rates=1,
+        durations=5,
+        arrival=[{"process": "poisson", "rate": -5.0}],
+    )
+    with pytest.raises(BenchmarkError):
+        spec.expand()
+
+
+def test_arrival_accepted_from_json():
+    suite = ScenarioSuite.from_dict(
+        {
+            "name": "openloop",
+            "platforms": ["hyperledger"],
+            "workloads": ["ycsb"],
+            "servers": [4],
+            "rates": [1],
+            "durations": [5],
+            "arrival": {"process": "poisson", "rate": 400.0,
+                        "accounts": 1000, "zipf_s": 1.1},
+            "stats_reservoir": 2000,
+        }
+    )
+    specs = suite.expand()
+    assert len(specs) == 1
+    assert specs[0].arrival["accounts"] == 1000
+    assert specs[0].stats_reservoir == 2000

@@ -1,0 +1,139 @@
+"""Bounded-memory latency reservoir (the ``stats_reservoir`` knob).
+
+Unbounded per-transaction latency lists are what make megaclient runs
+impossible to keep in memory; the reservoir caps them at k samples via
+seeded Algorithm R while keeping exact counters. These tests pin the
+contract: default off = byte-identical to the historical collector,
+on = bounded storage, exact counts, deterministic summaries, and
+percentiles that stay close to the exact ones.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ExperimentSpec, run_experiment
+from repro.core.stats import StatsCollector, merge_collectors
+
+
+def _fill(collector: StatsCollector, n: int) -> None:
+    collector.begin(0.0)
+    for i in range(n):
+        # Latency ramps linearly 0..10s; submit times advance so the
+        # commit-rate buckets see a spread of seconds.
+        submitted = i * 0.01
+        collector.record_confirmation(submitted, submitted + 10.0 * i / n)
+    collector.finish(n * 0.01 + 60.0)
+
+
+def test_default_collector_is_unbounded_and_exact():
+    collector = StatsCollector("p", "w")
+    _fill(collector, 5000)
+    assert collector.reservoir == 0
+    assert len(collector.latencies) == 5000
+    assert collector.confirmed == 5000
+
+
+def test_reservoir_bounds_sample_storage_but_not_counts():
+    collector = StatsCollector("p", "w", reservoir=500, reservoir_seed=1)
+    _fill(collector, 20_000)
+    assert len(collector.latencies) == 500
+    assert collector.confirmed == 20_000
+    summary = collector.summary()
+    assert summary.confirmed == 20_000
+    assert summary.throughput_tx_s > 0
+
+
+def test_reservoir_below_capacity_keeps_every_sample():
+    collector = StatsCollector("p", "w", reservoir=1000, reservoir_seed=1)
+    _fill(collector, 300)
+    exact = StatsCollector("p", "w")
+    _fill(exact, 300)
+    assert collector.latencies == exact.latencies
+    assert collector.summary() == exact.summary()
+
+
+def test_reservoir_is_deterministic_per_seed():
+    a = StatsCollector("p", "w", reservoir=200, reservoir_seed=9)
+    b = StatsCollector("p", "w", reservoir=200, reservoir_seed=9)
+    _fill(a, 10_000)
+    _fill(b, 10_000)
+    assert a.latencies == b.latencies
+    assert a.summary() == b.summary()
+    c = StatsCollector("p", "w", reservoir=200, reservoir_seed=10)
+    _fill(c, 10_000)
+    assert c.latencies != a.latencies
+
+
+def test_reservoir_percentiles_track_exact_ones():
+    """k=2000 over a linear ramp: rank error is ~1/sqrt(k), so p50/p99
+    must land within a few percent of the exact order statistics."""
+    sampled = StatsCollector("p", "w", reservoir=2000, reservoir_seed=3)
+    exact = StatsCollector("p", "w")
+    _fill(sampled, 50_000)
+    _fill(exact, 50_000)
+    for pct in (50.0, 90.0, 99.0):
+        assert sampled.latency_percentile(pct) == pytest.approx(
+            exact.latency_percentile(pct), rel=0.05
+        )
+
+
+def test_commit_rate_buckets_survive_sampling():
+    """The commits-per-second series is counted exactly (integer
+    buckets), not sampled — Figure-style rate plots must not thin out
+    when the reservoir engages."""
+    sampled = StatsCollector("p", "w", reservoir=100, reservoir_seed=2)
+    exact = StatsCollector("p", "w")
+    _fill(sampled, 8000)
+    _fill(exact, 8000)
+    assert sampled.commits_per_bucket(1.0) == exact.commits_per_bucket(1.0)
+
+
+def test_merge_preserves_confirmed_counts_across_reservoirs():
+    parts = []
+    for seed in range(3):
+        collector = StatsCollector("p", "w", reservoir=100, reservoir_seed=seed)
+        _fill(collector, 2000)
+        parts.append(collector)
+    merged = merge_collectors(parts)
+    assert merged.confirmed == 6000
+    assert len(merged.latencies) == 300
+
+
+def test_experiment_summary_counts_match_with_and_without_reservoir():
+    """End to end: sampling may move percentiles slightly but must
+    never change what happened — submitted/confirmed/rejected and the
+    chain are invariants."""
+    spec = ExperimentSpec(
+        platform="hyperledger",
+        workload="ycsb",
+        n_servers=2,
+        n_clients=2,
+        request_rate_tx_s=100.0,
+        duration_s=8.0,
+        seed=5,
+    )
+    exact = run_experiment(spec)
+    sampled = run_experiment(replace(spec, stats_reservoir=50))
+    assert sampled.summary.submitted == exact.summary.submitted
+    assert sampled.summary.confirmed == exact.summary.confirmed
+    assert sampled.summary.rejected == exact.summary.rejected
+    assert sampled.chain_height == exact.chain_height
+    assert sampled.summary.latency_avg_s == pytest.approx(
+        exact.summary.latency_avg_s, rel=0.25
+    )
+
+
+def test_large_enough_reservoir_reproduces_the_exact_summary():
+    spec = ExperimentSpec(
+        platform="hyperledger",
+        workload="ycsb",
+        n_servers=2,
+        n_clients=2,
+        request_rate_tx_s=60.0,
+        duration_s=8.0,
+        seed=5,
+    )
+    exact = run_experiment(spec)
+    sampled = run_experiment(replace(spec, stats_reservoir=1_000_000))
+    assert sampled.summary == exact.summary

@@ -269,3 +269,30 @@ def test_manifest_written_with_run_hashes(tmp_path):
     assert manifest["run_hashes"] == [spec_hash(r.spec) for r in result.results]
     hashes = {p.stem for p in (tmp_path / "runs").glob("*.json")}
     assert set(manifest["run_hashes"]) == hashes
+
+
+def test_new_optional_fields_do_not_move_old_spec_hashes():
+    """PR 6 added ``arrival`` and ``stats_reservoir`` to the spec. At
+    their defaults they must be invisible to the canonical form, or
+    every committed baseline store and resumable campaign on disk
+    would silently orphan (same physics, new hash)."""
+    spec = ExperimentSpec(platform="hyperledger", seed=1)
+    data = spec_to_dict(spec)
+    assert "arrival" not in data
+    assert "stats_reservoir" not in data
+
+
+def test_non_default_arrival_and_reservoir_hash_apart():
+    """A real axis value must enter the hash, like any other axis."""
+    base = ExperimentSpec(platform="hyperledger", seed=1)
+    arrival = ExperimentSpec(
+        platform="hyperledger", seed=1,
+        arrival={"process": "poisson", "rate": 100.0},
+    )
+    reservoir = ExperimentSpec(
+        platform="hyperledger", seed=1, stats_reservoir=1000
+    )
+    hashes = {spec_hash(base), spec_hash(arrival), spec_hash(reservoir)}
+    assert len(hashes) == 3
+    assert "arrival" in spec_to_dict(arrival)
+    assert spec_to_dict(reservoir)["stats_reservoir"] == 1000
