@@ -54,9 +54,11 @@ from typing import Sequence
 
 from .core import (
     ARRIVAL_PROCESSES,
+    BYZANTINE_BEHAVIORS,
     CLIENT_MODES,
     ExperimentSpec,
     FaultSchedule,
+    ByzantineFault,
     CrashFault,
     Driver,
     DriverConfig,
@@ -135,6 +137,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--crash", type=int, default=0, metavar="N",
         help="crash N servers at mid-run (Figure 9 style)",
+    )
+    run.add_argument(
+        "--byzantine", type=int, default=0, metavar="N",
+        help="make N servers byzantine for the middle half of the run",
+    )
+    run.add_argument(
+        "--byzantine-behavior",
+        choices=sorted(BYZANTINE_BEHAVIORS),
+        default="equivocate",
+        help="adversarial strategy for --byzantine (default equivocate)",
     )
     run.add_argument(
         "--arrival-process", choices=ARRIVAL_PROCESSES, default=None,
@@ -282,10 +294,25 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _cmd_run(args: argparse.Namespace) -> int:
     faults = None
-    if args.crash:
-        faults = FaultSchedule(
-            crashes=[CrashFault(at_time=args.duration / 2, count=args.crash)]
-        )
+    if args.crash or args.byzantine:
+        crashes = []
+        byzantines = []
+        if args.crash:
+            crashes.append(
+                CrashFault(at_time=args.duration / 2, count=args.crash)
+            )
+        if args.byzantine:
+            # Middle half of the run: long enough to bite, with healthy
+            # lead-in and recovery phases on either side.
+            byzantines.append(
+                ByzantineFault(
+                    at_time=args.duration / 4,
+                    until_time=args.duration * 3 / 4,
+                    behavior=args.byzantine_behavior,
+                    count=args.byzantine,
+                )
+            )
+        faults = FaultSchedule(crashes=crashes, byzantines=byzantines)
     arrival = None
     if args.arrival_process is not None:
         if args.arrival_rate is None:
@@ -371,6 +398,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     "total_blocks": result.total_blocks,
                     "main_branch_blocks": result.main_branch_blocks,
                     "view_changes": result.view_changes,
+                    "safety_violations": result.safety_violations,
+                    "safety_report": result.safety_report,
                 }
             )
         )
@@ -385,7 +414,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["chain height", result.chain_height],
         ["fork blocks", result.total_blocks - result.main_branch_blocks],
         ["view changes", result.view_changes],
+        [
+            "chain safety",
+            (
+                "ok"
+                if result.safety_violations == 0
+                else f"{result.safety_violations} VIOLATIONS"
+            ),
+        ],
     ]
+    if result.safety_violations and result.safety_report:
+        for violation in result.safety_report["violations"][:5]:
+            rows.append(
+                [
+                    f"  {violation['kind']} @h{violation['height']}",
+                    ",".join(violation["nodes"]),
+                ]
+            )
     print(
         format_table(
             ["metric", "value"],

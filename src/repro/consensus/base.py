@@ -84,14 +84,58 @@ class ConsensusHost(Protocol):
         ...
 
 
+#: Header meta key a forged proposal carries. ``garbage:*`` variants are
+#: locally detectable (a digest that fails verification) and honest
+#: nodes reject them via :meth:`ConsensusProtocol.proposal_intact`;
+#: ``equivocate:*`` variants are well-formed conflicting proposals a
+#: hash check cannot catch — only the cross-replica safety auditor can.
+BYZ_META_KEY = "byz"
+
+
 class ConsensusProtocol(ABC):
     """Base class for PoW, PoA, PBFT, and Tendermint."""
 
     #: Message kinds this protocol consumes (the node routes on these).
     message_kinds: tuple[str, ...] = ()
+    #: Kinds whose payload is a proposed :class:`Block` — the targets of
+    #: equivocation and digest corruption (adversary hook API).
+    proposal_kinds: tuple[str, ...] = ()
+    #: Kinds carrying votes as ``{"digest": Hash, ...}`` dicts — the
+    #: targets of vote withholding and digest rewriting.
+    vote_kinds: tuple[str, ...] = ()
 
     def __init__(self, host: ConsensusHost) -> None:
         self.host = host
+
+    def forge_proposal(self, kind: str, payload: Any, variant: str) -> Block | None:
+        """A conflicting-but-plausible double of a proposal payload.
+
+        The default handles the common shape — ``payload`` is the
+        proposed :class:`Block` — by rebuilding it with an extra header
+        meta key, which changes the hash while preserving every field a
+        protocol validates (height, parent, round/step/sealer meta).
+        Returns ``None`` when the payload is not forgeable.
+        """
+        if kind not in self.proposal_kinds or not isinstance(payload, Block):
+            return None
+        meta = dict(payload.header.consensus_meta)
+        meta[BYZ_META_KEY] = variant
+        return Block.build(
+            height=payload.height,
+            parent_hash=payload.header.parent_hash,
+            transactions=payload.transactions,
+            state_root=payload.header.state_root,
+            proposer=payload.header.proposer,
+            timestamp=payload.header.timestamp,
+            consensus_meta=meta,
+        )
+
+    def proposal_intact(self, block: Block) -> bool:
+        """Digest verification an honest replica performs on a proposal:
+        a block whose advertised digest fails the content check (the
+        ``garbage`` forgeries) is rejected; an equivocated block is
+        internally consistent and passes."""
+        return not block.header.meta(BYZ_META_KEY, "").startswith("garbage")
 
     @abstractmethod
     def start(self) -> None:

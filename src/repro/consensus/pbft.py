@@ -89,6 +89,8 @@ class PBFT(ConsensusProtocol):
         SYNC_REQ,
         SYNC_RESP,
     )
+    proposal_kinds = (PRE_PREPARE,)
+    vote_kinds = (PREPARE, COMMIT)
 
     def __init__(
         self,
@@ -239,6 +241,8 @@ class PBFT(ConsensusProtocol):
     def _on_pre_prepare(self, block: Block, sender: str) -> None:
         if sender != self.leader_of(self.view) or self._view_changing:
             return
+        if not self.proposal_intact(block):
+            return  # digest fails verification (byzantine leader)
         seq = block.height
         if seq <= self.last_executed:
             return  # already executed (a retransmission)

@@ -47,6 +47,7 @@ class ProofOfAuthority(ConsensusProtocol):
     """One authority's view of the Aura rotation."""
 
     message_kinds = (BLOCK_MSG,) + AncestorFetcher.message_kinds
+    proposal_kinds = (BLOCK_MSG,)
 
     def __init__(
         self,
@@ -108,7 +109,7 @@ class ProofOfAuthority(ConsensusProtocol):
         if kind != BLOCK_MSG:
             return
         block: Block = payload
-        if not self._valid_seal(block):
+        if not self._valid_seal(block) or not self.proposal_intact(block):
             return
         self.host.deliver_block(block)
         self.fetcher.maybe_fetch(block, sender)

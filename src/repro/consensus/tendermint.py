@@ -136,6 +136,8 @@ class Tendermint(ConsensusProtocol):
     """One validator's view of the Tendermint state machine."""
 
     message_kinds = (PROPOSAL, PREVOTE, PRECOMMIT, SYNC_REQ, SYNC_RESP)
+    proposal_kinds = (PROPOSAL,)
+    vote_kinds = (PREVOTE, PRECOMMIT)
 
     def __init__(
         self,
@@ -447,6 +449,8 @@ class Tendermint(ConsensusProtocol):
         height = block.height
         if height < self.height:
             return  # stale proposal for a committed height
+        if not self.proposal_intact(block):
+            return  # digest fails verification (byzantine proposer)
         meta_round = int(block.header.meta("round", "0"))
         if sender != self.proposer_of(height, meta_round):
             return  # not from the legitimate proposer of that round

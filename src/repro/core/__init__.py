@@ -27,12 +27,16 @@ from .export import (
     export_summary,
     write_csv,
 )
+from .audit import AuditReport, ChainAuditor, SafetyViolation
 from .faults import (
+    BYZANTINE_BEHAVIORS,
+    ByzantineFault,
     CorruptionFault,
     CrashFault,
     DelayFault,
     FaultSchedule,
     PartitionFault,
+    register_behavior,
 )
 from .compare import RunDelta, SuiteComparison, compare_suites
 from .report import SUMMARY_HEADERS, format_table, summary_row
@@ -71,6 +75,12 @@ __all__ = [
     "export_queue_series",
     "export_summary",
     "write_csv",
+    "AuditReport",
+    "ChainAuditor",
+    "SafetyViolation",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantineFault",
+    "register_behavior",
     "CorruptionFault",
     "CrashFault",
     "DelayFault",

@@ -1,0 +1,202 @@
+"""Chain safety auditor: cross-replica invariants, checked per commit.
+
+BLOCKBENCH's security metric (Section 4.1.3) asks whether a blockchain
+keeps its safety guarantees under attack. Throughput and latency are
+visible in the stats pipeline; a *safety* failure — two honest replicas
+finalizing different blocks at the same height — is not, unless
+something watches every replica's commits. :class:`ChainAuditor` is
+that watcher: always on, subscribed to every node's block execution,
+and independent of the protocols it audits.
+
+Invariants, each checked the moment an honest replica commits a block:
+
+- **agreement** — no two honest replicas commit different blocks at the
+  same height (fork detection). Honest = never byzantine per
+  ``Network.ever_byzantine``; what a liar's local chain says proves
+  nothing about the protocol.
+- **digest integrity** — no committed block carries a forged
+  (``garbage``) digest marker: honest verification should have rejected
+  it before commit.
+- **monotonicity** — each replica's finalized height only grows; a
+  replica re-finalizing a height it already executed would unwind
+  settled state.
+
+Violations carry the height, the replicas involved, and the byzantine
+fault context active at detection time, and surface as a count in
+``StatsSummary``/``SuiteResult`` next to throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..chain.block import Block
+from ..consensus.base import BYZ_META_KEY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.network import Network
+
+__all__ = ["AuditReport", "ChainAuditor", "SafetyViolation"]
+
+
+@dataclass
+class SafetyViolation:
+    """One observed breach of a chain safety invariant."""
+
+    kind: str  #: "fork" | "garbage_digest" | "height_regression"
+    height: int
+    nodes: list[str]
+    detail: str
+    at_time: float
+    #: Byzantine behaviors active when the violation was detected.
+    fault_context: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "height": self.height,
+            "nodes": self.nodes,
+            "detail": self.detail,
+            "at_time": self.at_time,
+            "fault_context": self.fault_context,
+        }
+
+
+@dataclass
+class AuditReport:
+    """The auditor's verdict for one finished run."""
+
+    commits_checked: int
+    honest_nodes: int
+    byzantine_nodes: list[str]
+    violations: list[SafetyViolation] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "safe": self.safe,
+            "commits_checked": self.commits_checked,
+            "honest_nodes": self.honest_nodes,
+            "byzantine_nodes": self.byzantine_nodes,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+class ChainAuditor:
+    """Subscribes to every replica's commits; flags safety breaches."""
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self.violations: list[SafetyViolation] = []
+        self.commits_checked = 0
+        #: height -> block hash -> honest committers.
+        self._commits: dict[int, dict[bytes, set[str]]] = {}
+        self._executed_height: dict[str, int] = {}
+        self._flagged_forks: set[tuple[int, bytes, bytes]] = set()
+        self._active_faults: list[str] = []
+
+    # -- fault context ---------------------------------------------------
+    def fault_started(self, label: str) -> None:
+        """A byzantine window opened (called by ``FaultSchedule``)."""
+        self._active_faults.append(label)
+
+    def fault_ended(self, label: str) -> None:
+        """A byzantine window closed."""
+        if label in self._active_faults:
+            self._active_faults.remove(label)
+
+    def _context(self) -> str:
+        return ", ".join(self._active_faults)
+
+    # -- commit stream ---------------------------------------------------
+    def record_commit(self, node_id: str, block: Block, at_time: float) -> None:
+        """One replica finalized (executed) ``block``; check invariants."""
+        self.commits_checked += 1
+        prev = self._executed_height.get(node_id, 0)
+        if block.height <= prev:
+            self._flag(
+                "height_regression",
+                block.height,
+                [node_id],
+                f"{node_id} re-finalized height {block.height} after "
+                f"reaching {prev}",
+                at_time,
+            )
+        else:
+            self._executed_height[node_id] = block.height
+        if node_id in self.network.ever_byzantine:
+            # A liar's own chain proves nothing; only honest commits
+            # enter the agreement record.
+            return
+        if block.header.meta(BYZ_META_KEY, "").startswith("garbage"):
+            self._flag(
+                "garbage_digest",
+                block.height,
+                [node_id],
+                f"{node_id} committed block {block.hash.hex()[:12]} whose "
+                "digest fails verification",
+                at_time,
+            )
+        by_hash = self._commits.setdefault(block.height, {})
+        by_hash.setdefault(block.hash, set()).add(node_id)
+        if len(by_hash) > 1:
+            self._check_fork(block.height, by_hash, at_time)
+
+    def _check_fork(
+        self, height: int, by_hash: dict[bytes, set[str]], at_time: float
+    ) -> None:
+        hashes = sorted(by_hash)
+        for i, first in enumerate(hashes):
+            for second in hashes[i + 1 :]:
+                key = (height, first, second)
+                if key in self._flagged_forks:
+                    continue
+                self._flagged_forks.add(key)
+                nodes = sorted(by_hash[first] | by_hash[second])
+                self._flag(
+                    "fork",
+                    height,
+                    nodes,
+                    f"honest replicas disagree at height {height}: "
+                    f"{sorted(by_hash[first])} committed "
+                    f"{first.hex()[:12]}, {sorted(by_hash[second])} "
+                    f"committed {second.hex()[:12]}",
+                    at_time,
+                )
+
+    def _flag(
+        self,
+        kind: str,
+        height: int,
+        nodes: list[str],
+        detail: str,
+        at_time: float,
+    ) -> None:
+        self.violations.append(
+            SafetyViolation(
+                kind=kind,
+                height=height,
+                nodes=nodes,
+                detail=detail,
+                at_time=at_time,
+                fault_context=self._context(),
+            )
+        )
+
+    # -- verdict ---------------------------------------------------------
+    def report(self) -> AuditReport:
+        honest = {
+            nid
+            for nid in self.network.node_ids()
+            if nid not in self.network.ever_byzantine
+        }
+        return AuditReport(
+            commits_checked=self.commits_checked,
+            honest_nodes=len(honest),
+            byzantine_nodes=sorted(self.network.ever_byzantine),
+            violations=list(self.violations),
+        )

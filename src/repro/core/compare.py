@@ -71,6 +71,10 @@ class RunDelta:
     current_latency_avg: float
     #: Human-readable reasons this point regressed (empty = clean).
     failures: list[str]
+    #: Safety-auditor violation counts (0 for runs persisted before the
+    #: auditor existed).
+    base_safety: int = 0
+    current_safety: int = 0
 
     @property
     def regressed(self) -> bool:
@@ -103,7 +107,17 @@ def _delta(spec_hash: str, base: dict, current: dict, threshold: float) -> RunDe
         base_latency_avg=base_summary["latency_avg_s"],
         current_latency_avg=cur_summary["latency_avg_s"],
         failures=[],
+        # .get: directories written before the safety auditor existed.
+        base_safety=base_summary.get("safety_violations", 0),
+        current_safety=cur_summary.get("safety_violations", 0),
     )
+    if delta.current_safety > delta.base_safety:
+        # Safety is absolute — no tolerance applies. New violations on
+        # a previously safe (or safer) point always gate.
+        delta.failures.append(
+            f"safety violations rose from {delta.base_safety} to "
+            f"{delta.current_safety} (no tolerance on safety)"
+        )
     if delta.base_throughput > 0:
         drop = 1.0 - delta.current_throughput / delta.base_throughput
         if drop > threshold:
@@ -185,6 +199,8 @@ class SuiteComparison:
                     "base_latency_avg_s": delta.base_latency_avg,
                     "current_latency_avg_s": delta.current_latency_avg,
                     "latency_ratio": _finite(delta.latency_ratio),
+                    "base_safety_violations": delta.base_safety,
+                    "current_safety_violations": delta.current_safety,
                     "regressed": delta.regressed,
                     "failures": delta.failures,
                 }
@@ -205,12 +221,14 @@ class SuiteComparison:
                     f"{delta.base_latency_avg:.3f}",
                     f"{delta.current_latency_avg:.3f}",
                     f"{delta.latency_ratio:.3f}x",
+                    f"{delta.base_safety}->{delta.current_safety}",
                     "REGRESSED" if delta.regressed else "ok",
                 ]
             )
         table = format_table(
             ["point", "base tx/s", "cur tx/s", "tx ratio",
-             "base lat (s)", "cur lat (s)", "lat ratio", "status"],
+             "base lat (s)", "cur lat (s)", "lat ratio", "safety",
+             "status"],
             rows,
             title=(
                 f"suite compare: {self.base_dir} vs {self.current_dir} "

@@ -1,18 +1,34 @@
-"""Fault-injection schedules (Section 3.3's three failure modes).
+"""Fault-injection schedules (Section 3.3's failure modes, plus lies).
 
 "In Blockbench we simulate three failure modes: crash failure in which
 a node simply stops, network delay in which we inject arbitrary delays
 into messages, and random response in which we corrupt the messages
 exchanged among the nodes."
+
+Beyond the paper's benign modes, :class:`ByzantineFault` makes a node
+*adversarial*: for a window it equivocates (conflicting proposals to
+disjoint replica subsets), advertises garbage digests, goes silent, or
+withholds votes. Behaviors are strategies in :data:`BYZANTINE_BEHAVIORS`
+implemented entirely against the adversary hook API on
+:class:`~repro.consensus.base.ConsensusProtocol` (``proposal_kinds``,
+``vote_kinds``, ``forge_proposal``) and the per-sender send filters on
+:class:`~repro.sim.network.Network` — no protocol-specific fault code
+lives here, so any protocol that declares its kinds is attackable.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..chain.block import Block
+from ..errors import BenchmarkError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..platforms.base import PlatformNode
     from ..platforms.cluster import Cluster
+    from ..sim.network import Network, SendFilter
 
 
 @dataclass
@@ -53,6 +69,161 @@ class PartitionFault:
 
 
 @dataclass
+class ByzantineFault:
+    """Make nodes adversarial during [at_time, until_time).
+
+    ``behavior`` names a strategy in :data:`BYZANTINE_BEHAVIORS`.
+    Victims are ``nodes`` when given, else the first ``count`` nodes of
+    the cluster (the head of the list holds the PBFT view-0 leader and
+    the first PoA/Tendermint proposer slots — the hardest case, matching
+    :class:`CrashFault`'s convention). ``delay_s`` parameterizes the
+    ``delay_votes`` behavior: how long votes are withheld.
+    """
+
+    at_time: float
+    until_time: float
+    behavior: str = "equivocate"
+    count: int | None = None
+    nodes: list[str] | None = None
+    delay_s: float = 1.5
+
+
+# ---------------------------------------------------------------------------
+# Behavior registry
+# ---------------------------------------------------------------------------
+#: ``factory(node, network, fault, shared) -> SendFilter``. ``shared``
+#: is one dict per armed fault, common to all its victims — equivocating
+#: colluders share their forgery maps through it, which is what lets two
+#: byzantine replicas vote consistently toward *both* sides of a fork.
+BehaviorFactory = Callable[
+    ["PlatformNode", "Network", ByzantineFault, dict], "SendFilter"
+]
+
+BYZANTINE_BEHAVIORS: dict[str, BehaviorFactory] = {}
+
+
+def register_behavior(name: str) -> Callable[[BehaviorFactory], BehaviorFactory]:
+    """Class/function decorator adding a strategy to the registry."""
+
+    def decorator(factory: BehaviorFactory) -> BehaviorFactory:
+        BYZANTINE_BEHAVIORS[name] = factory
+        return factory
+
+    return decorator
+
+
+def _passthrough(payload: Any, size_bytes: int) -> tuple[Any, int, float]:
+    return (payload, size_bytes, 0.0)
+
+
+@register_behavior("equivocate")
+def _equivocate(node, network, fault, shared):
+    """Send conflicting proposals to disjoint replica subsets.
+
+    Recipients at an even global index get the original proposal,
+    recipients at an odd index a forged double (same height, parent,
+    and transactions; different hash). Votes are rewritten to match the
+    recipient's variant, so every victim of the fault campaigns for
+    both sides at once. Parity splits the *honest* nodes across the two
+    variants even though victims come from the head of the node list —
+    the configuration that actually forks a quorum-based protocol once
+    enough replicas collude.
+    """
+    protocol = node.protocol
+    forged: dict[bytes, Block] = shared.setdefault("forged", {})
+    original: dict[bytes, bytes] = shared.setdefault("original", {})
+    index = {nid: i for i, nid in enumerate(network.node_ids())}
+
+    def fn(recipient, kind, payload, size_bytes):
+        odd = index.get(recipient, 0) % 2 == 1
+        if kind in protocol.proposal_kinds and isinstance(payload, Block):
+            if not odd:
+                return _passthrough(payload, size_bytes)
+            double = forged.get(payload.hash)
+            if double is None:
+                double = protocol.forge_proposal(kind, payload, "equivocate:1")
+                if double is None:
+                    return _passthrough(payload, size_bytes)
+                forged[payload.hash] = double
+                original[double.hash] = payload.hash
+            return (double, double.size_bytes(), 0.0)
+        if kind in protocol.vote_kinds and isinstance(payload, dict):
+            digest = payload.get("digest")
+            if isinstance(digest, bytes):
+                if odd and digest in forged:
+                    return ({**payload, "digest": forged[digest].hash},
+                            size_bytes, 0.0)
+                if not odd and digest in original:
+                    return ({**payload, "digest": original[digest]},
+                            size_bytes, 0.0)
+        return _passthrough(payload, size_bytes)
+
+    return fn
+
+
+@register_behavior("garbage_digest")
+def _garbage_digest(node, network, fault, shared):
+    """Advertise digests that fail verification.
+
+    Proposals are replaced by a double carrying a ``garbage`` marker —
+    honest replicas detect the content/digest mismatch via
+    ``proposal_intact`` and reject it. Vote digests are rewritten to a
+    deterministic nonsense hash, so they never match any real proposal
+    and count toward no quorum.
+    """
+    protocol = node.protocol
+    forged: dict[bytes, Block] = shared.setdefault("forged", {})
+
+    def fn(recipient, kind, payload, size_bytes):
+        if kind in protocol.proposal_kinds and isinstance(payload, Block):
+            double = forged.get(payload.hash)
+            if double is None:
+                double = protocol.forge_proposal(kind, payload, "garbage:1")
+                if double is None:
+                    return _passthrough(payload, size_bytes)
+                forged[payload.hash] = double
+            return (double, double.size_bytes(), 0.0)
+        if kind in protocol.vote_kinds and isinstance(payload, dict):
+            digest = payload.get("digest")
+            if isinstance(digest, bytes):
+                trash = hashlib.sha256(b"garbage-digest:" + digest).digest()
+                return ({**payload, "digest": trash}, size_bytes, 0.0)
+        return _passthrough(payload, size_bytes)
+
+    return fn
+
+
+@register_behavior("silent")
+def _silent(node, network, fault, shared):
+    """Drop every consensus send while still receiving — a node that
+    looks alive to timeouts but contributes nothing to quorums."""
+    kinds = frozenset(node.protocol.message_kinds)
+
+    def fn(recipient, kind, payload, size_bytes):
+        if kind in kinds:
+            return None
+        return _passthrough(payload, size_bytes)
+
+    return fn
+
+
+@register_behavior("delay_votes")
+def _delay_votes(node, network, fault, shared):
+    """Withhold prepare/commit/prevote/precommit messages for
+    ``fault.delay_s`` — votes arrive, but only near the timeout."""
+    protocol = node.protocol
+    kinds = frozenset(protocol.vote_kinds)
+    extra = fault.delay_s
+
+    def fn(recipient, kind, payload, size_bytes):
+        if kind in kinds:
+            return (payload, size_bytes, extra)
+        return _passthrough(payload, size_bytes)
+
+    return fn
+
+
+@dataclass
 class FaultSchedule:
     """A set of faults armed against one cluster."""
 
@@ -60,10 +231,18 @@ class FaultSchedule:
     delays: list[DelayFault] = field(default_factory=list)
     corruptions: list[CorruptionFault] = field(default_factory=list)
     partitions: list[PartitionFault] = field(default_factory=list)
+    byzantines: list[ByzantineFault] = field(default_factory=list)
     crashed_node_ids: list[str] = field(default_factory=list)
+    byzantine_node_ids: list[str] = field(default_factory=list)
 
     def arm(self, cluster: "Cluster") -> None:
-        """Schedule every fault on the cluster's event loop."""
+        """Schedule every fault on the cluster's event loop.
+
+        Each windowed fault opens its own network window at ``at_time``
+        and closes exactly that window at ``until_time``, so
+        overlapping or nested schedules compose instead of a later
+        fault's reset clobbering an earlier, still-active one.
+        """
         scheduler = cluster.scheduler
         for crash in self.crashes:
             scheduler.schedule_at(
@@ -71,30 +250,81 @@ class FaultSchedule:
             )
         for delay in self.delays:
             scheduler.schedule_at(
-                delay.at_time,
-                cluster.network.inject_delay,
-                delay.extra_s,
-                delay.nodes,
-            )
-            scheduler.schedule_at(
-                delay.until_time, cluster.network.inject_delay, 0.0, None
+                delay.at_time, self._open_delay, cluster, delay
             )
         for corruption in self.corruptions:
             scheduler.schedule_at(
-                corruption.at_time,
-                cluster.network.inject_corruption,
-                corruption.rate,
-            )
-            scheduler.schedule_at(
-                corruption.until_time, cluster.network.inject_corruption, 0.0
+                corruption.at_time, self._open_corruption, cluster, corruption
             )
         for partition in self.partitions:
             scheduler.schedule_at(
                 partition.at_time, lambda c=cluster: c.partition_halves()
             )
             scheduler.schedule_at(partition.until_time, cluster.network.heal)
+        for byzantine in self.byzantines:
+            if byzantine.behavior not in BYZANTINE_BEHAVIORS:
+                known = ", ".join(sorted(BYZANTINE_BEHAVIORS))
+                raise BenchmarkError(
+                    f"unknown byzantine behavior {byzantine.behavior!r} "
+                    f"(known: {known})"
+                )
+            scheduler.schedule_at(
+                byzantine.at_time, self._start_byzantine, cluster, byzantine
+            )
 
     def _do_crash(self, cluster: "Cluster", crash: CrashFault) -> None:
         self.crashed_node_ids.extend(
             cluster.crash_nodes(crash.count, crash.include_leader)
         )
+
+    def _open_delay(self, cluster: "Cluster", delay: DelayFault) -> None:
+        window = cluster.network.add_delay(delay.extra_s, delay.nodes)
+        cluster.scheduler.schedule_at(
+            delay.until_time, cluster.network.remove_delay, window
+        )
+
+    def _open_corruption(
+        self, cluster: "Cluster", corruption: CorruptionFault
+    ) -> None:
+        window = cluster.network.add_corruption(corruption.rate)
+        cluster.scheduler.schedule_at(
+            corruption.until_time, cluster.network.remove_corruption, window
+        )
+
+    def _start_byzantine(
+        self, cluster: "Cluster", fault: ByzantineFault
+    ) -> None:
+        factory = BYZANTINE_BEHAVIORS[fault.behavior]
+        if fault.nodes is not None:
+            targets = [n for n in cluster.nodes if n.node_id in set(fault.nodes)]
+        else:
+            count = fault.count if fault.count is not None else 1
+            targets = cluster.nodes[:count]
+        shared: dict[str, Any] = {}
+        armed: list[str] = []
+        for node in targets:
+            if node.crashed or node.protocol is None:
+                continue
+            cluster.network.set_send_filter(
+                node.node_id, factory(node, cluster.network, fault, shared)
+            )
+            armed.append(node.node_id)
+        self.byzantine_node_ids.extend(
+            n for n in armed if n not in self.byzantine_node_ids
+        )
+        label = f"{fault.behavior} x{len(armed)}"
+        auditor = getattr(cluster, "auditor", None)
+        if auditor is not None:
+            auditor.fault_started(label)
+        cluster.scheduler.schedule_at(
+            fault.until_time, self._stop_byzantine, cluster, armed, label
+        )
+
+    def _stop_byzantine(
+        self, cluster: "Cluster", armed: list[str], label: str
+    ) -> None:
+        for node_id in armed:
+            cluster.network.clear_send_filter(node_id)
+        auditor = getattr(cluster, "auditor", None)
+        if auditor is not None:
+            auditor.fault_ended(label)

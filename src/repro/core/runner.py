@@ -85,6 +85,13 @@ class ExperimentResult:
     #: Blocks executed at confirmation depth but later reorged away —
     #: the realized double-spend exposure (confirmation-depth ablation).
     stale_executions: int = 0
+    #: Count of chain safety violations the auditor flagged (also in
+    #: ``summary.safety_violations``; duplicated here so persisted run
+    #: files carry it next to the other cluster-level measurements).
+    safety_violations: int = 0
+    #: Full auditor verdict (AuditReport.to_json()): per-violation
+    #: height, replicas, and byzantine fault context.
+    safety_report: dict[str, Any] | None = None
 
     @property
     def throughput(self) -> float:
@@ -142,9 +149,15 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     view_changes = 0
     for node in cluster.nodes:
         view_changes += getattr(node.protocol, "view_changes_started", 0)
+    audit_report = (
+        cluster.auditor.report() if cluster.auditor is not None else None
+    )
+    summary = stats.summary()
+    if audit_report is not None:
+        summary.safety_violations = len(audit_report.violations)
     result = ExperimentResult(
         spec=spec,
-        summary=stats.summary(),
+        summary=summary,
         stats=stats,
         queue_series=driver.queue_series(),
         chain_height=cluster.chain_height(),
@@ -154,6 +167,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         mean_net_mbps=cluster.monitor.mean_net_mbps() if cluster.monitor else 0.0,
         view_changes=view_changes,
         stale_executions=cluster.stale_executions(),
+        safety_violations=summary.safety_violations,
+        safety_report=audit_report.to_json() if audit_report else None,
     )
     cluster.close()
     return result

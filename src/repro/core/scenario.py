@@ -54,6 +54,8 @@ from typing import Any, Callable, Sequence
 from ..errors import BenchmarkError
 from .export import export_summary, write_csv
 from .faults import (
+    BYZANTINE_BEHAVIORS,
+    ByzantineFault,
     CorruptionFault,
     CrashFault,
     DelayFault,
@@ -79,6 +81,7 @@ _FAULT_TYPES = {
     "delays": DelayFault,
     "corruptions": CorruptionFault,
     "partitions": PartitionFault,
+    "byzantines": ByzantineFault,
 }
 
 
@@ -102,6 +105,12 @@ def build_fault_schedule(spec: dict[str, Any]) -> FaultSchedule:
             kwargs[key] = [fault_type(**entry) for entry in entries]
         except TypeError as exc:
             raise BenchmarkError(f"bad {key} entry: {exc}") from None
+    for byzantine in kwargs["byzantines"]:
+        if byzantine.behavior not in BYZANTINE_BEHAVIORS:
+            raise BenchmarkError(
+                f"unknown byzantine behavior {byzantine.behavior!r}; "
+                f"expected one of {sorted(BYZANTINE_BEHAVIORS)}"
+            )
     return FaultSchedule(**kwargs)
 
 
@@ -152,6 +161,57 @@ def _overrides_axis(
                 "each 'overrides' axis point must be an object of config "
                 f"knobs; got {type(point).__name__}"
             )
+    return points
+
+
+def _faults_label(faults: dict[str, Any]) -> str:
+    """Compact grid-point label for one faults-axis point.
+
+    ``{"byzantines": [{..., "count": 2}]}`` -> ``"byz=equivocate:2"``;
+    an empty dict (the healthy control point of a sweep) labels as
+    ``"no-faults"`` so f=0 rows stay distinguishable.
+    """
+    parts: list[str] = []
+    for crash in faults.get("crashes", []):
+        parts.append(f"crash={crash.get('count', 1)}")
+    for delay in faults.get("delays", []):
+        parts.append(f"delay={delay.get('extra_s')}s")
+    for corruption in faults.get("corruptions", []):
+        parts.append(f"corrupt={corruption.get('rate')}")
+    for _ in faults.get("partitions", []):
+        parts.append("partition")
+    for byzantine in faults.get("byzantines", []):
+        count = byzantine.get("count")
+        if count is None:
+            count = len(byzantine.get("nodes") or []) or 1
+        behavior = byzantine.get("behavior", "equivocate")
+        parts.append(f"byz={behavior}:{count}")
+    return ",".join(parts) or "no-faults"
+
+
+def _faults_axis(
+    faults: dict[str, Any] | Sequence[dict[str, Any]] | None,
+) -> list[dict[str, Any] | None]:
+    """Normalize the ``faults`` field to a one-dict-per-point axis.
+
+    A single dict applies to every grid point (the historical shape); a
+    list of dicts is an axis — one grid point per schedule, which is
+    how "throughput vs number of byzantine nodes" sweeps are written.
+    Each point is validated eagerly so a typo'd fault kind or behavior
+    fails at expand time, not mid-campaign.
+    """
+    if faults is None:
+        return [None]
+    points: list[Any] = [faults] if isinstance(faults, dict) else list(faults)
+    if not points:
+        raise BenchmarkError("scenario axis 'faults' is empty")
+    for point in points:
+        if not isinstance(point, dict):
+            raise BenchmarkError(
+                "each 'faults' axis point must be a fault-schedule object; "
+                f"got {type(point).__name__}"
+            )
+        build_fault_schedule(point)  # raises on bad shape/values
     return points
 
 
@@ -219,7 +279,12 @@ class ScenarioSpec:
     client_mode: str = "coroutine"
     with_monitor: bool = False
     drain_s: float = 5.0
-    faults: dict[str, Any] | None = None
+    #: JSON-shaped fault schedule (see :func:`build_fault_schedule`):
+    #: one dict applies to every grid point; a list of dicts is an axis
+    #: — one grid point per schedule, labelled compactly (e.g.
+    #: ``byz=equivocate:2``) — which is how fault-tolerance sweeps like
+    #: "throughput vs number of byzantine nodes" are expressed.
+    faults: dict[str, Any] | Sequence[dict[str, Any]] | None = None
     configs: Sequence[tuple[str, Any]] | None = None
     #: Platform-config knob overrides, JSON-expressible: one dict
     #: applies to every grid point; a list of dicts is an axis (one
@@ -275,18 +340,20 @@ class ScenarioSpec:
         configs = list(self.configs) if self.configs is not None else [("", None)]
         overrides_axis = _overrides_axis(self.overrides)
         arrival_axis = _arrival_axis(self.arrival)
+        faults_axis = _faults_axis(self.faults)
         clients_axis = (
             _axis(self.clients, "clients") if self.clients is not None else [None]
         )
         specs: list[ExperimentSpec] = []
         for platform, workload, (label, config), overrides, arrival, \
-                servers, clients, rate, duration, seed, poll_interval, \
-                threads, retry_interval in itertools.product(
+                fault_spec, servers, clients, rate, duration, seed, \
+                poll_interval, threads, retry_interval in itertools.product(
             _axis(self.platforms, "platforms"),
             _axis(self.workloads, "workloads"),
             configs,
             overrides_axis,
             arrival_axis,
+            faults_axis,
             _axis(self.servers, "servers"),
             clients_axis,
             _axis(self.rates, "rates"),
@@ -308,6 +375,11 @@ class ScenarioSpec:
                 point_label = (
                     f"{point_label},{alabel}" if point_label else alabel
                 )
+            if fault_spec is not None and len(faults_axis) > 1:
+                flabel = _faults_label(fault_spec)
+                point_label = (
+                    f"{point_label},{flabel}" if point_label else flabel
+                )
             specs.append(
                 ExperimentSpec(
                     platform=platform,
@@ -326,8 +398,8 @@ class ScenarioSpec:
                     subscribe=self.subscribe,
                     with_monitor=self.with_monitor,
                     faults=(
-                        build_fault_schedule(self.faults)
-                        if self.faults is not None
+                        build_fault_schedule(fault_spec)
+                        if fault_spec is not None
                         else None
                     ),
                     config=config,
@@ -368,6 +440,7 @@ GRID_HEADERS = [
     "lat p99 (s)",
     "confirmed",
     "queue",
+    "safety",
 ]
 
 
@@ -449,6 +522,11 @@ class SuiteResult:
                     f"{summary.latency_p99_s:.3f}",
                     summary.confirmed,
                     summary.final_queue_length,
+                    (
+                        "ok"
+                        if summary.safety_violations == 0
+                        else f"{summary.safety_violations} VIOLATIONS"
+                    ),
                 ]
             )
         return rows
@@ -485,6 +563,7 @@ class SuiteResult:
                     "confirmed": summary.confirmed,
                     "chain_height": result.chain_height,
                     "view_changes": result.view_changes,
+                    "safety_violations": summary.safety_violations,
                 }
             )
         return {"suite": self.name, "runs": len(runs), "results": runs}

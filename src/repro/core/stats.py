@@ -29,6 +29,10 @@ class StatsSummary:
     latency_p95_s: float
     latency_p99_s: float
     final_queue_length: int
+    #: Chain safety violations the auditor flagged during the run
+    #: (fork / garbage digest / height regression). Defaulted so
+    #: summaries persisted before the auditor existed still load.
+    safety_violations: int = 0
 
 
 class StatsCollector:

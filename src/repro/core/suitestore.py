@@ -100,6 +100,12 @@ def _canonical_faults(faults: Any) -> dict[str, Any] | None:
     # Filled in while a schedule is armed against a cluster; two specs
     # with the same *planned* faults must hash identically.
     data.pop("crashed_node_ids", None)
+    data.pop("byzantine_node_ids", None)
+    # The byzantines list postdates the run-file schema: empty, it is
+    # omitted so every fault-bearing spec hashed before it existed keeps
+    # its hash (committed baselines, resumable result directories).
+    if not data.get("byzantines"):
+        data.pop("byzantines", None)
     return data
 
 
@@ -179,6 +185,8 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "mean_net_mbps": result.mean_net_mbps,
         "view_changes": result.view_changes,
         "stale_executions": result.stale_executions,
+        "safety_violations": result.safety_violations,
+        "safety_report": result.safety_report,
     }
 
 
@@ -211,6 +219,9 @@ def result_from_dict(
         mean_net_mbps=data["mean_net_mbps"],
         view_changes=data["view_changes"],
         stale_executions=data["stale_executions"],
+        # .get: run files written before the safety auditor existed.
+        safety_violations=data.get("safety_violations", 0),
+        safety_report=data.get("safety_report"),
     )
 
 

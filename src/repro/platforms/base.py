@@ -301,6 +301,9 @@ class PlatformNode(SimNode):
         #: mismatch count is exactly the double-spend exposure a
         #: depth-d client had (used by the confirmation-depth ablation).
         self.executed_block_hashes: dict[int, Hash] = {}
+        #: Cluster-wide safety auditor (attached by build_cluster);
+        #: sees every block this node finalizes.
+        self.auditor = None
         # Statistics.
         self.committed_tx_count = 0
         self.failed_tx_count = 0
@@ -326,6 +329,10 @@ class PlatformNode(SimNode):
     def attach_execution_cache(self, cache: ExecutionCache | None) -> None:
         """Share one cluster-wide :class:`ExecutionCache` with this node."""
         self.execution_cache = cache
+
+    def attach_auditor(self, auditor) -> None:
+        """Subscribe a cluster-wide safety auditor to this node's commits."""
+        self.auditor = auditor
 
     # ------------------------------------------------------------------
     # ConsensusHost interface
@@ -478,6 +485,8 @@ class PlatformNode(SimNode):
         root = self.state.commit_block(block.height)
         self._height_roots[block.height] = root
         self.executed_block_hashes[block.height] = block.hash
+        if self.auditor is not None:
+            self.auditor.record_commit(self.node_id, block, self.now)
         self._charge(seconds)
 
     def _execute_tx(self, tx: Transaction, block: Block) -> Receipt:

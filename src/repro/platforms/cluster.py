@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from ..core.audit import ChainAuditor
 from ..errors import BenchmarkError
 from ..registry import PLATFORMS
 from ..sim import Network, ResourceMonitor, RngRegistry, Scheduler
@@ -43,6 +44,8 @@ class Cluster:
     rng: RngRegistry
     nodes: list[PlatformNode]
     monitor: ResourceMonitor | None = None
+    #: Always-on chain safety auditor (fork/digest/monotonicity checks).
+    auditor: ChainAuditor | None = None
 
     def node_ids(self) -> list[str]:
         return [node.node_id for node in self.nodes]
@@ -181,6 +184,13 @@ def build_cluster(
             if isinstance(node, PlatformNode):
                 node.attach_execution_cache(cache)
 
+    # Always-on safety auditor: every node's finalized blocks feed the
+    # fork/digest/monotonicity checks (ISSUE: adversarial fault axis).
+    auditor = ChainAuditor(network)
+    for node in nodes:
+        if isinstance(node, PlatformNode):
+            node.attach_auditor(auditor)
+
     for node in nodes:
         node.set_peers(ids)
         for contract_name in contracts:
@@ -201,4 +211,5 @@ def build_cluster(
         rng=rng,
         nodes=nodes,
         monitor=monitor,
+        auditor=auditor,
     )

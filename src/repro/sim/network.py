@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from ..errors import NetworkError
 from .clock import SimTime
@@ -31,6 +31,13 @@ DEFAULT_LATENCY = 0.0003
 DEFAULT_JITTER = 0.0002
 
 _message_counter = itertools.count()
+
+#: Per-sender send interceptor: ``fn(recipient, kind, payload, size_bytes)``
+#: returns ``None`` to drop the send, or a rewritten
+#: ``(payload, size_bytes, extra_delay_s)`` triple. The hook point for
+#: Byzantine behaviors — equivocation rewrites the payload per recipient,
+#: silence drops, vote withholding adds delay.
+SendFilter = Callable[[str, str, Any, int], "tuple[Any, int, float] | None"]
 
 
 @dataclass
@@ -56,6 +63,7 @@ class NetworkStats:
     dropped_partition: int = 0
     dropped_crash: int = 0
     dropped_delay_jitter: int = 0
+    dropped_byzantine: int = 0
     bytes_sent: dict[str, int] = field(default_factory=dict)
     bytes_received: dict[str, int] = field(default_factory=dict)
 
@@ -86,11 +94,18 @@ class Network:
         self.jitter = jitter
         self.nodes: dict[str, "SimNode"] = {}
         self.stats = NetworkStats()
-        # Fault state.
+        # Fault state. Delay and corruption are *windows* keyed by a
+        # handle so overlapping faults compose: each window ends when
+        # its own ``remove_*`` runs, never when another fault resets a
+        # shared scalar (the clobbering bug the handles replace).
         self._partition_groups: list[frozenset[str]] | None = None
-        self._extra_delay: SimTime = 0.0
-        self._delayed_nodes: frozenset[str] | None = None
-        self._corruption_rate: float = 0.0
+        self._fault_ids = itertools.count(1)
+        self._delay_windows: dict[int, tuple[SimTime, frozenset[str] | None]] = {}
+        self._corruption_windows: dict[int, float] = {}
+        # Byzantine interception: per-sender rewrite hooks, plus the set
+        # of nodes that ever had one (the safety auditor's honesty test).
+        self._send_filters: dict[str, SendFilter] = {}
+        self.ever_byzantine: set[str] = set()
 
     # ------------------------------------------------------------------
     # Topology
@@ -116,22 +131,87 @@ class Network:
         self._partition_groups = frozen
 
     def heal(self) -> None:
-        """Remove the active partition, delay, and corruption faults."""
+        """Remove the active partition.
+
+        Heals the partition *only*: a delay or corruption window that
+        overlaps the partition keeps running until its own removal
+        (healing used to wipe them, silently ending overlapping faults
+        early).
+        """
         self._partition_groups = None
-        self._extra_delay = 0.0
-        self._delayed_nodes = None
-        self._corruption_rate = 0.0
+
+    # -- delay windows --------------------------------------------------
+    def add_delay(self, extra: SimTime, nodes: Iterable[str] | None = None) -> int:
+        """Open a delay window: ``extra`` seconds on messages touching
+        ``nodes`` (or all). Returns a handle for :meth:`remove_delay`;
+        concurrent windows stack additively."""
+        if extra < 0:
+            raise NetworkError(f"delay {extra} must be non-negative")
+        window_id = next(self._fault_ids)
+        affected = frozenset(nodes) if nodes is not None else None
+        self._delay_windows[window_id] = (extra, affected)
+        return window_id
+
+    def remove_delay(self, window_id: int) -> None:
+        """Close one delay window (idempotent)."""
+        self._delay_windows.pop(window_id, None)
 
     def inject_delay(self, extra: SimTime, nodes: Iterable[str] | None = None) -> None:
-        """Add ``extra`` seconds to messages touching ``nodes`` (or all)."""
-        self._extra_delay = extra
-        self._delayed_nodes = frozenset(nodes) if nodes is not None else None
+        """Replace every delay window with a single one (legacy API;
+        ``extra=0`` clears all delay)."""
+        self._delay_windows.clear()
+        if extra:
+            self.add_delay(extra, nodes)
 
-    def inject_corruption(self, rate: float) -> None:
-        """Corrupt each delivered message with probability ``rate``."""
+    # -- corruption windows ---------------------------------------------
+    def add_corruption(self, rate: float) -> int:
+        """Open a corruption window; the effective rate is the max of
+        all active windows. Returns a handle for :meth:`remove_corruption`."""
         if not 0.0 <= rate <= 1.0:
             raise NetworkError(f"corruption rate {rate} outside [0, 1]")
-        self._corruption_rate = rate
+        window_id = next(self._fault_ids)
+        self._corruption_windows[window_id] = rate
+        return window_id
+
+    def remove_corruption(self, window_id: int) -> None:
+        """Close one corruption window (idempotent)."""
+        self._corruption_windows.pop(window_id, None)
+
+    def inject_corruption(self, rate: float) -> None:
+        """Replace every corruption window with a single one (legacy
+        API; ``rate=0`` clears all corruption)."""
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"corruption rate {rate} outside [0, 1]")
+        self._corruption_windows.clear()
+        if rate:
+            self.add_corruption(rate)
+
+    def active_corruption_rate(self) -> float:
+        """The corruption probability currently applied to deliveries."""
+        return max(self._corruption_windows.values(), default=0.0)
+
+    def active_delay_extra(self, sender: str, recipient: str) -> SimTime:
+        """Total extra delay (pre-jitter) a send between the pair sees."""
+        total = 0.0
+        for extra, affected in self._delay_windows.values():
+            if affected is None or sender in affected or recipient in affected:
+                total += extra
+        return total
+
+    # -- byzantine send interception ------------------------------------
+    def set_send_filter(self, node_id: str, fn: SendFilter) -> None:
+        """Install a send interceptor for ``node_id`` (one per node; a
+        second call replaces the first). The node is remembered in
+        :attr:`ever_byzantine` for the safety auditor's honesty test."""
+        if node_id not in self.nodes:
+            raise NetworkError(f"unknown node {node_id!r}")
+        self._send_filters[node_id] = fn
+        self.ever_byzantine.add(node_id)
+
+    def clear_send_filter(self, node_id: str) -> None:
+        """Remove ``node_id``'s send interceptor (idempotent); the node
+        stays in :attr:`ever_byzantine` — past lies taint its commits."""
+        self._send_filters.pop(node_id, None)
 
     def partitioned(self, a: str, b: str) -> bool:
         """True if nodes ``a`` and ``b`` are currently in different groups."""
@@ -159,6 +239,23 @@ class Network:
         """Send one message; returns it (useful for tests and tracing)."""
         if recipient not in self.nodes:
             raise NetworkError(f"unknown recipient {recipient!r}")
+        filter_delay = 0.0
+        filter_fn = self._send_filters.get(sender)
+        if filter_fn is not None:
+            rewritten = filter_fn(recipient, kind, payload, size_bytes)
+            if rewritten is None:
+                # The byzantine node chose not to transmit: nothing hits
+                # the wire, so no send is recorded.
+                self.stats.dropped_byzantine += 1
+                return Message(
+                    sender=sender,
+                    recipient=recipient,
+                    kind=kind,
+                    payload=payload,
+                    size_bytes=size_bytes,
+                    sent_at=self.scheduler.now,
+                )
+            payload, size_bytes, filter_delay = rewritten
         message = Message(
             sender=sender,
             recipient=recipient,
@@ -171,8 +268,9 @@ class Network:
         if self.partitioned(sender, recipient):
             self.stats.dropped_partition += 1
             return message
-        delay = self._delivery_delay(sender, recipient, size_bytes)
-        if self._corruption_rate and self._rng.random() < self._corruption_rate:
+        delay = self._delivery_delay(sender, recipient, size_bytes) + filter_delay
+        rate = self.active_corruption_rate()
+        if rate and self._rng.random() < rate:
             message.corrupted = True
         self.scheduler.schedule(delay, self._deliver, message)
         return message
@@ -197,11 +295,12 @@ class Network:
     def _delivery_delay(self, sender: str, recipient: str, size: int) -> SimTime:
         latency = self.base_latency + self._rng.random() * self.jitter
         serialization = size * 8 / self.bandwidth_bps
-        extra = 0.0
-        if self._extra_delay:
-            affected = self._delayed_nodes
-            if affected is None or sender in affected or recipient in affected:
-                extra = self._extra_delay * (0.5 + self._rng.random())
+        extra = self.active_delay_extra(sender, recipient)
+        if extra:
+            # One jitter draw regardless of how many windows stack, so a
+            # single-window schedule replays byte-identically to the
+            # pre-window scalar implementation.
+            extra *= 0.5 + self._rng.random()
         return latency + serialization + extra
 
     def _deliver(self, message: Message) -> None:

@@ -145,7 +145,7 @@ def test_recovers_after_corruption_clears():
     net.inject_corruption(1.0)
     submit_everywhere(nodes, [make_tx(i) for i in range(5)])
     sched.run_until(10.0)
-    net.heal()
+    net.inject_corruption(0.0)  # heal() is partition-only
     sched.run_until(40.0)
     assert all(node.chain().height >= 1 for node in nodes)
 

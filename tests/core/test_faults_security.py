@@ -33,9 +33,9 @@ def test_delay_fault_window():
     schedule = FaultSchedule(delays=[DelayFault(2.0, 4.0, extra_s=0.5)])
     schedule.arm(cluster)
     cluster.run_until(3.0)
-    assert cluster.network._extra_delay == 0.5
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.5
     cluster.run_until(5.0)
-    assert cluster.network._extra_delay == 0.0
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.0
     cluster.close()
 
 
@@ -44,9 +44,83 @@ def test_corruption_fault_window():
     schedule = FaultSchedule(corruptions=[CorruptionFault(1.0, 3.0, rate=0.5)])
     schedule.arm(cluster)
     cluster.run_until(2.0)
-    assert cluster.network._corruption_rate == 0.5
+    assert cluster.network.active_corruption_rate() == 0.5
     cluster.run_until(4.0)
-    assert cluster.network._corruption_rate == 0.0
+    assert cluster.network.active_corruption_rate() == 0.0
+    cluster.close()
+
+
+def test_overlapping_delay_windows_end_at_own_until_time():
+    """Two overlapping delays: the first ending must not clobber the
+    second, and while both are active the extras stack."""
+    cluster = build_cluster("ethereum", 2, seed=11)
+    schedule = FaultSchedule(
+        delays=[
+            DelayFault(2.0, 6.0, extra_s=0.5),
+            DelayFault(4.0, 10.0, extra_s=0.25),
+        ]
+    )
+    schedule.arm(cluster)
+    probe = lambda: cluster.network.active_delay_extra("server-0", "server-1")  # noqa: E731
+    cluster.run_until(3.0)
+    assert probe() == 0.5
+    cluster.run_until(5.0)
+    assert probe() == 0.75  # both windows active: extras stack
+    cluster.run_until(7.0)
+    assert probe() == 0.25  # first ended at 6.0; second keeps running
+    cluster.run_until(11.0)
+    assert probe() == 0.0  # second ended exactly at its own until_time
+    cluster.close()
+
+
+def test_partition_heal_does_not_end_overlapping_windows():
+    """A partition healing inside delay+corruption windows leaves them
+    active until their own until_times (heal() used to wipe them)."""
+    cluster = build_cluster("ethereum", 4, seed=11)
+    schedule = FaultSchedule(
+        delays=[DelayFault(1.0, 10.0, extra_s=0.5)],
+        corruptions=[CorruptionFault(1.0, 12.0, rate=0.3)],
+        partitions=[PartitionFault(2.0, 5.0)],
+    )
+    schedule.arm(cluster)
+    cluster.run_until(3.0)
+    assert cluster.network.partitioned("server-0", "server-3")
+    cluster.run_until(6.0)  # partition healed at 5.0
+    assert not cluster.network.partitioned("server-0", "server-3")
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.5
+    assert cluster.network.active_corruption_rate() == 0.3
+    cluster.run_until(10.5)
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.0
+    assert cluster.network.active_corruption_rate() == 0.3
+    cluster.run_until(12.5)
+    assert cluster.network.active_corruption_rate() == 0.0
+    cluster.close()
+
+
+def test_nested_corruption_and_delay_windows():
+    """Corruption nested inside a delay window: each fault ends at its
+    own until_time; effective corruption is the max of active rates."""
+    cluster = build_cluster("ethereum", 2, seed=11)
+    schedule = FaultSchedule(
+        delays=[DelayFault(1.0, 20.0, extra_s=0.2)],
+        corruptions=[
+            CorruptionFault(2.0, 18.0, rate=0.1),
+            CorruptionFault(5.0, 9.0, rate=0.6),
+        ],
+    )
+    schedule.arm(cluster)
+    cluster.run_until(3.0)
+    assert cluster.network.active_corruption_rate() == 0.1
+    cluster.run_until(6.0)
+    assert cluster.network.active_corruption_rate() == 0.6  # max wins
+    cluster.run_until(9.5)
+    assert cluster.network.active_corruption_rate() == 0.1  # inner ended
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.2
+    cluster.run_until(18.5)
+    assert cluster.network.active_corruption_rate() == 0.0
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.2
+    cluster.run_until(20.5)
+    assert cluster.network.active_delay_extra("server-0", "server-1") == 0.0
     cluster.close()
 
 
