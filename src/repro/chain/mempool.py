@@ -22,6 +22,12 @@ class Mempool:
         self._arrivals: dict[str, float] = {}
         self.capacity = capacity
         self.rejected_full = 0
+        #: Cluster-wide lifecycle tracer (attached by the platform node).
+        #: Admission is stamped here rather than in ``_on_send_tx``
+        #: because Parity's signing queue and every platform's gossip
+        #: path admit transactions without going through the default
+        #: ingress handler.
+        self.tracer = None
 
     def add(self, tx: Transaction, now: float = 0.0) -> bool:
         """Queue ``tx``; returns False on duplicate or full pool."""
@@ -32,6 +38,8 @@ class Mempool:
             return False
         self._pool[tx.tx_id] = tx
         self._arrivals[tx.tx_id] = now
+        if self.tracer is not None:
+            self.tracer.record_admit(tx.tx_id, now)
         return True
 
     def add_many(self, txs: Iterable[Transaction], now: float = 0.0) -> int:

@@ -1,6 +1,6 @@
 """Command-line interface to the BLOCKBENCH framework.
 
-Four subcommands cover the framework's day-to-day entry points:
+Six subcommands cover the framework's day-to-day entry points:
 
 ``blockbench run``
     One macro-benchmark experiment (the Driver pipeline of Figure 4):
@@ -17,6 +17,12 @@ Four subcommands cover the framework's day-to-day entry points:
     The Section 4.1.3 partition attack: split the network in half for a
     window and report the fork exposure (total vs main-branch blocks).
 
+``blockbench report``
+    Post-hoc analysis over a suite's ``--out-dir`` result store. The
+    ``--bottleneck`` mode renders each run's lifecycle stage breakdown
+    (submit → admit → propose → decide → execute → commit → notify,
+    see ``repro.core.trace``) and names the dominant stage.
+
 ``blockbench perf``
     The framework's own performance trajectory: microbenchmarks for the
     EVM, trie, scheduler, and end-to-end driver hot paths, written to a
@@ -24,7 +30,8 @@ Four subcommands cover the framework's day-to-day entry points:
     across PRs are measured, not asserted.
 
 ``blockbench list``
-    The registered platforms, workloads, and consensus protocols.
+    The registered platforms, workloads, consensus protocols, and
+    byzantine behaviors, each with a one-line description.
 
 Examples
 --------
@@ -34,6 +41,7 @@ Examples
         --servers 8 --clients 8 --rate 256 --duration 60
     blockbench suite examples/scenarios/peak_sweep.json --processes 4
     blockbench attack --platform ethereum --start 100 --length 150
+    blockbench report results/ --bottleneck
     blockbench perf --quick --out BENCH_local.json
     blockbench list
 
@@ -168,6 +176,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Zipf skew over sender accounts (0 = uniform, default)",
     )
     run.add_argument(
+        "--read-ratio", type=float, metavar="R", default=None,
+        help="fraction of read operations in the workload mix (0..1); "
+             "translated per-workload, rejected by fixed-mix workloads",
+    )
+    run.add_argument(
+        "--no-trace-stages", action="store_true",
+        help="disable per-transaction lifecycle stage tracing (drops "
+             "the stage breakdown from the output; the simulated "
+             "timeline is identical either way)",
+    )
+    run.add_argument(
         "--stats-reservoir", type=int, metavar="K", default=0,
         help="cap per-collector latency samples at K via reservoir "
              "sampling (0 = unbounded, the default; see "
@@ -246,6 +265,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=42)
     attack.add_argument("--json", action="store_true")
+
+    report = sub.add_parser(
+        "report", help="analyze a suite's --out-dir result store"
+    )
+    report.add_argument(
+        "dir",
+        help="result directory written by 'blockbench suite --out-dir'",
+    )
+    report.add_argument(
+        "--bottleneck", action="store_true",
+        help="per-run lifecycle stage breakdown: where each "
+             "transaction's end-to-end latency was spent, with the "
+             "dominant stage marked (requires runs recorded with "
+             "trace_stages on, the default)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     perf = sub.add_parser(
         "perf", help="run the framework's hot-path microbenchmarks"
@@ -351,6 +388,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
             arrival=arrival,
             stats_reservoir=args.stats_reservoir,
+            read_ratio=args.read_ratio,
+            trace_stages=not args.no_trace_stages,
         )
     )
     summary = result.summary
@@ -378,31 +417,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
               args.rate, args.duration, args.seed]],
         )
         print(f"wrote CSV series to {out}/", file=sys.stderr)
+    breakdown = summary.stage_breakdown
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "platform": args.platform,
-                    "workload": args.workload,
-                    "servers": args.servers,
-                    "clients": args.clients,
-                    "rate_tx_s": args.rate,
-                    "duration_s": args.duration,
-                    "throughput_tx_s": summary.throughput_tx_s,
-                    "latency_avg_s": summary.latency_avg_s,
-                    "latency_p50_s": summary.latency_p50_s,
-                    "latency_p99_s": summary.latency_p99_s,
-                    "submitted": summary.submitted,
-                    "confirmed": summary.confirmed,
-                    "chain_height": result.chain_height,
-                    "total_blocks": result.total_blocks,
-                    "main_branch_blocks": result.main_branch_blocks,
-                    "view_changes": result.view_changes,
-                    "safety_violations": result.safety_violations,
-                    "safety_report": result.safety_report,
-                }
-            )
-        )
+        payload = {
+            "platform": args.platform,
+            "workload": args.workload,
+            "servers": args.servers,
+            "clients": args.clients,
+            "rate_tx_s": args.rate,
+            "duration_s": args.duration,
+            "throughput_tx_s": summary.throughput_tx_s,
+            "latency_avg_s": summary.latency_avg_s,
+            "latency_p50_s": summary.latency_p50_s,
+            "latency_p99_s": summary.latency_p99_s,
+            "submitted": summary.submitted,
+            "confirmed": summary.confirmed,
+            "chain_height": result.chain_height,
+            "total_blocks": result.total_blocks,
+            "main_branch_blocks": result.main_branch_blocks,
+            "view_changes": result.view_changes,
+            "safety_violations": result.safety_violations,
+            "safety_report": result.safety_report,
+        }
+        if breakdown is not None:
+            import dataclasses
+
+            payload["dominant_stage"] = breakdown.dominant_stage()
+            payload["stage_breakdown"] = dataclasses.asdict(breakdown)
+        print(json.dumps(payload))
         return 0
     rows = [
         ["throughput (tx/s)", f"{summary.throughput_tx_s:.1f}"],
@@ -442,6 +484,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if breakdown is not None and breakdown.traced:
+        from .core import bottleneck_table
+
+        print()
+        print(bottleneck_table(breakdown))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if not args.bottleneck:
+        print(
+            "error: report needs a mode flag (currently: --bottleneck)",
+            file=sys.stderr,
+        )
+        return 2
+    from .core import StageBreakdown, bottleneck_table
+    from .core.suitestore import SuiteStore
+
+    runs = SuiteStore.load_runs(args.dir)
+    entries = []
+    for hash_, data in sorted(runs.items()):
+        spec = data.get("spec", {})
+        label = spec.get("label", "")
+        name = f"{spec.get('platform', '?')}/{spec.get('workload', '?')}"
+        if label:
+            name += f" [{label}]"
+        raw = data.get("summary", {}).get("stage_breakdown")
+        breakdown = StageBreakdown.from_dict(raw) if raw is not None else None
+        entries.append((hash_, name, breakdown))
+    if args.json:
+        import dataclasses
+
+        payload = {
+            "dir": args.dir,
+            "runs": [
+                {
+                    "spec_hash": hash_,
+                    "run": name,
+                    "dominant_stage": (
+                        breakdown.dominant_stage() if breakdown else None
+                    ),
+                    "stage_breakdown": (
+                        dataclasses.asdict(breakdown) if breakdown else None
+                    ),
+                }
+                for hash_, name, breakdown in entries
+            ],
+        }
+        print(json.dumps(payload))
+        return 0
+    untraced = 0
+    for hash_, name, breakdown in entries:
+        if breakdown is None or not breakdown.traced:
+            untraced += 1
+            continue
+        print(bottleneck_table(breakdown, title=f"{name} ({hash_})"))
+        print()
+    if untraced:
+        print(
+            f"{untraced} run(s) without a stage breakdown (recorded with "
+            "trace_stages off, or by an older build)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -784,8 +889,19 @@ def _cmd_list(_args: argparse.Namespace) -> int:
             line += f" — {spec.description.splitlines()[0]}"
         print(line)
     print("consensus protocols:")
-    for name in CONSENSUS.names():
-        print(f"  {name}")
+    for name, protocol_type in CONSENSUS.items():
+        line = f"  {name}"
+        doc = protocol_type.__doc__
+        if doc:
+            line += f" — {doc.strip().splitlines()[0]}"
+        print(line)
+    print("byzantine behaviors:")
+    for name in sorted(BYZANTINE_BEHAVIORS):
+        line = f"  {name}"
+        doc = BYZANTINE_BEHAVIORS[name].__doc__
+        if doc:
+            line += f" — {doc.strip().splitlines()[0]}"
+        print(line)
     return 0
 
 
@@ -793,6 +909,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "suite": _cmd_suite,
     "attack": _cmd_attack,
+    "report": _cmd_report,
     "perf": _cmd_perf,
     "list": _cmd_list,
 }

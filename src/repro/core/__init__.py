@@ -39,7 +39,14 @@ from .faults import (
     register_behavior,
 )
 from .compare import RunDelta, SuiteComparison, compare_suites
-from .report import SUMMARY_HEADERS, format_table, summary_row
+from .report import (
+    BOTTLENECK_HEADERS,
+    SUMMARY_HEADERS,
+    bottleneck_rows,
+    bottleneck_table,
+    format_table,
+    summary_row,
+)
 from .runner import ExperimentResult, ExperimentSpec, run_experiment
 from .scenario import (
     ScenarioSpec,
@@ -50,6 +57,14 @@ from .scenario import (
 from .suitestore import SuiteStore, spec_hash
 from .security import AttackReport, ForkMonitor, ForkSample, run_partition_attack
 from .stats import StatsCollector, StatsSummary, merge_collectors
+from .trace import (
+    QUEUE_GAUGES,
+    STAGE_INTERVALS,
+    STAGES,
+    StageBreakdown,
+    StageStat,
+    StageTracer,
+)
 from .workload import (
     ARRIVAL_PROCESSES,
     ArrivalGenerator,
@@ -88,6 +103,9 @@ __all__ = [
     "PartitionFault",
     "SUMMARY_HEADERS",
     "format_table",
+    "BOTTLENECK_HEADERS",
+    "bottleneck_rows",
+    "bottleneck_table",
     "summary_row",
     "ExperimentResult",
     "ExperimentSpec",
@@ -107,6 +125,12 @@ __all__ = [
     "run_partition_attack",
     "StatsCollector",
     "StatsSummary",
+    "QUEUE_GAUGES",
+    "STAGE_INTERVALS",
+    "STAGES",
+    "StageBreakdown",
+    "StageStat",
+    "StageTracer",
     "merge_collectors",
     "Workload",
     "preload_state",

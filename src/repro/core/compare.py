@@ -75,6 +75,13 @@ class RunDelta:
     #: auditor existed).
     base_safety: int = 0
     current_safety: int = 0
+    #: Per-stage mean-latency movement (current - base, seconds) from
+    #: the lifecycle breakdowns, when both sides carry one.
+    stage_deltas: dict[str, float] | None = None
+    #: The stage with the largest positive movement — where a latency
+    #: regression actually happened. None when no stage moved up or
+    #: either side ran without tracing.
+    regressed_stage: str | None = None
 
     @property
     def regressed(self) -> bool:
@@ -111,6 +118,23 @@ def _delta(spec_hash: str, base: dict, current: dict, threshold: float) -> RunDe
         base_safety=base_summary.get("safety_violations", 0),
         current_safety=cur_summary.get("safety_violations", 0),
     )
+    # Stage attribution: when both sides were traced, pin the movement
+    # to lifecycle stages so a regression names *where* it happened,
+    # not just that the top line moved.
+    base_bd = base_summary.get("stage_breakdown")
+    cur_bd = cur_summary.get("stage_breakdown")
+    if base_bd and cur_bd:
+        base_avgs = {s["stage"]: s["avg_s"] for s in base_bd.get("stages", [])}
+        cur_avgs = {s["stage"]: s["avg_s"] for s in cur_bd.get("stages", [])}
+        shared_stages = [name for name in base_avgs if name in cur_avgs]
+        if shared_stages:
+            delta.stage_deltas = {
+                name: cur_avgs[name] - base_avgs[name]
+                for name in shared_stages
+            }
+            worst = max(shared_stages, key=lambda n: delta.stage_deltas[n])
+            if delta.stage_deltas[worst] > 0:
+                delta.regressed_stage = worst
     if delta.current_safety > delta.base_safety:
         # Safety is absolute — no tolerance applies. New violations on
         # a previously safe (or safer) point always gate.
@@ -134,6 +158,12 @@ def _delta(spec_hash: str, base: dict, current: dict, threshold: float) -> RunDe
                 f"{rise:.1%} above base {delta.base_latency_avg:.3f}s "
                 f"(tolerance {threshold:.1%})"
             )
+    if delta.failures and delta.regressed_stage is not None:
+        moved = delta.stage_deltas[delta.regressed_stage]
+        delta.failures.append(
+            f"stage attribution: '{delta.regressed_stage}' moved "
+            f"+{moved:.3f}s avg, the largest per-stage increase"
+        )
     return delta
 
 
@@ -203,6 +233,8 @@ class SuiteComparison:
                     "current_safety_violations": delta.current_safety,
                     "regressed": delta.regressed,
                     "failures": delta.failures,
+                    "regressed_stage": delta.regressed_stage,
+                    "stage_deltas": delta.stage_deltas,
                 }
                 for delta in self.deltas
             ],

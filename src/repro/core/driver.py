@@ -137,6 +137,8 @@ class _BenchClientBase:
         self.config = config
         self.rng = rng
         self.scheduler: Scheduler = cluster.scheduler
+        #: Cluster lifecycle tracer (None when trace_stages is off).
+        self.tracer = getattr(cluster, "tracer", None)
         server_ids = cluster.node_ids()
         self.server_id = server_ids[index % len(server_ids)]
         self.rpc = RPCClient(f"client-{index}", cluster.scheduler, cluster.network)
@@ -179,6 +181,8 @@ class _BenchClientBase:
                 confirmed_at = self.scheduler.now
                 if submitted_at <= self._deadline:
                     self.stats.record_confirmation(submitted_at, confirmed_at)
+                    if self.tracer is not None:
+                        self.tracer.record_notify(tx_id, confirmed_at)
                 if self.config.blocking and self._running:
                     self._submit_next_blocking()
 
@@ -255,6 +259,8 @@ class BenchClient(_BenchClientBase):
         self._inflight_submissions -= 1
         if reply.get("accepted"):
             self.outstanding[tx.tx_id] = submit_time
+            if self.tracer is not None:
+                self.tracer.record_submit(tx.tx_id, submit_time)
             # A freed worker thread immediately drains the backlog.
             if (
                 not self.config.blocking
@@ -310,7 +316,16 @@ class BenchClient(_BenchClientBase):
         interval = self.config.queue_sample_interval_s
         yield self.scheduler.sleep(interval)
         while self._running:
-            self.stats.record_queue_length(self.scheduler.now, self.queue_length())
+            # Stage-depth gauges are cluster-global; exactly one client
+            # (index 0) samples them so merges don't multiply the series.
+            depths = (
+                self.tracer.queue_depths()
+                if self.index == 0 and self.tracer is not None
+                else None
+            )
+            self.stats.record_queue_length(
+                self.scheduler.now, self.queue_length(), stage_depths=depths
+            )
             yield self.scheduler.sleep(interval)
 
 
@@ -367,6 +382,8 @@ class CallbackBenchClient(_BenchClientBase):
             self._inflight_submissions -= 1
             if reply.get("accepted"):
                 self.outstanding[tx.tx_id] = submit_time
+                if self.tracer is not None:
+                    self.tracer.record_submit(tx.tx_id, submit_time)
                 if (
                     not self.config.blocking
                     and self._running
@@ -412,7 +429,14 @@ class CallbackBenchClient(_BenchClientBase):
     def _tick_sample(self) -> None:
         if not self._running:
             return
-        self.stats.record_queue_length(self.scheduler.now, self.queue_length())
+        depths = (
+            self.tracer.queue_depths()
+            if self.index == 0 and self.tracer is not None
+            else None
+        )
+        self.stats.record_queue_length(
+            self.scheduler.now, self.queue_length(), stage_depths=depths
+        )
         self.scheduler.schedule(
             self.config.queue_sample_interval_s, self._tick_sample
         )
@@ -456,6 +480,7 @@ class BatchClient:
         self.workload = workload
         self.config = config
         self.scheduler: Scheduler = cluster.scheduler
+        self.tracer = getattr(cluster, "tracer", None)
         server_ids = cluster.node_ids()
         # Per-slot strided state: position s in every array belongs to
         # client indices[s]. Same construction order as N individual
@@ -565,6 +590,8 @@ class BatchClient:
             self.inflight[slot] -= 1
             if reply.get("accepted"):
                 self.outstanding[slot][tx.tx_id] = submit_time
+                if self.tracer is not None:
+                    self.tracer.record_submit(tx.tx_id, submit_time)
                 if (
                     not self.config.blocking
                     and self._running
@@ -617,6 +644,8 @@ class BatchClient:
                     self.stats_slots[slot].record_confirmation(
                         submitted_at, confirmed_at
                     )
+                    if self.tracer is not None:
+                        self.tracer.record_notify(tx_id, confirmed_at)
                 if self.config.blocking and self._running:
                     self._submit_next_blocking(slot)
 
@@ -628,8 +657,13 @@ class BatchClient:
             return
         now = self.scheduler.now
         for slot in range(len(self.indices)):
+            depths = (
+                self.tracer.queue_depths()
+                if slot == 0 and self.tracer is not None
+                else None
+            )
             self.stats_slots[slot].record_queue_length(
-                now, self.queue_length(slot)
+                now, self.queue_length(slot), stage_depths=depths
             )
         self.scheduler.schedule(
             self.config.queue_sample_interval_s, self._tick_sample
@@ -729,6 +763,7 @@ class OpenLoopDriver:
         self.config = config
         self.arrival: ArrivalSpec = config.arrival
         self.scheduler: Scheduler = cluster.scheduler
+        self.tracer = getattr(cluster, "tracer", None)
         self.generator = ArrivalGenerator(
             self.arrival, cluster.rng.stream("arrivals")
         )
@@ -832,6 +867,8 @@ class OpenLoopDriver:
         def on_reply(reply: dict) -> None:
             if reply.get("accepted"):
                 self.outstanding[server_index][tx.tx_id] = submit_time
+                if self.tracer is not None:
+                    self.tracer.record_submit(tx.tx_id, submit_time)
             else:
                 self.stats.record_rejection()
                 if self._running:
@@ -872,11 +909,18 @@ class OpenLoopDriver:
                     self.stats.record_confirmation(
                         submitted_at, self.scheduler.now
                     )
+                    if self.tracer is not None:
+                        self.tracer.record_notify(tx_id, self.scheduler.now)
 
     def _tick_sample(self) -> None:
         if not self._running:
             return
-        self.stats.record_queue_length(self.scheduler.now, self.queue_length())
+        depths = (
+            self.tracer.queue_depths() if self.tracer is not None else None
+        )
+        self.stats.record_queue_length(
+            self.scheduler.now, self.queue_length(), stage_depths=depths
+        )
         self.scheduler.schedule(
             self.config.queue_sample_interval_s, self._tick_sample
         )

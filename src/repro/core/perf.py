@@ -43,6 +43,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ..errors import BenchmarkError
+
 #: Trajectory file schema identifier; bump on incompatible change.
 SCHEMA = "blockbench-perf/1"
 
@@ -322,6 +324,66 @@ def bench_driver(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_trace_overhead(quick: bool = False) -> BenchResult:
+    """Lifecycle-tracing cost on the ``driver_tx`` macro path.
+
+    Runs the exact ``driver_tx`` spec twice — tracing on, tracing off —
+    and reports the *traced* path's throughput (so a gate on this
+    benchmark bounds the product configuration users actually run,
+    tracing being on by default). The off/on wall-time ratio lands in
+    ``meta.overhead_ratio``: the tracing acceptance bar is < 1.05.
+    """
+    from .runner import ExperimentSpec, run_experiment
+
+    def run_once(trace_stages: bool) -> tuple[float, int]:
+        spec = ExperimentSpec(
+            platform="ethereum",
+            workload="ycsb",
+            n_servers=4,
+            n_clients=4,
+            request_rate_tx_s=60.0,
+            duration_s=30.0,
+            seed=7,
+            trace_stages=trace_stages,
+        )
+        start = time.perf_counter()
+        result = run_experiment(spec)
+        return time.perf_counter() - start, result.summary.confirmed
+
+    # One untimed warmup run so allocator and import costs land on
+    # neither side, then interleaved off/on pairs so machine drift hits
+    # both sides alike; best-of-each-side keeps the ratio stable enough
+    # to gate on.
+    run_once(True)
+    pairs = 1 if quick else 3
+    walls_off, walls_on = [], []
+    confirmed = confirmed_off = 0
+    for _ in range(pairs):
+        wall_off, confirmed_off = run_once(False)
+        wall_on, confirmed = run_once(True)
+        walls_off.append(wall_off)
+        walls_on.append(wall_on)
+    if confirmed != confirmed_off:
+        raise BenchmarkError(
+            "tracing changed the simulated outcome: "
+            f"{confirmed} confirmed with tracing vs {confirmed_off} without"
+        )
+    wall_on = min(walls_on)
+    wall_off = min(walls_off)
+    return BenchResult(
+        name="trace_overhead",
+        ops=confirmed,
+        unit="tx",
+        wall_time_s=wall_on,
+        ops_per_s=confirmed / wall_on,
+        meta={
+            "untraced_wall_time_s": wall_off,
+            "untraced_ops_per_s": confirmed_off / wall_off,
+            "overhead_ratio": wall_on / wall_off,
+        },
+    )
+
+
 #: Coroutine-path reference for ``driver_tx_100k``, memoized per
 #: process: the reference exists to scale the headline number, costs
 #: ~30s of wall time at the 100k-client population, and is fully
@@ -472,6 +534,7 @@ BENCHMARKS: dict[str, Callable[[bool], BenchResult]] = {
     "driver_tx": bench_driver,
     "driver_tx_100k": bench_driver_100k,
     "arrival_gen": bench_arrival_gen,
+    "trace_overhead": bench_trace_overhead,
 }
 
 

@@ -66,3 +66,68 @@ SUMMARY_HEADERS = [
     "lat p99 (s)",
     "queue",
 ]
+
+
+BOTTLENECK_HEADERS = [
+    "stage",
+    "count",
+    "avg (s)",
+    "p50 (s)",
+    "p95 (s)",
+    "p99 (s)",
+    "max (s)",
+    "share",
+    "queue avg",
+    "queue peak",
+]
+
+#: Which backlog gauge feeds each stage row of the bottleneck table.
+_STAGE_GAUGES = {
+    "mempool_wait": "mempool",
+    "consensus": "consensus",
+    "notification": "execution",
+}
+
+
+def bottleneck_rows(breakdown) -> list[list[Any]]:
+    """Per-stage rows for one run's StageBreakdown, aligned with
+    :data:`BOTTLENECK_HEADERS`. The dominant stage is marked with ``<--``
+    in its share column."""
+    dominant = breakdown.dominant_stage()
+    total = breakdown.end_to_end_avg_s
+    rows = []
+    for stat in breakdown.stages:
+        share = (stat.avg_s / total) if total > 0 else 0.0
+        gauge = _STAGE_GAUGES.get(stat.stage)
+        rows.append(
+            [
+                stat.stage,
+                stat.count,
+                stat.avg_s,
+                stat.p50_s,
+                stat.p95_s,
+                stat.p99_s,
+                stat.max_s,
+                f"{share:.1%}" + (" <--" if stat.stage == dominant else ""),
+                (
+                    f"{breakdown.queue_depth_avg.get(gauge, 0.0):.1f}"
+                    if gauge
+                    else ""
+                ),
+                str(breakdown.queue_depth_peak.get(gauge, 0)) if gauge else "",
+            ]
+        )
+    return rows
+
+
+def bottleneck_table(breakdown, title: str = "") -> str:
+    """One run's stage breakdown as an ASCII bottleneck table."""
+    dominant = breakdown.dominant_stage()
+    header = title or "lifecycle stage breakdown"
+    header += (
+        f" — {breakdown.traced} traced tx, "
+        f"end-to-end avg {breakdown.end_to_end_avg_s:.3f}s"
+    )
+    if dominant:
+        header += f", bottleneck: {dominant}"
+    return format_table(BOTTLENECK_HEADERS, bottleneck_rows(breakdown), header)

@@ -24,6 +24,11 @@ class ExperimentSpec:
     platform: str = "hyperledger"
     workload: str = "ycsb"
     workload_params: dict[str, Any] = field(default_factory=dict)
+    #: Fraction of read operations in the workload's operation mix
+    #: (0.0 = all writes, 1.0 = all reads). None keeps the workload's
+    #: native mix. Translated per-workload via
+    #: ``Workload.read_ratio_params`` — not every workload supports it.
+    read_ratio: float | None = None
     n_servers: int = 8
     n_clients: int = 8
     request_rate_tx_s: float = 100.0
@@ -51,6 +56,10 @@ class ExperimentSpec:
     #: Bound the latency sample set in memory (reservoir size; 0 keeps
     #: every sample). See StatsCollector for the accuracy tradeoff.
     stats_reservoir: int = 0
+    #: Record per-transaction lifecycle stage timestamps
+    #: (repro.core.trace) and attach a StageBreakdown to the summary.
+    #: Off produces byte-identical output to a build without tracing.
+    trace_stages: bool = True
     with_monitor: bool = False
     faults: FaultSchedule | None = None
     config: Any = None  # platform config override (Python object)
@@ -102,6 +111,32 @@ class ExperimentResult:
         return self.summary.latency_avg_s
 
 
+def _read_ratio_params(
+    workload: str, ratio: float, params: dict[str, Any]
+) -> dict[str, Any]:
+    """Translate ``read_ratio`` into workload-native config kwargs.
+
+    Each workload declares its own mapping via
+    ``Workload.read_ratio_params`` (YCSB: read/update proportions;
+    Smallbank: the balance-query fraction); workloads with a fixed
+    operation mix raise. Explicit ``workload_params`` that would be
+    overwritten are a spec error, not a silent override.
+    """
+    from ..errors import BenchmarkError
+    from ..registry import WORKLOADS
+
+    if not 0.0 <= ratio <= 1.0:
+        raise BenchmarkError(f"read_ratio must be in [0, 1], got {ratio}")
+    extra = WORKLOADS.get(workload).workload_type.read_ratio_params(ratio)
+    overlap = sorted(set(extra) & set(params))
+    if overlap:
+        raise BenchmarkError(
+            f"read_ratio conflicts with explicit workload_params "
+            f"({', '.join(overlap)}); set one or the other"
+        )
+    return extra
+
+
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Execute one macro-benchmark run end to end."""
     # Imported here: repro.workloads imports repro.core for the
@@ -135,8 +170,14 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         config=spec.config,
         config_overrides=spec.config_overrides or None,
         with_monitor=spec.with_monitor,
+        trace_stages=spec.trace_stages,
     )
-    workload = make_workload(spec.workload, **spec.workload_params)
+    workload_params = dict(spec.workload_params)
+    if spec.read_ratio is not None:
+        workload_params.update(
+            _read_ratio_params(spec.workload, spec.read_ratio, workload_params)
+        )
+    workload = make_workload(spec.workload, **workload_params)
     if config.arrival is not None:
         driver = OpenLoopDriver(cluster, workload, config)
     else:
@@ -155,6 +196,10 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     summary = stats.summary()
     if audit_report is not None:
         summary.safety_violations = len(audit_report.violations)
+    if cluster.tracer is not None:
+        summary.stage_breakdown = cluster.tracer.breakdown(
+            stats.stage_queue_samples
+        )
     result = ExperimentResult(
         spec=spec,
         summary=summary,

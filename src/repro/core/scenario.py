@@ -45,6 +45,7 @@ scenario files can sweep third-party backends too.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, field, fields
@@ -270,6 +271,11 @@ class ScenarioSpec:
     poll_intervals: Sequence[float] | float = (DriverConfig.poll_interval_s,)
     threads_per_client: Sequence[int] | int = (DriverConfig.threads_per_client,)
     retry_intervals: Sequence[float] | float = (DriverConfig.retry_interval_s,)
+    #: Read-fraction axis (scalar or list): each point maps onto the
+    #: workload's native mix knobs via ``Workload.read_ratio_params``
+    #: (YCSB read/update proportions, Smallbank balance weight). None
+    #: keeps each workload's native mix.
+    read_ratios: Sequence[float] | float | None = None
     workload_params: dict[str, Any] = field(default_factory=dict)
     blocking: bool = False
     subscribe: bool = False
@@ -300,6 +306,11 @@ class ScenarioSpec:
     #: Latency-sample reservoir bound for every grid point (0 = keep
     #: every sample). See StatsCollector.
     stats_reservoir: int = 0
+    #: Record lifecycle stage timestamps (repro.core.trace) and attach
+    #: a StageBreakdown to every grid point's summary. Not an axis: the
+    #: timeline is identical either way, so sweeping it would duplicate
+    #: grid points.
+    trace_stages: bool = True
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
@@ -344,10 +355,16 @@ class ScenarioSpec:
         clients_axis = (
             _axis(self.clients, "clients") if self.clients is not None else [None]
         )
+        read_ratio_axis = (
+            [float(v) for v in _axis(self.read_ratios, "read_ratios")]
+            if self.read_ratios is not None
+            else [None]
+        )
         specs: list[ExperimentSpec] = []
         for platform, workload, (label, config), overrides, arrival, \
                 fault_spec, servers, clients, rate, duration, seed, \
-                poll_interval, threads, retry_interval in itertools.product(
+                poll_interval, threads, retry_interval, \
+                read_ratio in itertools.product(
             _axis(self.platforms, "platforms"),
             _axis(self.workloads, "workloads"),
             configs,
@@ -362,6 +379,7 @@ class ScenarioSpec:
             _axis(self.poll_intervals, "poll_intervals"),
             _axis(self.threads_per_client, "threads_per_client"),
             _axis(self.retry_intervals, "retry_intervals"),
+            read_ratio_axis,
         ):
             # The overrides label only disambiguates when overrides
             # actually form an axis; a single campaign-wide dict would
@@ -379,6 +397,11 @@ class ScenarioSpec:
                 flabel = _faults_label(fault_spec)
                 point_label = (
                     f"{point_label},{flabel}" if point_label else flabel
+                )
+            if read_ratio is not None and len(read_ratio_axis) > 1:
+                rlabel = f"rr={read_ratio:g}"
+                point_label = (
+                    f"{point_label},{rlabel}" if point_label else rlabel
                 )
             specs.append(
                 ExperimentSpec(
@@ -406,6 +429,8 @@ class ScenarioSpec:
                     config_overrides=dict(overrides),
                     arrival=dict(arrival) if arrival is not None else None,
                     stats_reservoir=self.stats_reservoir,
+                    read_ratio=read_ratio,
+                    trace_stages=self.trace_stages,
                     drain_s=self.drain_s,
                     scenario=self.name,
                     label=point_label,
@@ -566,6 +591,10 @@ class SuiteResult:
                     "safety_violations": summary.safety_violations,
                 }
             )
+            breakdown = summary.stage_breakdown
+            if breakdown is not None:
+                runs[-1]["dominant_stage"] = breakdown.dominant_stage()
+                runs[-1]["stage_breakdown"] = dataclasses.asdict(breakdown)
         return {"suite": self.name, "runs": len(runs), "results": runs}
 
     def export(self, directory: str | Path) -> list[Path]:

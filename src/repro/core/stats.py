@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from .trace import StageBreakdown
 
 
 @dataclass
@@ -33,6 +35,10 @@ class StatsSummary:
     #: (fork / garbage digest / height regression). Defaulted so
     #: summaries persisted before the auditor existed still load.
     safety_violations: int = 0
+    #: Per-stage lifecycle breakdown (repro.core.trace). None when the
+    #: ``trace_stages`` knob is off — and omitted from persisted run
+    #: JSON in that case, keeping pre-tracing output byte-identical.
+    stage_breakdown: StageBreakdown | None = field(default=None)
 
 
 class StatsCollector:
@@ -65,6 +71,12 @@ class StatsCollector:
         self.latencies: list[float] = []
         self.confirm_times: list[float] = []
         self.queue_samples: list[tuple[float, int]] = []
+        #: Per-stage backlog samples ``(t, mempool, consensus,
+        #: execution)`` from the tracer's gauges — recorded by exactly
+        #: one collector per run (the sampling client), alongside the
+        #: legacy scalar series which stays the client's outstanding
+        #: queue so existing figure harnesses are untouched.
+        self.stage_queue_samples: list[tuple[float, int, int, int]] = []
         self.start_time = 0.0
         self.end_time = 0.0
         self.reservoir = reservoir
@@ -121,9 +133,21 @@ class StatsCollector:
         bucket = int(confirmed_at)
         self._confirm_buckets[bucket] = self._confirm_buckets.get(bucket, 0) + 1
 
-    def record_queue_length(self, now: float, length: int) -> None:
-        """Sample the client's outstanding-transaction queue."""
+    def record_queue_length(
+        self,
+        now: float,
+        length: int,
+        stage_depths: tuple[int, int, int] | None = None,
+    ) -> None:
+        """Sample the client's outstanding-transaction queue.
+
+        ``stage_depths`` optionally carries the tracer's per-stage
+        backlog gauges (mempool, consensus in-flight, execution) taken
+        at the same instant.
+        """
         self.queue_samples.append((now, length))
+        if stage_depths is not None:
+            self.stage_queue_samples.append((now, *stage_depths))
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -261,4 +285,16 @@ def merge_collectors(collectors: list[StatsCollector]) -> StatsCollector:
         for t, length in collector.queue_samples:
             by_time[t] = by_time.get(t, 0) + length
     merged.queue_samples = sorted(by_time.items())
+    # Stage backlog samples: the gauges are cluster-global, so summing
+    # across collectors would multiply them — but only one collector
+    # per run records them, making the per-timestamp merge a no-op
+    # passthrough that still tolerates future multi-sampler setups by
+    # keeping the latest sample per timestamp.
+    by_time_stages: dict[float, tuple[int, int, int]] = {}
+    for collector in collectors:
+        for t, mempool, consensus, execution in collector.stage_queue_samples:
+            by_time_stages[t] = (mempool, consensus, execution)
+    merged.stage_queue_samples = [
+        (t, *depths) for t, depths in sorted(by_time_stages.items())
+    ]
     return merged

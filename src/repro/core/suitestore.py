@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any
 from ..errors import BenchmarkError
 from .runner import ExperimentResult, ExperimentSpec
 from .stats import StatsCollector, StatsSummary
+from .trace import StageBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover
     from .scenario import SuiteResult
@@ -117,6 +118,8 @@ def _canonical_faults(faults: Any) -> dict[str, Any] | None:
 _OPTIONAL_SPEC_FIELDS: dict[str, Any] = {
     "arrival": None,
     "stats_reservoir": 0,
+    "read_ratio": None,
+    "trace_stages": True,
 }
 
 
@@ -161,6 +164,16 @@ def spec_hash(spec: ExperimentSpec) -> str:
 # ---------------------------------------------------------------------------
 # Result (de)serialization
 # ---------------------------------------------------------------------------
+def _summary_to_dict(summary: StatsSummary) -> dict[str, Any]:
+    """``asdict`` with the stage breakdown omitted when tracing was
+    off — run files then stay byte-identical to the pre-tracing
+    schema."""
+    data = asdict(summary)
+    if data.get("stage_breakdown") is None:
+        data.pop("stage_breakdown", None)
+    return data
+
+
 def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     """The persistable view of one finished run.
 
@@ -176,7 +189,7 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "schema": RUN_SCHEMA,
         "spec_hash": spec_hash(result.spec),
         "spec": spec_to_dict(result.spec),
-        "summary": asdict(result.summary),
+        "summary": _summary_to_dict(result.summary),
         "queue_series": [list(sample) for sample in result.queue_series],
         "chain_height": result.chain_height,
         "total_blocks": result.total_blocks,
@@ -202,7 +215,13 @@ def result_from_dict(
     collector carries the counters but not per-transaction latencies
     (see :func:`result_to_dict`).
     """
-    summary = StatsSummary(**data["summary"])
+    summary_data = dict(data["summary"])
+    breakdown = summary_data.get("stage_breakdown")
+    if breakdown is not None:
+        # Stored as the asdict tree; rebuild the dataclass so a resumed
+        # suite serializes identically to a live one.
+        summary_data["stage_breakdown"] = StageBreakdown.from_dict(breakdown)
+    summary = StatsSummary(**summary_data)
     stats = StatsCollector(platform=summary.platform, workload=summary.workload)
     stats.submitted = summary.submitted
     stats.rejected = summary.rejected

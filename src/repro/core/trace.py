@@ -1,0 +1,329 @@
+"""Transaction lifecycle tracing: per-stage bottleneck attribution.
+
+BLOCKBENCH's macro benchmarks report *that* throughput moved, never
+*where* — yet the paper's layered design exists precisely to isolate
+consensus vs. execution vs. data-model costs (Section 3.1). This module
+closes that gap with an app-agnostic stage model in the spirit of
+BlockMeter and "What Blocks My Blockchain's Throughput?" (PAPERS.md):
+every transaction carries per-stage timestamps recorded at a handful of
+protocol-neutral hook points, so no platform or protocol ships its own
+tracing code (mirroring the PR 7 adversary-hooks pattern).
+
+Stage points (one timestamp each, first occurrence wins cluster-wide)::
+
+    submit   client handed the tx to the backend (backdated to the
+             submission instant, so submit -> notify equals the
+             latency the StatsCollector reports)
+    admit    a mempool accepted the tx (any node: direct or gossip)
+    propose  the tx was batched into a candidate block (assemble_block)
+    decide   the block holding the tx reached the platform's commit
+             point (PBFT/Tendermint: consensus commit; PoW/PoA: the
+             confirmation depth the paper measures latency against)
+    execute  transaction execution finished — stamped at
+             ``decide + charged execution CPU``, the simulated instant
+             the node's CPU is done with the block's transactions
+    commit   the post-block state root was committed
+    notify   the client learned the tx was confirmed (poll reply,
+             subscription event, or batch summary)
+
+Derived intervals (what the bottleneck table shows)::
+
+    admission     submit -> admit      ingress + signing + gossip
+    mempool_wait  admit -> propose     queueing before a proposer
+    consensus     propose -> decide    ordering (incl. PoW confirmations)
+    execution     decide -> execute    charged transaction execution CPU
+    state_commit  execute -> commit    state-root commit (not separately
+                                       charged by the cost model, so ~0)
+    notification  commit -> notify     result propagation back to client
+
+Recording is append-only bookkeeping: the tracer never charges CPU and
+never schedules events, so the simulated timeline with tracing on is
+*identical* to tracing off — the ``trace_stages`` knob only controls
+whether the bookkeeping happens (pinned byte-identical by
+``tests/core/test_trace_differential.py``). Stamps are clamped to be
+monotone per transaction (a stage never precedes an earlier stage);
+the only path where the raw clock would run backwards is a pub/sub
+event raced against the block's charged execution window, an artifact
+of charging CPU after the publish rather than before.
+
+The tracer also maintains O(1) per-stage backlog gauges sampled by the
+driver's existing queue sampler (no new events):
+
+    mempool    admitted, not yet proposed
+    consensus  proposed, not yet decided
+    execution  decided, not yet notified (execution + result
+               propagation; block execution is atomic within one
+               simulated event, so a decided-not-committed gauge would
+               read zero at every sampling instant)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "STAGES",
+    "STAGE_INTERVALS",
+    "QUEUE_GAUGES",
+    "StageStat",
+    "StageBreakdown",
+    "StageTracer",
+]
+
+#: Stage-point names, in lifecycle order. Index into a tx's stamp slots.
+STAGES = ("submit", "admit", "propose", "decide", "execute", "commit", "notify")
+
+SUBMIT, ADMIT, PROPOSE, DECIDE, EXECUTE, COMMIT, NOTIFY = range(len(STAGES))
+
+#: Derived interval names with their (start, end) stage-point indices.
+STAGE_INTERVALS = (
+    ("admission", SUBMIT, ADMIT),
+    ("mempool_wait", ADMIT, PROPOSE),
+    ("consensus", PROPOSE, DECIDE),
+    ("execution", DECIDE, EXECUTE),
+    ("state_commit", EXECUTE, COMMIT),
+    ("notification", COMMIT, NOTIFY),
+)
+
+#: Backlog gauge names, in pipeline order.
+QUEUE_GAUGES = ("mempool", "consensus", "execution")
+
+_N_STAGES = len(STAGES)
+
+#: Extra slot per stamp row holding the running max of the clamped
+#: stages — makes the monotone clamp O(1) instead of a scan. SUBMIT is
+#: excluded: it is backdated to the submission instant after the admit
+#: reply, so clamping it would zero out the admission interval.
+_TOP = _N_STAGES
+
+
+def _percentile(ordered: list[float], pct: float) -> float:
+    """Order-statistic percentile (same convention as StatsCollector)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, math.ceil(pct / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class StageStat:
+    """Latency statistics for one derived lifecycle interval."""
+
+    stage: str
+    count: int
+    avg_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+
+@dataclass
+class StageBreakdown:
+    """Per-stage lifecycle aggregate attached to a StatsSummary.
+
+    ``stages`` holds one :class:`StageStat` per derived interval in
+    pipeline order; interval averages telescope, so they sum to
+    ``end_to_end_avg_s`` exactly (pinned by the CI bottleneck smoke).
+    """
+
+    #: Transactions with a complete 7-point lifecycle.
+    traced: int
+    #: Transactions seen by the tracer but missing at least one stamp
+    #: (unconfirmed at window end, orphaned, or rejected downstream).
+    partial: int
+    #: Mean submit -> notify over the traced set.
+    end_to_end_avg_s: float
+    stages: list[StageStat] = field(default_factory=list)
+    #: Mean sampled backlog per gauge (mempool/consensus/execution).
+    queue_depth_avg: dict[str, float] = field(default_factory=dict)
+    #: Peak sampled backlog per gauge.
+    queue_depth_peak: dict[str, int] = field(default_factory=dict)
+
+    def dominant_stage(self) -> str | None:
+        """The interval with the largest mean — the bottleneck.
+
+        Ties break toward the earlier pipeline stage; ``None`` when no
+        complete lifecycle was traced.
+        """
+        if not self.traced or not self.stages:
+            return None
+        best = max(self.stages, key=lambda s: s.avg_s)
+        return best.stage
+
+    def stage_avgs(self) -> dict[str, float]:
+        """Interval name -> mean seconds (comparison helper)."""
+        return {s.stage: s.avg_s for s in self.stages}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageBreakdown":
+        """Rebuild from the ``asdict`` shape persisted in run JSON."""
+        return cls(
+            traced=int(data["traced"]),
+            partial=int(data["partial"]),
+            end_to_end_avg_s=float(data["end_to_end_avg_s"]),
+            stages=[StageStat(**s) for s in data.get("stages", [])],
+            queue_depth_avg=dict(data.get("queue_depth_avg", {})),
+            queue_depth_peak=dict(data.get("queue_depth_peak", {})),
+        )
+
+
+class StageTracer:
+    """Cluster-wide lifecycle recorder (one per cluster, like the
+    ChainAuditor). Hot-path methods are dict/list operations only."""
+
+    __slots__ = ("_stamps", "_depths")
+
+    def __init__(self) -> None:
+        #: tx_id -> 7 stamp slots (None until recorded) + running max.
+        self._stamps: dict[str, list[float | None]] = {}
+        #: Live backlog gauges, pipeline order (QUEUE_GAUGES).
+        self._depths = [0, 0, 0]
+
+    # ------------------------------------------------------------------
+    # Recording (hot path)
+    # ------------------------------------------------------------------
+    def record(self, tx_id: str, stage: int, now: float) -> None:
+        """Stamp ``stage`` for ``tx_id`` at ``now`` (first occurrence
+        wins; clamped so stamps never precede an earlier stage)."""
+        slots = self._stamps.get(tx_id)
+        if slots is None:
+            slots = [None] * _N_STAGES + [0.0]
+            self._stamps[tx_id] = slots
+        if slots[stage] is not None:
+            return
+        if stage:
+            top = slots[_TOP]
+            if top > now:
+                now = top
+            else:
+                slots[_TOP] = now
+        slots[stage] = now
+        # Backlog gauge transitions, guarded so replayed or forged
+        # blocks whose txs skipped a stage can't drive a gauge negative.
+        if stage == ADMIT:
+            self._depths[0] += 1
+        elif stage == PROPOSE:
+            if slots[ADMIT] is not None:
+                self._depths[0] -= 1
+            self._depths[1] += 1
+        elif stage == DECIDE:
+            if slots[PROPOSE] is not None:
+                self._depths[1] -= 1
+            self._depths[2] += 1
+        elif stage == NOTIFY:
+            if slots[DECIDE] is not None:
+                self._depths[2] -= 1
+
+    def record_block(self, tx_ids, stage: int, now: float) -> None:
+        """Stamp every tx in a block at once (propose/decide/commit)."""
+        record = self.record
+        for tx_id in tx_ids:
+            record(tx_id, stage, now)
+
+    # Named hook-site helpers: the chain and platform layers sit below
+    # ``repro.core`` in the import graph, so they call these instead of
+    # importing the stage-index constants.
+    def record_submit(self, tx_id: str, now: float) -> None:
+        # Inlined record(): one submit per tx, usually the row-creating
+        # call, on the per-transaction client hot path.
+        slots = self._stamps.get(tx_id)
+        if slots is None:
+            self._stamps[tx_id] = [
+                now, None, None, None, None, None, None, 0.0,
+            ]
+        elif slots[SUBMIT] is None:
+            slots[SUBMIT] = now
+
+    def record_admit(self, tx_id: str, now: float) -> None:
+        # Inlined record(): every node's mempool calls this for every
+        # gossiped copy, so most calls are first-occurrence early-outs.
+        slots = self._stamps.get(tx_id)
+        if slots is None:
+            slots = [None] * _N_STAGES + [0.0]
+            self._stamps[tx_id] = slots
+        elif slots[ADMIT] is not None:
+            return
+        top = slots[_TOP]
+        if top > now:
+            now = top
+        else:
+            slots[_TOP] = now
+        slots[ADMIT] = now
+        self._depths[0] += 1
+
+    def record_propose(self, tx_ids, now: float) -> None:
+        self.record_block(tx_ids, PROPOSE, now)
+
+    def record_decide(self, tx_ids, now: float) -> None:
+        self.record_block(tx_ids, DECIDE, now)
+
+    def record_execute(self, tx_ids, now: float) -> None:
+        self.record_block(tx_ids, EXECUTE, now)
+
+    def record_commit(self, tx_ids, now: float) -> None:
+        self.record_block(tx_ids, COMMIT, now)
+
+    def record_notify(self, tx_id: str, now: float) -> None:
+        self.record(tx_id, NOTIFY, now)
+
+    def queue_depths(self) -> tuple[int, int, int]:
+        """Current (mempool, consensus, execution) backlog gauges."""
+        depths = self._depths
+        return (depths[0], depths[1], depths[2])
+
+    # ------------------------------------------------------------------
+    # Aggregation (end of run)
+    # ------------------------------------------------------------------
+    def breakdown(
+        self, stage_queue_samples: list[tuple[float, int, int, int]] | None = None
+    ) -> StageBreakdown:
+        """Aggregate recorded lifecycles into a :class:`StageBreakdown`.
+
+        ``stage_queue_samples`` is the driver-sampled ``(t, mempool,
+        consensus, execution)`` series from the StatsCollector.
+        """
+        intervals: list[list[float]] = [[] for _ in STAGE_INTERVALS]
+        e2e_total = 0.0
+        traced = 0
+        partial = 0
+        for slots in self._stamps.values():
+            # The row is 7 stage slots + the running max (never None).
+            if None in slots:
+                partial += 1
+                continue
+            traced += 1
+            e2e_total += slots[NOTIFY] - slots[SUBMIT]
+            for idx, (_, start, end) in enumerate(STAGE_INTERVALS):
+                intervals[idx].append(slots[end] - slots[start])
+        stages = []
+        for idx, (name, _, _) in enumerate(STAGE_INTERVALS):
+            values = sorted(intervals[idx])
+            count = len(values)
+            stages.append(
+                StageStat(
+                    stage=name,
+                    count=count,
+                    avg_s=(sum(values) / count) if count else 0.0,
+                    p50_s=_percentile(values, 50),
+                    p95_s=_percentile(values, 95),
+                    p99_s=_percentile(values, 99),
+                    max_s=values[-1] if count else 0.0,
+                )
+            )
+        depth_avg: dict[str, float] = {}
+        depth_peak: dict[str, int] = {}
+        samples = stage_queue_samples or []
+        for col, gauge in enumerate(QUEUE_GAUGES, start=1):
+            series = [sample[col] for sample in samples]
+            depth_avg[gauge] = (sum(series) / len(series)) if series else 0.0
+            depth_peak[gauge] = max(series) if series else 0
+        return StageBreakdown(
+            traced=traced,
+            partial=partial,
+            end_to_end_avg_s=(e2e_total / traced) if traced else 0.0,
+            stages=stages,
+            queue_depth_avg=depth_avg,
+            queue_depth_peak=depth_peak,
+        )

@@ -170,6 +170,20 @@ class Workload(ABC):
         measured window.
         """
 
+    @classmethod
+    def read_ratio_params(cls, ratio: float) -> dict:
+        """Config kwargs realizing a ``ratio`` fraction of reads.
+
+        The ``read_ratio`` spec field / scenario axis calls this to
+        translate one portable knob into the workload's native mix
+        parameters. Workloads with a fixed operation mix (the Table 1
+        contract drivers) don't override it and refuse the knob.
+        """
+        raise BenchmarkError(
+            f"workload {cls.name!r} has a fixed operation mix and does "
+            f"not support read_ratio"
+        )
+
     @abstractmethod
     def next_transaction(
         self, client_id: str, rng: random.Random, now: float

@@ -304,6 +304,9 @@ class PlatformNode(SimNode):
         #: Cluster-wide safety auditor (attached by build_cluster);
         #: sees every block this node finalizes.
         self.auditor = None
+        #: Cluster-wide lifecycle tracer (attached by build_cluster);
+        #: stamps propose/decide/execute/commit for every transaction.
+        self.tracer = None
         # Statistics.
         self.committed_tx_count = 0
         self.failed_tx_count = 0
@@ -333,6 +336,16 @@ class PlatformNode(SimNode):
     def attach_auditor(self, auditor) -> None:
         """Subscribe a cluster-wide safety auditor to this node's commits."""
         self.auditor = auditor
+
+    def attach_tracer(self, tracer) -> None:
+        """Share one cluster-wide :class:`StageTracer` with this node.
+
+        The mempool gets its own reference because admission happens
+        inside ``Mempool.add`` (the only point common to direct
+        ingress, Parity's signing queue, and gossip).
+        """
+        self.tracer = tracer
+        self.mempool.tracer = tracer
 
     # ------------------------------------------------------------------
     # ConsensusHost interface
@@ -383,6 +396,8 @@ class PlatformNode(SimNode):
             gas_budget=gas_limit,
             gas_estimate=self.gas_estimate if gas_limit else None,
         )
+        if self.tracer is not None and txs:
+            self.tracer.record_propose([tx.tx_id for tx in txs], self.now)
         return Block.build(
             height=parent.height + 1,
             parent_hash=parent.hash,
@@ -426,6 +441,13 @@ class PlatformNode(SimNode):
             self.executed_height = block.height
 
     def _execute_block(self, block: Block) -> None:
+        tracer = self.tracer
+        tx_ids = None
+        if tracer is not None and block.transactions:
+            # The first replica to reach this point stamps the decide
+            # time for the whole cluster (later replicas are no-ops).
+            tx_ids = [tx.tx_id for tx in block.transactions]
+            tracer.record_decide(tx_ids, self.now)
         cache = self.execution_cache
         pre_root: Hash | None = None
         entry: CachedExecution | None = None
@@ -487,6 +509,15 @@ class PlatformNode(SimNode):
         self.executed_block_hashes[block.height] = block.hash
         if self.auditor is not None:
             self.auditor.record_commit(self.node_id, block, self.now)
+        if tx_ids is not None:
+            # Execution completes once the charged CPU below has been
+            # paid; stamping at now + seconds attributes that cost to
+            # the execution interval instead of hiding it in result
+            # propagation. The state commit itself carries no separate
+            # charge in the cost model, so commit == execute.
+            done = self.now + seconds
+            tracer.record_execute(tx_ids, done)
+            tracer.record_commit(tx_ids, done)
         self._charge(seconds)
 
     def _execute_tx(self, tx: Transaction, block: Block) -> Receipt:

@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Iterable
 
 from ..core.audit import ChainAuditor
+from ..core.trace import StageTracer
 from ..errors import BenchmarkError
 from ..registry import PLATFORMS
 from ..sim import Network, ResourceMonitor, RngRegistry, Scheduler
@@ -46,6 +47,8 @@ class Cluster:
     monitor: ResourceMonitor | None = None
     #: Always-on chain safety auditor (fork/digest/monotonicity checks).
     auditor: ChainAuditor | None = None
+    #: Lifecycle stage tracer (``trace_stages`` knob; None when off).
+    tracer: StageTracer | None = None
 
     def node_ids(self) -> list[str]:
         return [node.node_id for node in self.nodes]
@@ -140,6 +143,7 @@ def build_cluster(
     storage_dir: str | Path | None = None,
     with_monitor: bool = False,
     monitor_interval: float = 1.0,
+    trace_stages: bool = True,
 ) -> Cluster:
     """Build and start an N-node testnet of ``platform``.
 
@@ -191,6 +195,17 @@ def build_cluster(
         if isinstance(node, PlatformNode):
             node.attach_auditor(auditor)
 
+    # Lifecycle stage tracer (repro.core.trace): one shared recorder
+    # stamps admit/propose/decide/execute/commit for every transaction
+    # through protocol-neutral hooks. Recording never charges CPU or
+    # schedules events, so the timeline is identical with it off.
+    tracer = None
+    if trace_stages:
+        tracer = StageTracer()
+        for node in nodes:
+            if isinstance(node, PlatformNode):
+                node.attach_tracer(tracer)
+
     for node in nodes:
         node.set_peers(ids)
         for contract_name in contracts:
@@ -212,4 +227,5 @@ def build_cluster(
         nodes=nodes,
         monitor=monitor,
         auditor=auditor,
+        tracer=tracer,
     )

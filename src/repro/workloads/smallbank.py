@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..chain import Transaction
 from ..contracts.base import encode_int
+from ..errors import BenchmarkError
 from ..core.workload import Workload, preload_state
 from ..registry import register_workload
 
@@ -35,6 +36,11 @@ class SmallbankConfig:
     #: Hotspot: fraction of ops hitting the first `hot_accounts`.
     hot_fraction: float = 0.25
     hot_accounts: int = 100
+    #: Weight of the balance query (the mix's only read). None keeps
+    #: the standard mix verbatim; when set, the five write procedures
+    #: share the remaining weight in their standard ratios. Driven by
+    #: the ``read_ratio`` spec field / scenario axis.
+    read_fraction: float | None = None
 
 
 @register_workload("smallbank", config_type=SmallbankConfig)
@@ -46,6 +52,30 @@ class SmallbankWorkload(Workload):
 
     def __init__(self, config: SmallbankConfig | None = None) -> None:
         self.config = config or SmallbankConfig()
+        read_fraction = self.config.read_fraction
+        if read_fraction is None:
+            # Standard mix, untouched: rescaling 0.15 through floats
+            # would perturb the cumulative thresholds and change every
+            # pinned transaction stream.
+            self._operations = _OPERATIONS
+        else:
+            if not 0.0 <= read_fraction <= 1.0:
+                raise BenchmarkError(
+                    f"read_fraction must be in [0, 1], got {read_fraction}"
+                )
+            write_weight = sum(
+                weight for name, weight in _OPERATIONS if name != "balance"
+            )
+            scale = (1.0 - read_fraction) / write_weight
+            self._operations = tuple(
+                (name, read_fraction if name == "balance" else weight * scale)
+                for name, weight in _OPERATIONS
+            )
+
+    @classmethod
+    def read_ratio_params(cls, ratio: float) -> dict:
+        """``read_ratio`` maps onto the balance-query weight."""
+        return {"read_fraction": ratio}
 
     def preload(self, cluster) -> None:
         cfg = self.config
@@ -71,8 +101,8 @@ class SmallbankWorkload(Workload):
     ) -> Transaction:
         roll = rng.random()
         cumulative = 0.0
-        operation = _OPERATIONS[-1][0]
-        for name, weight in _OPERATIONS:
+        operation = self._operations[-1][0]
+        for name, weight in self._operations:
             cumulative += weight
             if roll < cumulative:
                 operation = name

@@ -89,6 +89,12 @@ class YCSBWorkload(Workload):
         self._zipf = ZipfianGenerator(self.config.record_count)
         self._insert_counter = self.config.record_count
 
+    @classmethod
+    def read_ratio_params(cls, ratio: float) -> dict:
+        """``read_ratio`` maps onto the YCSB read/update proportions
+        (the paper's "different ratios of read and write operations")."""
+        return {"read_proportion": ratio, "update_proportion": 1.0 - ratio}
+
     def preload(self, cluster) -> None:
         items = (
             (

@@ -215,3 +215,72 @@ def test_projection_collision_is_rejected(tmp_path):
     current = _named_store(tmp_path, "current", "beta", rates=(20,))
     with pytest.raises(BenchmarkError, match="ambiguous"):
         compare_suites(base, current)
+
+
+# ---------------------------------------------------------------------------
+# Stage attribution: a regression names the lifecycle stage that moved
+# ---------------------------------------------------------------------------
+def _doctor_stage(store_dir, stage, extra_s, index=0):
+    """Inflate one stage's mean and the end-to-end latency to match —
+    the run-file shape of a slowdown localized to that stage."""
+    path = sorted((store_dir / "runs").glob("*.json"))[index]
+    data = json.loads(path.read_text())
+    data["summary"]["latency_avg_s"] += extra_s
+    breakdown = data["summary"]["stage_breakdown"]
+    breakdown["end_to_end_avg_s"] += extra_s
+    for stat in breakdown["stages"]:
+        if stat["stage"] == stage:
+            stat["avg_s"] += extra_s
+    path.write_text(json.dumps(data))
+    return path
+
+
+def test_latency_regression_is_attributed_to_the_moved_stage(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    _doctor_stage(current, "consensus", 5.0)
+    comparison = compare_suites(base, current, threshold=0.1)
+    regressions = comparison.regressions()
+    assert len(regressions) == 1
+    delta = regressions[0]
+    assert delta.regressed_stage == "consensus"
+    assert delta.stage_deltas["consensus"] == pytest.approx(5.0)
+    # The attribution is visible in both renderings.
+    assert any(
+        "stage attribution: 'consensus'" in failure
+        for failure in delta.failures
+    )
+    assert "stage attribution: 'consensus'" in comparison.format()
+    payload = comparison.to_json()
+    regressed = [r for r in payload["results"] if r["regressed"]]
+    assert regressed[0]["regressed_stage"] == "consensus"
+    assert regressed[0]["stage_deltas"]["consensus"] == pytest.approx(5.0)
+
+
+def test_clean_compare_reports_stage_deltas_without_attribution(tmp_path):
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    comparison = compare_suites(base, current, threshold=0.1)
+    assert comparison.regressions() == []
+    for delta in comparison.deltas:
+        assert delta.stage_deltas is not None
+        assert all(moved == 0.0 for moved in delta.stage_deltas.values())
+        assert "stage attribution" not in "".join(delta.failures)
+
+
+def test_runs_without_breakdowns_compare_without_attribution(tmp_path):
+    """Stores written with trace_stages off still compare cleanly."""
+    base = _run_store(tmp_path, "base")
+    current = _run_store(tmp_path, "current")
+    for store in (base, current):
+        for path in (store / "runs").glob("*.json"):
+            data = json.loads(path.read_text())
+            data["summary"].pop("stage_breakdown", None)
+            path.write_text(json.dumps(data))
+    _doctor(current, scale_latency=3.0)
+    comparison = compare_suites(base, current, threshold=0.1)
+    regressions = comparison.regressions()
+    assert len(regressions) == 1
+    assert regressions[0].regressed_stage is None
+    assert regressions[0].stage_deltas is None
+    assert "stage attribution" not in "".join(regressions[0].failures)

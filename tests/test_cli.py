@@ -484,3 +484,137 @@ def test_rejects_unknown_platform():
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle tracing surfaces: run flags, report --bottleneck, list
+# ---------------------------------------------------------------------------
+_SHORT_RUN = [
+    "run",
+    "--platform", "hyperledger",
+    "--workload", "ycsb",
+    "--servers", "2",
+    "--clients", "2",
+    "--rate", "20",
+    "--duration", "5",
+    "--seed", "3",
+]
+
+
+def test_run_prints_bottleneck_table_by_default(capsys):
+    assert main(list(_SHORT_RUN)) == 0
+    out = capsys.readouterr().out
+    assert "lifecycle stage breakdown" in out
+    assert "bottleneck:" in out
+    assert "mempool_wait" in out and "notification" in out
+    assert "<--" in out  # the dominant-stage marker
+
+
+def test_run_no_trace_stages_drops_the_breakdown(capsys):
+    assert main(list(_SHORT_RUN) + ["--no-trace-stages"]) == 0
+    out = capsys.readouterr().out
+    assert "lifecycle stage breakdown" not in out
+    assert "throughput (tx/s)" in out  # the summary itself is untouched
+
+
+def test_run_json_carries_the_breakdown_and_dominant_stage(capsys):
+    assert main(list(_SHORT_RUN) + ["--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["dominant_stage"] in (
+        "admission", "mempool_wait", "consensus", "execution",
+        "state_commit", "notification",
+    )
+    breakdown = payload["stage_breakdown"]
+    assert breakdown["traced"] > 0
+    assert len(breakdown["stages"]) == 6
+
+
+def test_run_json_omits_breakdown_when_tracing_off(capsys):
+    assert main(list(_SHORT_RUN) + ["--no-trace-stages", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "stage_breakdown" not in payload
+    assert "dominant_stage" not in payload
+
+
+def test_run_read_ratio_flag_reaches_the_workload(capsys):
+    assert main(list(_SHORT_RUN) + ["--read-ratio", "0.9", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["confirmed"] > 0
+
+
+def test_run_read_ratio_on_fixed_mix_workload_fails_cleanly(capsys):
+    code = main(
+        ["run", "--platform", "hyperledger", "--workload", "donothing",
+         "--servers", "2", "--clients", "2", "--rate", "20",
+         "--duration", "5", "--read-ratio", "0.5"]
+    )
+    assert code == 2
+    assert "fixed operation mix" in capsys.readouterr().err
+
+
+def _bottleneck_store(tmp_path):
+    scenario = tmp_path / "bneck.json"
+    scenario.write_text(json.dumps({
+        "name": "bneck",
+        "scenarios": [{
+            "name": "grid", "platforms": "hyperledger", "workloads": "ycsb",
+            "servers": 2, "clients": 2, "rates": 20, "durations": 5,
+            "seeds": 3, "read_ratios": [0.1, 0.9],
+        }],
+    }))
+    out_dir = tmp_path / "results"
+    assert main(["suite", str(scenario), "--out-dir", str(out_dir)]) == 0
+    return out_dir
+
+
+def test_report_bottleneck_renders_each_run(tmp_path, capsys):
+    out_dir = _bottleneck_store(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(out_dir), "--bottleneck"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("bottleneck:") == 2
+    assert "rr=0.1" in out and "rr=0.9" in out
+    assert "mempool_wait" in out
+
+
+def test_report_bottleneck_json_names_dominant_stages(tmp_path, capsys):
+    out_dir = _bottleneck_store(tmp_path)
+    capsys.readouterr()
+    assert main(["report", str(out_dir), "--bottleneck", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["runs"]) == 2
+    for run in payload["runs"]:
+        assert run["dominant_stage"] is not None
+        assert run["stage_breakdown"]["traced"] > 0
+
+
+def test_report_requires_a_mode_flag(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 2
+    assert "--bottleneck" in capsys.readouterr().err
+
+
+def test_report_missing_store_fails_cleanly(tmp_path, capsys):
+    code = main(["report", str(tmp_path / "nope"), "--bottleneck"])
+    assert code == 2
+    assert "not a suite result directory" in capsys.readouterr().err
+
+
+def test_report_notes_untraced_runs(tmp_path, capsys):
+    out_dir = _bottleneck_store(tmp_path)
+    for path in (out_dir / "runs").glob("*.json"):
+        data = json.loads(path.read_text())
+        data["summary"].pop("stage_breakdown", None)
+        path.write_text(json.dumps(data))
+    capsys.readouterr()
+    assert main(["report", str(out_dir), "--bottleneck"]) == 0
+    captured = capsys.readouterr()
+    assert "bottleneck:" not in captured.out
+    assert "2 run(s) without a stage breakdown" in captured.err
+
+
+def test_list_describes_consensus_and_byzantine_behaviors(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "pbft — One replica's view of the PBFT protocol." in out
+    assert "byzantine behaviors:" in out
+    for behavior in ("equivocate", "silent", "garbage_digest", "delay_votes"):
+        assert f"  {behavior} — " in out
