@@ -1,0 +1,38 @@
+"""Parallel-execution microbenchmark: capture-and-schedule tx/s.
+
+The ``exec_workers > 1`` hot path: per-transaction read/write-set
+capture through a recording ``TxView``, last-writer merge in block
+order, dependency-level scheduling, and the 4-worker makespan. The
+gate the CI perf-smoke enforces is the *simulated* win: a
+low-contention block must schedule to well under its serial duration
+sum (``speedup_w4 > 1.3`` per the committed ``BENCH_pr9.json``).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_parallel_execute.py
+"""
+
+from repro.core.perf import bench_parallel_execute
+
+
+def test_parallel_execute_capture_and_schedule():
+    result = bench_parallel_execute(quick=True)
+    assert result.unit == "tx"
+    assert result.ops == result.meta["blocks"] * result.meta["txs_per_block"]
+    assert result.ops_per_s > 0
+    # Distinct-key transactions must schedule nearly embarrassingly
+    # parallel on 4 workers; the CI acceptance floor is 1.3x.
+    assert result.meta["speedup_w4"] > 1.3
+    # The recording overlay costs one dict probe per access; capture
+    # must stay within a small constant factor of plain execution.
+    assert result.meta["capture_overhead"] < 3.0
+    print(f"\nparallel_execute: {result.ops_per_s:,.0f} tx/s "
+          f"(speedup_w4 {result.meta['speedup_w4']:.2f}x, "
+          f"capture overhead {result.meta['capture_overhead']:.2f}x)")
+
+
+if __name__ == "__main__":
+    result = bench_parallel_execute()
+    print(f"parallel_execute: {result.ops_per_s:,.0f} tx/s "
+          f"(speedup_w4 {result.meta['speedup_w4']:.2f}x, "
+          f"capture overhead {result.meta['capture_overhead']:.2f}x)")

@@ -181,6 +181,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "translated per-workload, rejected by fixed-mix workloads",
     )
     run.add_argument(
+        "--exec-workers", type=int, metavar="W", default=1,
+        help="modeled execution-engine workers for intra-block "
+             "parallelism (default 1 = serial; results are "
+             "byte-identical across W, only execution time shrinks)",
+    )
+    run.add_argument(
         "--no-trace-stages", action="store_true",
         help="disable per-transaction lifecycle stage tracing (drops "
              "the stage breakdown from the output; the simulated "
@@ -390,6 +396,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             stats_reservoir=args.stats_reservoir,
             read_ratio=args.read_ratio,
             trace_stages=not args.no_trace_stages,
+            config_overrides=(
+                {"exec_workers": args.exec_workers}
+                if args.exec_workers != 1 else {}
+            ),
         )
     )
     summary = result.summary

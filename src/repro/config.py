@@ -77,6 +77,15 @@ class PlatformConfig:
     #: (byte-identical roots and stats). Overridable per scenario via
     #: ``{"execution_cache": false}``.
     execution_cache: bool = True
+    #: Modeled execution-engine workers for intra-block parallelism.
+    #: 1 (default) is the historical serial path, byte-for-byte. >1
+    #: executes each transaction against an isolated captured view,
+    #: schedules by data-hazard dependency levels, and charges the
+    #: W-worker makespan instead of the serial sum — state roots,
+    #: receipts, and write-sets stay byte-identical to serial; only
+    #: the simulated execution time shrinks. Overridable per scenario
+    #: via ``{"exec_workers": 4}`` or the CLI's ``--exec-workers``.
+    exec_workers: int = 1
 
 
 # ---------------------------------------------------------------------------

@@ -121,6 +121,13 @@ class StateStorage(StorageBackend):
     ``commit_block`` folds them into the once-per-block batched tree
     update. Zero-valued words delete the slot, matching both EVM
     storage-clear semantics and :class:`DictStorage`.
+
+    Because every SLOAD/SSTORE funnels through the facade, parallel
+    execution's per-transaction read/write-set capture
+    (:class:`repro.core.txsched.TxView` behind the facade) sees EVM
+    storage traffic with no VM-level changes: captured slot keys are
+    the namespaced 32-byte addresses, so EVM transactions participate
+    in dependency scheduling exactly like native contracts.
     """
 
     __slots__ = ("_state",)

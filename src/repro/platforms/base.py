@@ -214,10 +214,20 @@ class CachedExecution:
     materializes real :class:`~repro.chain.Receipt` objects, so the
     simulated timeline is untouched — only the redundant Python-level
     contract execution is skipped.
+
+    ``levels`` is the dependency-level schedule captured by the
+    parallel execution path (``exec_workers > 1``), or ``None`` when
+    the block was executed serially. It is a pure function of the
+    block's data hazards — never of the executing replica's worker
+    count — so one entry serves replicas with any ``exec_workers``
+    setting: each replayer recomputes its own makespan from the shared
+    levels. ``write_set`` and ``receipts`` are identical whichever
+    path produced them; tests pin this.
     """
 
     write_set: WriteSet
     receipts: tuple[tuple[str, bool, int, Any, str], ...]
+    levels: tuple[int, ...] | None = None
 
 
 class ExecutionCache:
@@ -455,6 +465,8 @@ class PlatformNode(SimNode):
             pre_root = self.state.pre_state_root()
             if pre_root is not None:
                 entry = cache.lookup(pre_root, block.hash)
+        workers = self.config.exec_workers
+        levels: tuple[int, ...] | None = None
         if entry is not None:
             # Another replica already executed this exact block from
             # this exact pre-state: replay its net write-set into our
@@ -462,6 +474,7 @@ class PlatformNode(SimNode):
             # time-independent fields. Simulated CPU is still charged
             # below — only the redundant Python work is skipped.
             self.state.apply_write_set(entry.write_set)
+            levels = entry.levels
             receipts = [
                 Receipt(
                     tx_id=tx_id,
@@ -475,9 +488,12 @@ class PlatformNode(SimNode):
                 for tx_id, success, gas_used, output, error in entry.receipts
             ]
         else:
-            receipts = [
-                self._execute_tx(tx, block) for tx in block.transactions
-            ]
+            if workers > 1:
+                receipts, levels = self._execute_block_parallel(block)
+            else:
+                receipts = [
+                    self._execute_tx(tx, block) for tx in block.transactions
+                ]
             if cache is not None and pre_root is not None:
                 write_set = self.state.pending_writes()
                 if write_set is not None:
@@ -491,19 +507,34 @@ class PlatformNode(SimNode):
                                  r.error)
                                 for r in receipts
                             ),
+                            levels=levels,
                         ),
                     )
         seconds = 0.0
         costs = self.config.execution
+        durations = [] if workers > 1 and levels is not None else None
         for receipt in receipts:
             self.receipts[receipt.tx_id] = receipt
             # Signature verification was already charged when the block
             # arrived (message_cost); only execution is charged here.
-            seconds += receipt.gas_used * costs.seconds_per_gas
+            cost = receipt.gas_used * costs.seconds_per_gas
+            seconds += cost
+            if durations is not None:
+                durations.append(cost)
             if receipt.success:
                 self.committed_tx_count += 1
             else:
                 self.failed_tx_count += 1
+        if durations is not None:
+            # Charge the dependency-schedule makespan instead of the
+            # serial sum: non-conflicting transactions overlap on the
+            # modeled execution workers. Replays of a serially-executed
+            # cache entry carry no levels and fall back to the serial
+            # sum above — conservative, and impossible in a uniformly
+            # configured cluster.
+            from ..core.txsched import level_makespan
+
+            seconds = level_makespan(durations, levels, workers)
         root = self.state.commit_block(block.height)
         self._height_roots[block.height] = root
         self.executed_block_hashes[block.height] = block.hash
@@ -520,7 +551,44 @@ class PlatformNode(SimNode):
             tracer.record_commit(tx_ids, done)
         self._charge(seconds)
 
-    def _execute_tx(self, tx: Transaction, block: Block) -> Receipt:
+    def _execute_block_parallel(self, block: Block):
+        """Capture-and-schedule execution (``exec_workers > 1``).
+
+        Each transaction runs against a :class:`TxView` whose reads
+        fall through to the block state — the pre-state plus every
+        earlier transaction's merged writes, exactly what serial
+        execution would show it — and whose writes stay buffered until
+        the view merges in block order (last writer wins, so the block
+        overlay ends byte-identical to the serial path). The captured
+        read/write sets feed the dependency scheduler; the returned
+        levels drive the makespan charge and ride along in the
+        :class:`ExecutionCache` entry.
+
+        The serial path (``exec_workers=1``) deliberately bypasses all
+        of this: it must stay byte-for-byte the pre-existing code,
+        including the order floating-point durations are summed in.
+        """
+        from ..core.txsched import TxView, dependency_levels
+
+        state = self.state
+        receipts = []
+        accesses = []
+        for tx in block.transactions:
+            view = TxView(state)
+            receipts.append(self._execute_tx(tx, block, state=view))
+            accesses.append(view.access_sets())
+            # Merge even after a revert: partial writes made before the
+            # revert persisted on the serial path (the facade wrote
+            # straight through), so they must persist here too.
+            view.merge_into(state)
+        return receipts, dependency_levels(accesses)
+
+    def _execute_tx(
+        self,
+        tx: Transaction,
+        block: Block,
+        state: "PlatformState | None" = None,
+    ) -> Receipt:
         height = block.height
         contract = self.contracts.get(tx.contract)
         if contract is None:
@@ -531,7 +599,9 @@ class PlatformNode(SimNode):
                 error=f"contract {tx.contract!r} not deployed",
                 committed_at=self.now,
             )
-        facade = _NamespacedState(self.state, tx.contract)
+        facade = _NamespacedState(
+            self.state if state is None else state, tx.contract
+        )
         # The block's timestamp (the proposer's clock when it sealed
         # the block), not this replica's local time: every replica must
         # execute a block identically for replicated state to converge

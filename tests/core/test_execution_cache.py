@@ -143,3 +143,122 @@ def test_execution_cache_evicts_beyond_capacity():
         cache.store(b"root%d" % i, b"block", entry)
     assert cache.lookup(b"root0", b"block") is None  # evicted (LRU)
     assert cache.lookup(b"root2", b"block") is entry
+
+
+# ---------------------------------------------------------------------------
+# Worker-count insensitivity (PR 9)
+# ---------------------------------------------------------------------------
+def _cached_node(workers, shared_cache):
+    """One node with the given exec_workers, wired to a shared cache."""
+    from repro.platforms import build_cluster as _build
+
+    cluster = _build(
+        "hyperledger", 1, seed=5,
+        config_overrides={"exec_workers": workers},
+    )
+    node = cluster.nodes[0]
+    node.execution_cache = shared_cache
+    return cluster, node
+
+
+def _mixed_block(node, n=24, hot_every=3):
+    """A block mixing independent keys with a hot-key chain."""
+    from repro.chain.block import Block
+    from repro.chain.transaction import Transaction
+
+    txs = tuple(
+        Transaction.create(
+            sender=f"acct{i % 4}",
+            contract="kvstore",
+            function="write",
+            args=("hot" if i % hot_every == 0 else f"k{i}", f"v{i}"),
+            nonce=i,
+        )
+        for i in range(n)
+    )
+    genesis = node.chain().block_by_height(0)
+    return Block.build(
+        height=1, parent_hash=genesis.hash, transactions=txs,
+        state_root=b"", proposer=node.node_id, timestamp=1.0,
+    )
+
+
+@pytest.mark.parametrize(
+    "populate_workers,replay_workers",
+    [(4, 1), (1, 4)],
+    ids=["parallel-populates-serial-replays",
+         "serial-populates-parallel-replays"],
+)
+def test_cache_entries_cross_worker_counts(populate_workers, replay_workers):
+    """A cache entry is a pure function of (pre-state, block), never of
+    the executing replica's worker count: a parallel-populated entry
+    replayed by a serial replica (and vice versa) yields byte-identical
+    roots and receipts."""
+    shared = ExecutionCache()
+    pop_cluster, populator = _cached_node(populate_workers, shared)
+    block = _mixed_block(populator)
+    pre_root = populator.state.pre_state_root()
+    populator._execute_block(block)
+    assert shared.misses == 1 and shared.hits == 0
+    entry = shared.lookup(pre_root, block.hash)
+    assert entry is not None
+    # Parallel executors record the schedule; serial ones record None.
+    if populate_workers > 1:
+        assert entry.levels is not None and max(entry.levels) > 1
+    else:
+        assert entry.levels is None
+
+    rep_cluster, replayer = _cached_node(replay_workers, shared)
+    replayer._execute_block(block)
+    assert shared.hits >= 2  # replayer's lookup (plus the assert above)
+    assert replayer._height_roots[1] == populator._height_roots[1]
+    assert {
+        t: (r.success, r.gas_used, r.output, r.error)
+        for t, r in replayer.receipts.items()
+    } == {
+        t: (r.success, r.gas_used, r.output, r.error)
+        for t, r in populator.receipts.items()
+    }
+    pop_cluster.close()
+    rep_cluster.close()
+
+
+def test_cache_entries_identical_whoever_executes():
+    """Serially- and parallel-executed caches hold byte-identical
+    write-sets and receipts for the same block; only the optional
+    schedule annotation differs."""
+    serial_cache, parallel_cache = ExecutionCache(), ExecutionCache()
+    s_cluster, serial_node = _cached_node(1, serial_cache)
+    p_cluster, parallel_node = _cached_node(4, parallel_cache)
+    block = _mixed_block(serial_node)
+    s_pre = serial_node.state.pre_state_root()
+    p_pre = parallel_node.state.pre_state_root()
+    assert s_pre == p_pre  # same seed, same genesis
+    serial_node._execute_block(block)
+    parallel_node._execute_block(block)
+    s_entry = serial_cache.lookup(s_pre, block.hash)
+    p_entry = parallel_cache.lookup(p_pre, block.hash)
+    assert s_entry is not None and p_entry is not None
+    assert s_entry.write_set == p_entry.write_set
+    assert s_entry.receipts == p_entry.receipts
+    assert s_entry.levels is None
+    assert p_entry.levels is not None
+    s_cluster.close()
+    p_cluster.close()
+
+
+def test_parallel_replayer_charges_the_shared_schedule():
+    """Two parallel replicas sharing a cache charge identical CPU: the
+    replayer recomputes the makespan from the cached levels instead of
+    falling back to the serial sum."""
+    shared = ExecutionCache()
+    a_cluster, node_a = _cached_node(4, shared)
+    b_cluster, node_b = _cached_node(4, shared)
+    block = _mixed_block(node_a)
+    node_a._execute_block(block)  # executes for real
+    node_b._execute_block(block)  # replays the entry
+    assert shared.hits >= 1
+    assert node_b._height_roots[1] == node_a._height_roots[1]
+    assert node_b.cpu_time == node_a.cpu_time
+    a_cluster.close()
+    b_cluster.close()
