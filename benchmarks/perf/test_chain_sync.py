@@ -1,0 +1,29 @@
+"""Cold crash-recovery microbenchmark: blocks replayed per wall second.
+
+A node held down for nearly the whole run restarts cold and must
+block-sync the entire chain from its peers and replay it through the
+normal execution path. The rate here bounds how fast a restarted
+replica rejoins consensus.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/test_chain_sync.py
+"""
+
+from repro.core.perf import bench_chain_sync
+
+
+def test_chain_sync_blocks_per_second():
+    result = bench_chain_sync(quick=True)
+    assert result.unit == "blocks"
+    assert result.ops > 0  # the victim actually caught up
+    assert result.ops_per_s > 0
+    assert result.meta["sync_bytes"] > 0
+    print(f"\nchain_sync: {result.ops_per_s:,.0f} blocks/s of wall time "
+          f"({result.ops} blocks in {result.wall_time_s:.2f}s)")
+
+
+if __name__ == "__main__":
+    result = bench_chain_sync()
+    print(f"chain_sync: {result.ops_per_s:,.0f} blocks/s of wall time "
+          f"({result.ops} blocks in {result.wall_time_s:.2f}s)")

@@ -147,6 +147,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="crash N servers at mid-run (Figure 9 style)",
     )
     run.add_argument(
+        "--crash-at", type=float, metavar="S", default=None,
+        help="crash time for --crash servers (default: duration/2)",
+    )
+    run.add_argument(
+        "--recover-at", type=float, metavar="S", default=None,
+        help="restart the crashed servers at S: they block-sync from "
+             "live peers, replay, and rejoin consensus (requires --crash)",
+    )
+    run.add_argument(
+        "--recovery-mode", choices=("warm", "cold"), default="warm",
+        help="warm keeps the crashed node's state (sync the gap only); "
+             "cold wipes it, forcing a full replay (default warm)",
+    )
+    run.add_argument(
+        "--failover", action="store_true",
+        help="clients fail over to the next live server when an RPC "
+             "times out (deterministic exponential backoff; pairs "
+             "naturally with --crash/--recover-at)",
+    )
+    run.add_argument(
         "--byzantine", type=int, default=0, metavar="N",
         help="make N servers byzantine for the middle half of the run",
     )
@@ -336,13 +356,28 @@ def _build_parser() -> argparse.ArgumentParser:
 # Subcommands
 # ----------------------------------------------------------------------
 def _cmd_run(args: argparse.Namespace) -> int:
+    if (args.crash_at is not None or args.recover_at is not None) and not args.crash:
+        print(
+            "error: --crash-at/--recover-at require --crash N",
+            file=sys.stderr,
+        )
+        return 2
     faults = None
     if args.crash or args.byzantine:
         crashes = []
         byzantines = []
         if args.crash:
             crashes.append(
-                CrashFault(at_time=args.duration / 2, count=args.crash)
+                CrashFault(
+                    at_time=(
+                        args.duration / 2
+                        if args.crash_at is None
+                        else args.crash_at
+                    ),
+                    count=args.crash,
+                    recover_at=args.recover_at,
+                    recovery_mode=args.recovery_mode,
+                )
             )
         if args.byzantine:
             # Middle half of the run: long enough to bite, with healthy
@@ -391,6 +426,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             client_mode=args.client_mode,
             blocking=args.blocking,
             subscribe=args.subscribe,
+            failover=args.failover,
             faults=faults,
             arrival=arrival,
             stats_reservoir=args.stats_reservoir,
@@ -449,6 +485,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "safety_violations": result.safety_violations,
             "safety_report": result.safety_report,
         }
+        if summary.recovery_time_s:
+            payload["recovery_time_s"] = summary.recovery_time_s
+            payload["sync_requests"] = summary.sync_requests
+            payload["sync_blocks"] = summary.sync_blocks
+            payload["sync_bytes"] = summary.sync_bytes
         if breakdown is not None:
             import dataclasses
 
@@ -475,6 +516,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
         ],
     ]
+    for node_id in sorted(summary.recovery_time_s):
+        rows.append(
+            [f"recovery {node_id} (s)", f"{summary.recovery_time_s[node_id]:.2f}"]
+        )
+    if summary.recovery_time_s:
+        rows.append(
+            [
+                "sync traffic",
+                f"{summary.sync_blocks} blocks / {summary.sync_bytes} B "
+                f"({summary.sync_requests} requests)",
+            ]
+        )
     if result.safety_violations and result.safety_report:
         for violation in result.safety_report["violations"][:5]:
             rows.append(

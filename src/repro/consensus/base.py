@@ -151,6 +151,26 @@ class ConsensusProtocol(ABC):
     def stop(self) -> None:
         """Stop participating (crash injection support)."""
 
+    def restart(self, height: int, view_hint: int = 0) -> None:
+        """Rejoin consensus after crash recovery at ``height``.
+
+        Called by the platform node once block sync has caught the
+        local chain up to the live tip. ``height`` is the synced chain
+        height; ``view_hint`` is the highest view/round number learned
+        from sync peers (meaningful for view-based protocols — PBFT
+        adopts it so the rejoining replica does not trigger spurious
+        view changes from a stale view). The default is sufficient for
+        protocols whose position derives from time or chain state
+        alone: it simply re-arms via :meth:`start`.
+        """
+        self.start()
+
+    def sync_hint(self) -> int:
+        """The view/round number a sync peer reports to a recovering
+        node (fed back as ``view_hint`` to :meth:`restart`). Protocols
+        without a view concept return 0."""
+        return 0
+
     def describe(self) -> str:
         """Human-readable protocol name for reports."""
         return type(self).__name__

@@ -155,6 +155,37 @@ class PBFT(ConsensusProtocol):
         """Stop participating (crash injection)."""
         self._running = False
 
+    def restart(self, height: int, view_hint: int = 0) -> None:
+        """Rejoin after crash recovery: adopt the synced chain position
+        and the current view learned from sync peers.
+
+        Without the view hint a recovered replica would come back in
+        view 0, reject the live primary's pre-prepares, and force the
+        cluster through a cascade of view changes to drag it forward;
+        with it the replica slots straight into the active view (the
+        real protocol's NEW-VIEW/checkpoint transfer, simplified).
+        """
+        self.last_executed = max(self.last_executed, height)
+        if view_hint > self.view:
+            self.view = view_hint
+        self._view_changing = False
+        self._pending_new_view = None
+        self.in_flight = False
+        # Pre-crash phase state is gone with the process; anything not
+        # yet executed will be re-proposed from the mempool.
+        self.log = {
+            seq: entry for seq, entry in self.log.items()
+            if entry.executed and seq <= self.last_executed
+        }
+        self._view_change_votes = {
+            view: votes
+            for view, votes in self._view_change_votes.items()
+            if view > self.view
+        }
+        self._progress_deadline = 0.0
+        self.start()
+        self._arm_progress_timer()
+
     def on_new_pending_tx(self) -> None:
         """Arm the no-progress watchdog; batching happens on the tick."""
         self._arm_progress_timer()
@@ -489,3 +520,7 @@ class PBFT(ConsensusProtocol):
     def confirmed_height(self) -> int:
         """PBFT blocks are final on commit (no confirmation depth)."""
         return self.host.chain().height
+
+    def sync_hint(self) -> int:
+        """Report the current view so recovering replicas rejoin it."""
+        return self.view

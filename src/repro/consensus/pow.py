@@ -94,6 +94,23 @@ class ProofOfWork(ConsensusProtocol):
             self._mining_event.cancel()
             self._mining_event = None
 
+    def restart(self, height: int, view_hint: int = 0) -> None:
+        """Resume mining on the synced tip after crash recovery.
+
+        Difficulty is a chain property, not process state: the tip
+        block's header carries the interval the network had converged
+        to, so a recovered miner adopts it instead of resetting to the
+        cold-start baseline (which would briefly over-produce blocks).
+        """
+        self._running = True
+        tip_difficulty = self.host.chain().tip.header.meta("difficulty", "")
+        if tip_difficulty:
+            self.difficulty_interval = float(tip_difficulty)
+        else:
+            n_nodes = len(self.host.peer_ids()) + 1
+            self.difficulty_interval = self.config.network_interval(n_nodes)
+        self._restart_mining()
+
     # ------------------------------------------------------------------
     # Mining
     # ------------------------------------------------------------------

@@ -202,6 +202,26 @@ class Tendermint(ConsensusProtocol):
         """Stop participating (crash injection)."""
         self._running = False
 
+    def restart(self, height: int, view_hint: int = 0) -> None:
+        """Rejoin after crash recovery at the synced chain height.
+
+        Tendermint needs no view transfer: the proposer of each round
+        derives from (height, round), so entering the next undecided
+        height at round 0 is enough. Pre-crash lock and round state are
+        process-local and died with the process.
+        """
+        self.height = max(self.height, height + 1)
+        self.round = 0
+        self.step = STEP_IDLE
+        self._step_serial += 1
+        self.locked_block = None
+        self.locked_round = -1
+        self._rounds = {
+            key: state for key, state in self._rounds.items()
+            if key[0] >= self.height
+        }
+        self.start()
+
     def on_new_pending_tx(self) -> None:
         """No-op: the tick loop batches work, like a real mempool reap.
 

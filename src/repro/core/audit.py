@@ -20,6 +20,9 @@ Invariants, each checked the moment an honest replica commits a block:
 - **monotonicity** — each replica's finalized height only grows; a
   replica re-finalizing a height it already executed would unwind
   settled state.
+- **convergence** — every replica that crashed and recovered ends the
+  run on the honest prefix: at each height where honest replicas agree
+  on one block, the recovered node's chain must carry that block.
 
 Violations carry the height, the replicas involved, and the byzantine
 fault context active at detection time, and surface as a count in
@@ -44,7 +47,7 @@ __all__ = ["AuditReport", "ChainAuditor", "SafetyViolation"]
 class SafetyViolation:
     """One observed breach of a chain safety invariant."""
 
-    kind: str  #: "fork" | "garbage_digest" | "height_regression"
+    kind: str  #: "fork" | "garbage_digest" | "height_regression" | "divergence"
     height: int
     nodes: list[str]
     detail: str
@@ -71,19 +74,24 @@ class AuditReport:
     honest_nodes: int
     byzantine_nodes: list[str]
     violations: list[SafetyViolation] = field(default_factory=list)
+    #: Replicas that crashed and completed recovery during the run.
+    recovered_nodes: list[str] = field(default_factory=list)
 
     @property
     def safe(self) -> bool:
         return not self.violations
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out = {
             "safe": self.safe,
             "commits_checked": self.commits_checked,
             "honest_nodes": self.honest_nodes,
             "byzantine_nodes": self.byzantine_nodes,
             "violations": [v.to_json() for v in self.violations],
         }
+        if self.recovered_nodes:
+            out["recovered_nodes"] = self.recovered_nodes
+        return out
 
 
 class ChainAuditor:
@@ -98,6 +106,9 @@ class ChainAuditor:
         self._executed_height: dict[str, int] = {}
         self._flagged_forks: set[tuple[int, bytes, bytes]] = set()
         self._active_faults: list[str] = []
+        #: node id -> (synced height, sim time) of last finished recovery.
+        self._recovered: dict[str, tuple[int, float]] = {}
+        self._flagged_divergence: set[tuple[str, int]] = set()
 
     # -- fault context ---------------------------------------------------
     def fault_started(self, label: str) -> None:
@@ -111,6 +122,21 @@ class ChainAuditor:
 
     def _context(self) -> str:
         return ", ".join(self._active_faults)
+
+    # -- crash recovery --------------------------------------------------
+    def node_recovering(self, node_id: str, cold: bool) -> None:
+        """A crashed replica is restarting (called by the platform layer).
+
+        Cold recovery wipes execution state and replays the chain from
+        genesis; those re-executions are replay, not re-finalization, so
+        the monotonicity baseline resets with the state.
+        """
+        if cold:
+            self._executed_height[node_id] = 0
+
+    def node_recovered(self, node_id: str, height: int, at_time: float) -> None:
+        """A recovering replica finished catch-up at ``height``."""
+        self._recovered[node_id] = (height, at_time)
 
     # -- commit stream ---------------------------------------------------
     def record_commit(self, node_id: str, block: Block, at_time: float) -> None:
@@ -187,8 +213,49 @@ class ChainAuditor:
             )
         )
 
+    def _check_convergence(self) -> None:
+        """Every recovered replica must end on the honest prefix.
+
+        At each height where the honest agreement record holds exactly
+        one block, a recovered node's chain carrying a *different* block
+        there means catch-up left it on a divergent branch.
+        """
+        for node_id, (synced_height, recovered_at) in sorted(
+            self._recovered.items()
+        ):
+            node = self.network.nodes.get(node_id)
+            chain_fn = getattr(node, "chain", None)
+            if chain_fn is None:
+                continue
+            chain = chain_fn()
+            for height in sorted(self._commits):
+                if height > chain.height:
+                    continue
+                by_hash = self._commits[height]
+                if len(by_hash) != 1:
+                    continue  # honest replicas themselves forked here
+                (honest_hash,) = by_hash
+                block = chain.block_by_height(height)
+                if block is None or block.hash == honest_hash:
+                    continue
+                key = (node_id, height)
+                if key in self._flagged_divergence:
+                    continue
+                self._flagged_divergence.add(key)
+                self._flag(
+                    "divergence",
+                    height,
+                    [node_id],
+                    f"recovered node {node_id} (synced to height "
+                    f"{synced_height}) carries {block.hash.hex()[:12]} at "
+                    f"height {height}; honest replicas committed "
+                    f"{honest_hash.hex()[:12]}",
+                    at_time=recovered_at,
+                )
+
     # -- verdict ---------------------------------------------------------
     def report(self) -> AuditReport:
+        self._check_convergence()
         honest = {
             nid
             for nid in self.network.node_ids()
@@ -199,4 +266,5 @@ class ChainAuditor:
             honest_nodes=len(honest),
             byzantine_nodes=sorted(self.network.ever_byzantine),
             violations=list(self.violations),
+            recovered_nodes=sorted(self._recovered),
         )

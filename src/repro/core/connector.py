@@ -311,6 +311,25 @@ class SimChainConnector(IBlockchainConnector):
     #: server is retried rather than blocking its worker thread forever.
     SUBMIT_TIMEOUT_S = 5.0
 
+    def fail_over(self) -> str:
+        """Repoint this connector at the next live server (ring order).
+
+        Deterministic: walks the cluster's node list from the current
+        server's position and takes the first non-crashed node, so every
+        client attached to a dead endpoint picks the same replacement
+        given the same cluster state. If every server is down the
+        connector keeps its current endpoint (retries will time out
+        until one recovers).
+        """
+        ids = self.cluster.node_ids()
+        start = ids.index(self.server_id)
+        for offset in range(1, len(ids) + 1):
+            index = (start + offset) % len(ids)
+            if not self.cluster.nodes[index].crashed:
+                self.server_id = ids[index]
+                break
+        return self.server_id
+
     def send_transaction(
         self, tx: Transaction, on_reply: ReplyCallback | None = None
     ) -> SimFuture:
@@ -325,14 +344,23 @@ class SimChainConnector(IBlockchainConnector):
         return _chain_callback(future, on_reply)
 
     def get_latest_block(
-        self, from_height: int, on_reply: ReplyCallback | None = None
+        self,
+        from_height: int,
+        on_reply: ReplyCallback | None = None,
+        timeout_s: float | None = None,
     ) -> SimFuture:
-        """The paper's getLatestBlock(h): confirmed blocks in (h, t]."""
+        """The paper's getLatestBlock(h): confirmed blocks in (h, t].
+
+        ``timeout_s`` (failover mode) bounds the wait: a poll sent to a
+        crashed endpoint resolves with ``{"timeout": True}`` instead of
+        hanging the polling loop forever.
+        """
         future = self.client.call(
             self.server_id,
             "rpc/get_blocks",
             {"from_height": from_height},
             size_bytes=96,
+            timeout_s=timeout_s,
         )
         return _chain_callback(future, on_reply)
 

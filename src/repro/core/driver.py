@@ -77,6 +77,16 @@ class DriverConfig:
     #: Bound the latency sample set held in memory (reservoir size, 0 =
     #: keep every sample). See StatsCollector for the accuracy tradeoff.
     stats_reservoir: int = 0
+    #: Fail over to the next live server when an RPC times out (the
+    #: client side of crash recovery). Off by default: the legacy
+    #: client pins its endpoint and retries it forever, so runs without
+    #: the knob replay unchanged.
+    failover: bool = False
+    #: Cap on the exponential backoff between failover attempts. The
+    #: backoff starts at ``retry_interval_s`` and doubles per
+    #: consecutive timeout — deterministic, no jitter, so failover runs
+    #: stay replayable.
+    max_backoff_s: float = 2.0
 
     def __post_init__(self) -> None:
         """Reject knob values that would hang or starve the run.
@@ -111,6 +121,10 @@ class DriverConfig:
         if self.stats_reservoir < 0:
             raise BenchmarkError(
                 f"stats_reservoir must be >= 0, got {self.stats_reservoir}"
+            )
+        if self.max_backoff_s < 0:
+            raise BenchmarkError(
+                f"max_backoff_s must be >= 0, got {self.max_backoff_s}"
             )
 
 
@@ -159,10 +173,28 @@ class _BenchClientBase:
         # Submission RPCs currently awaiting a server reply (one per
         # simulated worker thread).
         self._inflight_submissions = 0
+        # Failover backoff: starts at the retry interval, doubles per
+        # consecutive timeout, reset on the first accepted reply.
+        self._backoff_s = config.retry_interval_s
 
     def _stop(self) -> None:
         self._running = False
         self.stats.finish(self.scheduler.now)
+
+    def _poll_timeout_s(self) -> float | None:
+        """Bound poll RPCs only in failover mode: a poll at a crashed
+        endpoint must resolve so the loop can repoint itself."""
+        if self.config.failover:
+            return SimChainConnector.SUBMIT_TIMEOUT_S
+        return None
+
+    def _next_backoff(self) -> float:
+        delay = min(self._backoff_s, self.config.max_backoff_s)
+        self._backoff_s = min(self._backoff_s * 2.0, self.config.max_backoff_s)
+        return delay
+
+    def _reset_backoff(self) -> None:
+        self._backoff_s = self.config.retry_interval_s
 
     def queue_length(self) -> int:
         return len(self.outstanding) + len(self.backlog)
@@ -257,7 +289,12 @@ class BenchClient(_BenchClientBase):
         self._inflight_submissions += 1
         reply = yield self.connector.send_transaction(tx)
         self._inflight_submissions -= 1
-        if reply.get("accepted"):
+        failover = self.config.failover
+        if reply.get("accepted") or (failover and reply.get("dup")):
+            # A "dup" reply after failover means the transaction is
+            # already pooled (or committed) cluster-side — it counts as
+            # submitted and the poller will confirm it.
+            self._reset_backoff()
             self.outstanding[tx.tx_id] = submit_time
             if self.tracer is not None:
                 self.tracer.record_submit(tx.tx_id, submit_time)
@@ -269,6 +306,14 @@ class BenchClient(_BenchClientBase):
                 and self._inflight_submissions < self.config.threads_per_client
             ):
                 spawn(self._submit_one(self.backlog.popleft()))
+        elif failover and reply.get("timeout"):
+            # Dead endpoint: exponential backoff, repoint at the next
+            # live server, resubmit the same transaction (mempool dedup
+            # makes the resubmission safe).
+            self.stats.record_rejection()
+            yield self.scheduler.sleep(self._next_backoff())
+            self.connector.fail_over()
+            spawn(self._submit_one(tx))
         else:
             self.stats.record_rejection()
             self.backlog.append(tx)
@@ -298,7 +343,13 @@ class BenchClient(_BenchClientBase):
             yield self.scheduler.sleep(poll)
 
     def _poll_once(self) -> SimCoroutine:
-        reply = yield self.connector.get_latest_block(self._poll_height)
+        reply = yield self.connector.get_latest_block(
+            self._poll_height, timeout_s=self._poll_timeout_s()
+        )
+        if reply.get("timeout"):
+            # Dead endpoint: repoint; the next poll tick covers the gap.
+            self.connector.fail_over()
+            return
         for block in reply.get("blocks", []):
             self._process_block_summary(block)
 
@@ -380,7 +431,9 @@ class CallbackBenchClient(_BenchClientBase):
 
         def on_reply(reply: dict) -> None:
             self._inflight_submissions -= 1
-            if reply.get("accepted"):
+            failover = self.config.failover
+            if reply.get("accepted") or (failover and reply.get("dup")):
+                self._reset_backoff()
                 self.outstanding[tx.tx_id] = submit_time
                 if self.tracer is not None:
                     self.tracer.record_submit(tx.tx_id, submit_time)
@@ -391,6 +444,11 @@ class CallbackBenchClient(_BenchClientBase):
                     and self._inflight_submissions < self.config.threads_per_client
                 ):
                     self._submit(self.backlog.popleft())
+            elif failover and reply.get("timeout"):
+                self.stats.record_rejection()
+                self.scheduler.schedule(
+                    self._next_backoff(), self._failover_resubmit, tx
+                )
             else:
                 self.stats.record_rejection()
                 self.backlog.append(tx)
@@ -399,6 +457,10 @@ class CallbackBenchClient(_BenchClientBase):
                 )
 
         self.connector.send_transaction(tx, on_reply)
+
+    def _failover_resubmit(self, tx: Transaction) -> None:
+        self.connector.fail_over()
+        self._submit(tx)
 
     def _retry_backlog(self) -> None:
         if (
@@ -416,10 +478,15 @@ class CallbackBenchClient(_BenchClientBase):
             return
 
         def on_reply(reply: dict) -> None:
+            if reply.get("timeout"):
+                self.connector.fail_over()
+                return
             for block in reply.get("blocks", []):
                 self._process_block_summary(block)
 
-        self.connector.get_latest_block(self._poll_height, on_reply)
+        self.connector.get_latest_block(
+            self._poll_height, on_reply, timeout_s=self._poll_timeout_s()
+        )
         self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
 
     def _on_block_event(self, block: dict) -> None:
@@ -511,8 +578,20 @@ class BatchClient:
             self.backlogs.append(deque())
             self.poll_heights.append(0)
             self.inflight.append(0)
+        # Per-slot failover backoff (mirrors _BenchClientBase).
+        self.backoffs = [config.retry_interval_s] * len(self.indices)
         self._running = False
         self._deadline = 0.0
+
+    def _poll_timeout_s(self) -> float | None:
+        if self.config.failover:
+            return SimChainConnector.SUBMIT_TIMEOUT_S
+        return None
+
+    def _next_backoff(self, slot: int) -> float:
+        delay = min(self.backoffs[slot], self.config.max_backoff_s)
+        self.backoffs[slot] = min(self.backoffs[slot] * 2.0, self.config.max_backoff_s)
+        return delay
 
     # Compatibility with the single-client surface Driver exposes.
     @property
@@ -588,7 +667,9 @@ class BatchClient:
 
         def on_reply(reply: dict) -> None:
             self.inflight[slot] -= 1
-            if reply.get("accepted"):
+            failover = self.config.failover
+            if reply.get("accepted") or (failover and reply.get("dup")):
+                self.backoffs[slot] = self.config.retry_interval_s
                 self.outstanding[slot][tx.tx_id] = submit_time
                 if self.tracer is not None:
                     self.tracer.record_submit(tx.tx_id, submit_time)
@@ -599,6 +680,11 @@ class BatchClient:
                     and self.inflight[slot] < self.config.threads_per_client
                 ):
                     self._submit(slot, self.backlogs[slot].popleft())
+            elif failover and reply.get("timeout"):
+                self.stats_slots[slot].record_rejection()
+                self.scheduler.schedule(
+                    self._next_backoff(slot), self._failover_resubmit, slot, tx
+                )
             else:
                 self.stats_slots[slot].record_rejection()
                 self.backlogs[slot].append(tx)
@@ -607,6 +693,10 @@ class BatchClient:
                 )
 
         self.connectors[slot].send_transaction(tx, on_reply)
+
+    def _failover_resubmit(self, slot: int, tx: Transaction) -> None:
+        self.connectors[slot].fail_over()
+        self._submit(slot, tx)
 
     def _retry_backlog(self, slot: int) -> None:
         if (
@@ -626,10 +716,14 @@ class BatchClient:
             self.connectors[slot].get_latest_block(
                 self.poll_heights[slot],
                 lambda reply, s=slot: self._on_poll_reply(s, reply),
+                timeout_s=self._poll_timeout_s(),
             )
         self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
 
     def _on_poll_reply(self, slot: int, reply: dict) -> None:
+        if reply.get("timeout"):
+            self.connectors[slot].fail_over()
+            return
         for block in reply.get("blocks", []):
             self._process_block_summary(slot, block)
 
@@ -787,6 +881,8 @@ class OpenLoopDriver:
         # the poller of the server it was submitted to.
         self.outstanding: list[dict[str, float]] = [{} for _ in self.server_ids]
         self.poll_heights = [0] * len(self.server_ids)
+        # Per-endpoint failover backoff (mirrors _BenchClientBase).
+        self.backoffs = [config.retry_interval_s] * len(self.server_ids)
         self._retries_pending = 0
         self._running = False
         self._deadline = 0.0
@@ -865,10 +961,25 @@ class OpenLoopDriver:
         self.stats.record_submission()
 
         def on_reply(reply: dict) -> None:
-            if reply.get("accepted"):
+            failover = self.config.failover
+            if reply.get("accepted") or (failover and reply.get("dup")):
+                self.backoffs[server_index] = self.config.retry_interval_s
                 self.outstanding[server_index][tx.tx_id] = submit_time
                 if self.tracer is not None:
                     self.tracer.record_submit(tx.tx_id, submit_time)
+            elif failover and reply.get("timeout"):
+                self.stats.record_rejection()
+                if self._running:
+                    self._retries_pending += 1
+                    delay = min(
+                        self.backoffs[server_index], self.config.max_backoff_s
+                    )
+                    self.backoffs[server_index] = min(
+                        self.backoffs[server_index] * 2.0, self.config.max_backoff_s
+                    )
+                    self.scheduler.schedule(
+                        delay, self._failover_retry, server_index, tx
+                    )
             else:
                 self.stats.record_rejection()
                 if self._running:
@@ -884,6 +995,12 @@ class OpenLoopDriver:
         if self._running:
             self._submit(server_index, tx)
 
+    def _failover_retry(self, server_index: int, tx: Transaction) -> None:
+        self._retries_pending -= 1
+        if self._running:
+            self.connectors[server_index].fail_over()
+            self._submit(server_index, tx)
+
     # ------------------------------------------------------------------
     # Confirmation polling (one round per server per tick)
     # ------------------------------------------------------------------
@@ -894,10 +1011,18 @@ class OpenLoopDriver:
             self.connectors[server_index].get_latest_block(
                 self.poll_heights[server_index],
                 lambda reply, s=server_index: self._on_poll_reply(s, reply),
+                timeout_s=(
+                    SimChainConnector.SUBMIT_TIMEOUT_S
+                    if self.config.failover
+                    else None
+                ),
             )
         self.scheduler.schedule(self.config.poll_interval_s, self._tick_poll)
 
     def _on_poll_reply(self, server_index: int, reply: dict) -> None:
+        if reply.get("timeout"):
+            self.connectors[server_index].fail_over()
+            return
         outstanding = self.outstanding[server_index]
         for block in reply.get("blocks", []):
             self.poll_heights[server_index] = max(

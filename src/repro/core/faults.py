@@ -31,13 +31,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.network import Network, SendFilter
 
 
+#: Valid CrashFault.recovery_mode values (mirrors the platform layer's
+#: RECOVERY_MODES; duplicated to avoid importing platforms here).
+CRASH_RECOVERY_MODES = ("warm", "cold")
+
+
 @dataclass
 class CrashFault:
-    """Kill ``count`` nodes at ``at_time`` (Figure 9)."""
+    """Kill nodes at ``at_time``; optionally restart them (Figure 9,
+    extended to crash-*recovery*).
+
+    Victims are ``nodes`` when given, else the first (or last) ``count``
+    nodes per ``include_leader`` — the same convention as
+    :class:`ByzantineFault`. When ``recover_at`` is set the victims
+    restart at that time: ``warm`` recovery keeps their executed state
+    and block-syncs only the missed suffix; ``cold`` wipes the state
+    store and replays the whole chain before syncing.
+    """
 
     at_time: float
-    count: int
+    count: int | None = None
     include_leader: bool = True
+    nodes: list[str] | None = None
+    recover_at: float | None = None
+    recovery_mode: str = "warm"
 
 
 @dataclass
@@ -245,9 +262,23 @@ class FaultSchedule:
         """
         scheduler = cluster.scheduler
         for crash in self.crashes:
+            if crash.recovery_mode not in CRASH_RECOVERY_MODES:
+                raise BenchmarkError(
+                    f"unknown recovery_mode {crash.recovery_mode!r} "
+                    f"(known: {', '.join(CRASH_RECOVERY_MODES)})"
+                )
+            if crash.recover_at is not None and crash.recover_at <= crash.at_time:
+                raise BenchmarkError(
+                    f"recover_at ({crash.recover_at}) must be after "
+                    f"at_time ({crash.at_time})"
+                )
             scheduler.schedule_at(
                 crash.at_time, self._do_crash, cluster, crash
             )
+            if crash.recover_at is not None:
+                scheduler.schedule_at(
+                    crash.recover_at, self._do_recover, cluster, crash
+                )
         for delay in self.delays:
             scheduler.schedule_at(
                 delay.at_time, self._open_delay, cluster, delay
@@ -272,9 +303,28 @@ class FaultSchedule:
                 byzantine.at_time, self._start_byzantine, cluster, byzantine
             )
 
+    def _crash_victims(self, cluster: "Cluster", crash: CrashFault) -> list[str]:
+        """The node ids one crash fault targets (pure function of the
+        spec and the cluster's node order, so crash and recover agree)."""
+        if crash.nodes is not None:
+            wanted = set(crash.nodes)
+            return [n.node_id for n in cluster.nodes if n.node_id in wanted]
+        count = crash.count if crash.count is not None else 1
+        chosen = (
+            cluster.nodes[:count] if crash.include_leader
+            else cluster.nodes[-count:]
+        )
+        return [n.node_id for n in chosen]
+
     def _do_crash(self, cluster: "Cluster", crash: CrashFault) -> None:
+        victims = cluster.crash_named(self._crash_victims(cluster, crash))
         self.crashed_node_ids.extend(
-            cluster.crash_nodes(crash.count, crash.include_leader)
+            v for v in victims if v not in self.crashed_node_ids
+        )
+
+    def _do_recover(self, cluster: "Cluster", crash: CrashFault) -> None:
+        cluster.recover_nodes(
+            self._crash_victims(cluster, crash), crash.recovery_mode
         )
 
     def _open_delay(self, cluster: "Cluster", delay: DelayFault) -> None:

@@ -21,6 +21,9 @@ simulated second:
 * ``driver_tx`` — end-to-end macro-benchmark transactions/s of wall
   time: one full ``run_experiment`` through consensus, mempool, blocks
   and stats.
+* ``chain_sync`` — cold crash-recovery catch-up: blocks a restarted
+  replica block-syncs and replays per wall second (PR 10's recovery
+  subsystem guard).
 * ``driver_tx_100k`` — the open-loop megaclient path: a Poisson
   arrival process over a 100k-account Zipf population driving a full
   cluster, confirmed tx/s of wall (PR 6's tentpole measurement).
@@ -616,6 +619,69 @@ def bench_parallel_execute(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_chain_sync(quick: bool = False) -> BenchResult:
+    """Cold crash-recovery catch-up throughput in blocks replayed/s.
+
+    Grows a Hyperledger chain with a node down from the first second,
+    then restarts that node cold: it re-seeds genesis, block-syncs the
+    entire chain from live peers in ``SYNC_BATCH`` batches, and replays
+    every block through the normal execution path (riding the cluster's
+    ExecutionCache). ops/s is chain blocks installed-and-executed per
+    wall second over the whole recovery — the figure that bounds how
+    fast a restarted replica rejoins, and the perf guard for the
+    recovery subsystem.
+    """
+    from ..platforms import build_cluster
+    from ..workloads import make_workload
+    from .driver import Driver, DriverConfig
+    from .faults import CrashFault, FaultSchedule
+
+    duration = 12.0 if quick else 30.0
+    cluster = build_cluster("hyperledger", 4, seed=7)
+    driver = Driver(
+        cluster,
+        make_workload("ycsb"),
+        DriverConfig(n_clients=2, request_rate_tx_s=80.0, duration_s=duration),
+    )
+    driver.prepare()
+    # Down from t=1: the victim misses (and must later sync) the chain.
+    FaultSchedule(
+        crashes=[CrashFault(at_time=1.0, count=1, include_leader=False)]
+    ).arm(cluster)
+    driver.run()
+    victim = cluster.nodes[-1]
+    witness = cluster.nodes[1]
+    deadline = cluster.scheduler.now + 300.0
+    start = time.perf_counter()
+    victim.recover("cold")
+    while victim._recovering and cluster.scheduler.now < deadline:
+        cluster.run_until(cluster.scheduler.now + 1.0)
+    wall = time.perf_counter() - start
+    if victim._recovering:
+        raise RuntimeError("cold recovery did not complete")
+    blocks = victim.executed_height
+    common = min(blocks, witness.executed_height)
+    if victim._height_roots[common] != witness._height_roots[common]:
+        raise RuntimeError("recovered state root diverged from witness")
+    sync_bytes = victim.sync_bytes_received
+    recovery_s = victim.recovery_times[-1]
+    cluster.close()
+    return BenchResult(
+        name="chain_sync",
+        ops=blocks,
+        unit="blocks",
+        wall_time_s=wall,
+        ops_per_s=blocks / wall,
+        meta={
+            "platform": "hyperledger",
+            "mode": "cold",
+            "sim_duration_s": duration,
+            "sync_bytes": sync_bytes,
+            "sim_recovery_s": recovery_s,
+        },
+    )
+
+
 BENCHMARKS: dict[str, Callable[[bool], BenchResult]] = {
     "evm_cpuheavy": bench_evm,
     "trie_puts": bench_trie,
@@ -624,6 +690,7 @@ BENCHMARKS: dict[str, Callable[[bool], BenchResult]] = {
     "parallel_execute": bench_parallel_execute,
     "scheduler_events": bench_scheduler,
     "driver_tx": bench_driver,
+    "chain_sync": bench_chain_sync,
     "driver_tx_100k": bench_driver_100k,
     "arrival_gen": bench_arrival_gen,
     "trace_overhead": bench_trace_overhead,

@@ -48,6 +48,11 @@ class ExperimentSpec:
     #: (legacy adapter path), or "batch" (vectorized BatchClient).
     #: Timelines are bit-identical across all three; see driver.py.
     client_mode: str = "coroutine"
+    #: Client-side crash tolerance: fail over to the next live server
+    #: when an RPC times out, with exponential backoff capped at
+    #: ``max_backoff_s``. See DriverConfig.
+    failover: bool = False
+    max_backoff_s: float = DriverConfig.max_backoff_s
     #: Open-loop arrival process (JSON shape, see ArrivalSpec): when
     #: set, the run uses the OpenLoopDriver instead of closed-loop
     #: clients and ignores n_clients / request_rate_tx_s /
@@ -156,6 +161,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         blocking=spec.blocking,
         subscribe=spec.subscribe,
         client_mode=spec.client_mode,
+        failover=spec.failover,
+        max_backoff_s=spec.max_backoff_s,
         arrival=(
             ArrivalSpec.from_dict(spec.arrival)
             if spec.arrival is not None
@@ -200,6 +207,11 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         summary.stage_breakdown = cluster.tracer.breakdown(
             stats.stage_queue_samples
         )
+    summary.recovery_time_s = cluster.recovery_times()
+    sync = cluster.sync_traffic()
+    summary.sync_requests = sync["requests"]
+    summary.sync_blocks = sync["blocks"]
+    summary.sync_bytes = sync["bytes"]
     result = ExperimentResult(
         spec=spec,
         summary=summary,

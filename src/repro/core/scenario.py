@@ -174,7 +174,18 @@ def _faults_label(faults: dict[str, Any]) -> str:
     """
     parts: list[str] = []
     for crash in faults.get("crashes", []):
-        parts.append(f"crash={crash.get('count', 1)}")
+        count = crash.get("count")
+        if count is None:
+            count = len(crash.get("nodes") or []) or 1
+        label = f"crash={count}"
+        if crash.get("recover_at") is not None:
+            # The crash time disambiguates recovery-vs-chain-height
+            # sweeps, where only at_time/recover_at vary across points.
+            label += (
+                f"@{crash.get('at_time'):g}"
+                f",recover={crash.get('recovery_mode', 'warm')}"
+            )
+        parts.append(label)
     for delay in faults.get("delays", []):
         parts.append(f"delay={delay.get('extra_s')}s")
     for corruption in faults.get("corruptions", []):
@@ -283,6 +294,10 @@ class ScenarioSpec:
     #: both modes replay identical timelines, so sweeping it would
     #: duplicate grid points.
     client_mode: str = "coroutine"
+    #: Client-side failover on RPC timeout (crash-recovery scenarios);
+    #: a scalar knob, not an axis. See DriverConfig.failover.
+    failover: bool = False
+    max_backoff_s: float = DriverConfig.max_backoff_s
     with_monitor: bool = False
     drain_s: float = 5.0
     #: JSON-shaped fault schedule (see :func:`build_fault_schedule`):
@@ -417,6 +432,8 @@ class ScenarioSpec:
                     threads_per_client=int(threads),
                     retry_interval_s=float(retry_interval),
                     client_mode=self.client_mode,
+                    failover=self.failover,
+                    max_backoff_s=self.max_backoff_s,
                     blocking=self.blocking,
                     subscribe=self.subscribe,
                     with_monitor=self.with_monitor,
@@ -466,7 +483,18 @@ GRID_HEADERS = [
     "confirmed",
     "queue",
     "safety",
+    "recovery",
 ]
+
+
+def _recovery_cell(summary: StatsSummary) -> str:
+    """Grid cell for the recovery column: worst per-node recovery time
+    (and how many nodes recovered), or ``-`` when nothing did."""
+    if not summary.recovery_time_s:
+        return "-"
+    worst = max(summary.recovery_time_s.values())
+    n = len(summary.recovery_time_s)
+    return f"{worst:.2f}s" if n == 1 else f"{n}x{worst:.2f}s"
 
 
 @dataclass
@@ -552,6 +580,7 @@ class SuiteResult:
                         if summary.safety_violations == 0
                         else f"{summary.safety_violations} VIOLATIONS"
                     ),
+                    _recovery_cell(summary),
                 ]
             )
         return rows
@@ -595,6 +624,11 @@ class SuiteResult:
             if breakdown is not None:
                 runs[-1]["dominant_stage"] = breakdown.dominant_stage()
                 runs[-1]["stage_breakdown"] = dataclasses.asdict(breakdown)
+            if summary.recovery_time_s:
+                runs[-1]["recovery_time_s"] = summary.recovery_time_s
+                runs[-1]["sync_requests"] = summary.sync_requests
+                runs[-1]["sync_blocks"] = summary.sync_blocks
+                runs[-1]["sync_bytes"] = summary.sync_bytes
         return {"suite": self.name, "runs": len(runs), "results": runs}
 
     def export(self, directory: str | Path) -> list[Path]:

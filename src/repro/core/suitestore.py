@@ -107,6 +107,19 @@ def _canonical_faults(faults: Any) -> dict[str, Any] | None:
     # its hash (committed baselines, resumable result directories).
     if not data.get("byzantines"):
         data.pop("byzantines", None)
+    # CrashFault's recovery fields postdate the schema too: stripped at
+    # their defaults so a plain crash spec hashed before recover_at
+    # existed keeps its hash. ``count`` went from required to optional
+    # in the same change — it can only be None on a new-style entry.
+    for crash in data.get("crashes", []):
+        for name, default in (
+            ("count", None),
+            ("nodes", None),
+            ("recover_at", None),
+            ("recovery_mode", "warm"),
+        ):
+            if name in crash and crash[name] == default:
+                del crash[name]
     return data
 
 
@@ -120,6 +133,8 @@ _OPTIONAL_SPEC_FIELDS: dict[str, Any] = {
     "stats_reservoir": 0,
     "read_ratio": None,
     "trace_stages": True,
+    "failover": False,
+    "max_backoff_s": 2.0,
 }
 
 
@@ -167,10 +182,21 @@ def spec_hash(spec: ExperimentSpec) -> str:
 def _summary_to_dict(summary: StatsSummary) -> dict[str, Any]:
     """``asdict`` with the stage breakdown omitted when tracing was
     off — run files then stay byte-identical to the pre-tracing
-    schema."""
+    schema. Recovery metrics are likewise omitted when nothing
+    recovered during the run."""
     data = asdict(summary)
     if data.get("stage_breakdown") is None:
         data.pop("stage_breakdown", None)
+    if not data.get("recovery_time_s"):
+        data.pop("recovery_time_s", None)
+        if not (
+            data.get("sync_requests")
+            or data.get("sync_blocks")
+            or data.get("sync_bytes")
+        ):
+            data.pop("sync_requests", None)
+            data.pop("sync_blocks", None)
+            data.pop("sync_bytes", None)
     return data
 
 

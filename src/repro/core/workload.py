@@ -193,13 +193,18 @@ class Workload(ABC):
 
 def preload_state(cluster: "Cluster", contract: str, items) -> int:
     """Helper: write (key, value) byte pairs into a contract's namespace
-    on every node. Returns the number of records written per node."""
+    on every node. Returns the number of records written per node.
+
+    Writes go through ``PlatformNode.bootstrap_put`` so each node
+    remembers them: cold crash-recovery wipes the state store and must
+    re-seed these consensus-bypassing records before chain replay.
+    """
     count = 0
     prefix = contract.encode() + b"/"
     for key, value in items:
         for node in cluster.nodes:
-            node.state.put(prefix + key, value)
+            node.bootstrap_put(prefix + key, value)
         count += 1
     for node in cluster.nodes:
-        node.state.commit_block(0)
+        node.bootstrap_commit()
     return count

@@ -46,6 +46,23 @@ RPC_GET_BALANCE = "rpc/get_balance"
 RPC_QUERY = "rpc/query"
 RPC_REPLY = "rpc/reply"
 
+#: Block-sync protocol (crash recovery): a recovering node requests
+#: missing block ranges from live peers; peers answer with batches of
+#: full blocks. The messages ride the normal network (real
+#: ``size_bytes``) and peer CPU (per-transaction verification), so
+#: catch-up traffic contends with live consensus traffic.
+SYNC_REQUEST = "sync/request"
+SYNC_BLOCKS = "sync/blocks"
+#: Blocks served per sync response (mirrors the gossip fetcher's batch).
+SYNC_BATCH = 32
+#: Seconds a recovering node waits for a sync response before asking
+#: the next peer (covers peers that crashed or sit behind a partition).
+SYNC_RETRY_S = 1.0
+#: Recovery modes: ``warm`` keeps the executed state and syncs only the
+#: missed suffix; ``cold`` wipes the state store and replays the whole
+#: chain through the execution path before syncing.
+RECOVERY_MODES = ("warm", "cold")
+
 
 #: One net write per key: ``(key, value)`` with ``value=None`` a delete.
 WriteSet = tuple[tuple[bytes, "bytes | None"], ...]
@@ -322,6 +339,24 @@ class PlatformNode(SimNode):
         self.failed_tx_count = 0
         self.corrupted_dropped = 0
         self.rejected_submissions = 0
+        # Crash-recovery state and counters.
+        self._recovering = False
+        self._recovery_started_at = 0.0
+        self._sync_serial = 0
+        self._sync_peer_index = 0
+        self._sync_view_hint = 0
+        #: One entry per completed crash/recover cycle: simulated
+        #: seconds from restart to caught-up-and-voting.
+        self.recovery_times: list[float] = []
+        # Pre-run (genesis) writes, re-applied by cold recovery: they
+        # live in no block, so a wiped state cannot replay them.
+        self._genesis_writes: list[tuple[bytes, bytes]] = []
+        self._genesis_sealed = False
+        self.sync_requests_sent = 0
+        self.sync_blocks_received = 0
+        self.sync_bytes_received = 0
+        self.sync_blocks_served = 0
+        self.sync_bytes_served = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -664,6 +699,13 @@ class PlatformNode(SimNode):
             return costs.consensus_msg_cost_s + costs.verify_cost_s * len(
                 block.transactions
             )
+        if kind == SYNC_BLOCKS:
+            # Catch-up batches carry full blocks: the recovering node
+            # re-verifies every transaction, so big batches occupy it.
+            total_txs = sum(
+                len(b.transactions) for b in message.payload["blocks"]
+            )
+            return costs.consensus_msg_cost_s + costs.verify_cost_s * total_txs
         if kind.startswith("rpc/"):
             return costs.rpc_cost_s
         return costs.consensus_msg_cost_s
@@ -686,6 +728,10 @@ class PlatformNode(SimNode):
             self._on_get_balance(message)
         elif kind == RPC_QUERY:
             self._on_query(message)
+        elif kind == SYNC_REQUEST:
+            self._on_sync_request(message)
+        elif kind == SYNC_BLOCKS:
+            self._on_sync_blocks(message)
         elif self.protocol is not None and kind in self.protocol.message_kinds:
             self.protocol.on_message(kind, message.payload, message.sender)
 
@@ -694,10 +740,30 @@ class PlatformNode(SimNode):
         if self.mempool.add(tx, self.now) and self.protocol is not None:
             self.protocol.on_new_pending_tx()
 
+    def _dup_reply(self, message: Message, tx: Transaction) -> bool:
+        """Answer a resubmission of an already-known transaction.
+
+        A client that timed out and failed over to this node may resend
+        a transaction its dead endpoint had already admitted (gossip got
+        it here) or that even committed in the meantime. Re-pooling a
+        committed transaction would execute it twice, so the dedup check
+        runs before admission; the ``dup`` marker lets the failover
+        client treat the reply as "already in flight" rather than a
+        rejection to retry.
+        """
+        if tx.tx_id in self.receipts or tx.tx_id in self.mempool:
+            self._reply(
+                message, {"accepted": False, "tx_id": tx.tx_id, "dup": True}
+            )
+            return True
+        return False
+
     def _on_send_tx(self, message: Message) -> None:
         """Default admission (Ethereum/Hyperledger): pool + gossip."""
         request = message.payload
         tx: Transaction = request["tx"]
+        if self._dup_reply(message, tx):
+            return
         accepted = self.mempool.add(tx, self.now)
         if accepted:
             for peer in self.peers:
@@ -785,9 +851,202 @@ class PlatformNode(SimNode):
         self.send(message.sender, RPC_REPLY, payload, size)
 
     # ------------------------------------------------------------------
+    # Crash recovery: restart, chain catch-up, consensus rejoin
+    # ------------------------------------------------------------------
+    def _fresh_state(self) -> PlatformState:
+        """Build an empty replacement state store (cold recovery).
+
+        Platform subclasses override this with their own state
+        constructor; the base class cannot know which tree/backing the
+        platform uses.
+        """
+        raise ConnectorError(
+            f"{type(self).__name__} does not support cold recovery "
+            "(no _fresh_state implementation)"
+        )
+
+    def bootstrap_put(self, key: bytes, value: bytes) -> None:
+        """Write one pre-run (genesis) record, remembering it so cold
+        recovery can re-seed a wiped state before chain replay —
+        preloading bypasses consensus, so no block carries these."""
+        self._genesis_writes.append((key, value))
+        self.state.put(key, value)
+
+    def bootstrap_commit(self) -> None:
+        """Seal the pre-run writes as the height-0 state commit."""
+        self._genesis_sealed = True
+        self.state.commit_block(0)
+
+    def recover(self, mode: str = "warm") -> None:
+        """Restart a crashed node and begin chain catch-up.
+
+        ``warm`` keeps the executed state and fetches only the blocks
+        missed while down. ``cold`` wipes the state store and replays
+        the entire local chain through the normal execution path first
+        (riding the cluster's :class:`ExecutionCache`), then fetches
+        the missed suffix. Either way, once the node's chain reaches a
+        live peer's confirmed tip its consensus protocol is re-armed
+        via :meth:`ConsensusProtocol.restart` and the cycle's
+        ``recovery_time_s`` is recorded.
+        """
+        if not self.crashed:
+            return
+        if mode not in RECOVERY_MODES:
+            raise ConnectorError(
+                f"unknown recovery mode {mode!r}; expected one of "
+                f"{RECOVERY_MODES}"
+            )
+        super().recover()
+        # A byzantine send filter is process state (the compromised
+        # binary died with the crash): a restarted node comes back
+        # honest. The network's ever_byzantine taint survives, so the
+        # auditor still treats its pre-crash blocks with suspicion.
+        self.network.clear_send_filter(self.node_id)
+        self._recovering = True
+        self._recovery_started_at = self.now
+        self._sync_view_hint = 0
+        if self.auditor is not None:
+            self.auditor.node_recovering(self.node_id, cold=(mode == "cold"))
+        if mode == "cold":
+            self.state.close()
+            self.state = self._fresh_state()
+            self.executed_height = 0
+            self._height_roots = {}
+            self.executed_block_hashes = {}
+            self.receipts = {}
+            # Re-seed the consensus-bypassing genesis writes; without
+            # them every replayed root diverges from the live replicas.
+            for key, value in self._genesis_writes:
+                self.state.put(key, value)
+            if self._genesis_sealed:
+                self.state.commit_block(0)
+        # Replay whatever the local chain already holds (the full chain
+        # for cold, nothing for warm unless execution lagged the crash).
+        # The replay's CPU cost becomes a real delay before the node
+        # starts syncing — a restarted node is busy replaying, so cold
+        # recovery time grows with chain height.
+        cpu_before = self.cpu_time
+        self._advance_execution()
+        replay_s = self.cpu_time - cpu_before
+        self.set_timer(replay_s, self._sync_round)
+
+    def _alive_sync_peers(self) -> list[str]:
+        """Peers worth asking for blocks (failure-detector view).
+
+        A real node's peer manager knows which peers answer heartbeats;
+        we read liveness off the network registry. Partitioned peers
+        still look alive — requests to them are dropped in transit and
+        the retry timer rotates onward, so a node recovering inside a
+        partition keeps retrying until ``heal()``.
+        """
+        alive = [
+            p
+            for p in self.peers
+            if (node := self.network.nodes.get(p)) is not None
+            and not node.crashed
+        ]
+        return alive or list(self.peers)
+
+    def _sync_round(self) -> None:
+        """Request the next missing block range from a live peer."""
+        if self.crashed or not self._recovering:
+            return
+        if not self.peers:
+            # Single-node deployment: nothing to fetch, rejoin at once.
+            self._finish_recovery()
+            return
+        peers = self._alive_sync_peers()
+        peer = peers[self._sync_peer_index % len(peers)]
+        self._sync_peer_index += 1
+        self._sync_serial += 1
+        self.sync_requests_sent += 1
+        self.send(
+            peer,
+            SYNC_REQUEST,
+            {
+                "from_height": self._chain.height,
+                "count": SYNC_BATCH,
+                "serial": self._sync_serial,
+            },
+            96,
+        )
+        self.set_timer(SYNC_RETRY_S, self._sync_retry_check, self._sync_serial)
+
+    def _sync_retry_check(self, serial: int) -> None:
+        """No response to request ``serial``: ask the next peer."""
+        if self._recovering and serial == self._sync_serial:
+            self._sync_round()
+
+    def _on_sync_request(self, message: Message) -> None:
+        """Serve a recovering peer a batch of confirmed blocks."""
+        payload = message.payload
+        from_height = payload["from_height"]
+        count = payload.get("count", SYNC_BATCH)
+        confirmed = min(self.confirmed_height(), self.executed_height)
+        blocks = self._chain.blocks_in_range(
+            from_height, min(confirmed, from_height + count)
+        )
+        view_hint = (
+            self.protocol.sync_hint() if self.protocol is not None else 0
+        )
+        size = 96 + sum(b.size_bytes() for b in blocks)
+        self.sync_blocks_served += len(blocks)
+        self.sync_bytes_served += size
+        self.send(
+            message.sender,
+            SYNC_BLOCKS,
+            {
+                "blocks": blocks,
+                "tip": confirmed,
+                "view_hint": view_hint,
+                "serial": payload.get("serial"),
+            },
+            size,
+        )
+
+    def _on_sync_blocks(self, message: Message) -> None:
+        """Install one catch-up batch; re-request or finish."""
+        if not self._recovering:
+            return
+        payload = message.payload
+        if payload.get("serial") != self._sync_serial:
+            return  # stale response to a superseded request
+        blocks = payload["blocks"]
+        self.sync_blocks_received += len(blocks)
+        self.sync_bytes_received += message.size_bytes
+        self._sync_view_hint = max(
+            self._sync_view_hint, payload.get("view_hint", 0)
+        )
+        for block in blocks:
+            self._chain.add_block(block)
+            self.mempool.remove(tx.tx_id for tx in block.transactions)
+        self._advance_execution()
+        if self._chain.height >= payload["tip"]:
+            self._finish_recovery()
+        else:
+            self._sync_round()
+
+    def _finish_recovery(self) -> None:
+        """Caught up: record the cycle and rejoin consensus."""
+        self._recovering = False
+        self.recovery_times.append(self.now - self._recovery_started_at)
+        if self.auditor is not None:
+            self.auditor.node_recovered(
+                self.node_id, self._chain.height, self.now
+            )
+        if self.protocol is not None:
+            view_hint = self._sync_view_hint
+            if not self.peers:
+                view_hint = max(view_hint, self.protocol.sync_hint())
+            self.protocol.restart(self._chain.height, view_hint)
+
+    # ------------------------------------------------------------------
     def crash(self) -> None:
         """Crash the node and stop its consensus participation."""
         super().crash()
+        # An in-progress recovery dies with the process; a later
+        # recover() starts a fresh cycle.
+        self._recovering = False
         if self.protocol is not None:
             self.protocol.stop()
 

@@ -70,6 +70,43 @@ class Cluster:
             node.crash()
         return [node.node_id for node in victims]
 
+    def crash_named(self, node_ids: Iterable[str]) -> list[str]:
+        """Crash an explicit set of nodes (CrashFault's ``nodes`` knob)."""
+        wanted = set(node_ids)
+        victims = [node for node in self.nodes if node.node_id in wanted]
+        for node in victims:
+            node.crash()
+        return [node.node_id for node in victims]
+
+    def recover_nodes(
+        self, node_ids: Iterable[str], mode: str = "warm"
+    ) -> list[str]:
+        """Restart crashed nodes; each begins chain catch-up and rejoins
+        consensus when synced (see PlatformNode.recover)."""
+        wanted = set(node_ids)
+        recovered = []
+        for node in self.nodes:
+            if node.node_id in wanted and node.crashed:
+                node.recover(mode)
+                recovered.append(node.node_id)
+        return recovered
+
+    def recovery_times(self) -> dict[str, float]:
+        """Latest completed recovery cycle per node (empty when none)."""
+        return {
+            node.node_id: node.recovery_times[-1]
+            for node in self.nodes
+            if node.recovery_times
+        }
+
+    def sync_traffic(self) -> dict[str, int]:
+        """Cluster-total block-sync counters (crash-recovery traffic)."""
+        return {
+            "requests": sum(n.sync_requests_sent for n in self.nodes),
+            "blocks": sum(n.sync_blocks_received for n in self.nodes),
+            "bytes": sum(n.sync_bytes_received for n in self.nodes),
+        }
+
     def partition_halves(self) -> tuple[list[str], list[str]]:
         """Split the testnet in half (the Figure 10 attack)."""
         ids = self.node_ids()

@@ -79,6 +79,10 @@ class ErisDBNode(PlatformNode):
     def start(self) -> None:
         self.protocol.start()
 
+    def _fresh_state(self) -> ErisDBState:
+        """Empty in-memory trie for cold recovery."""
+        return ErisDBState()
+
     # ------------------------------------------------------------------
     # Message costs: a Tendermint proposal carries a block and pays
     # per-transaction verification, like a PBFT pre-prepare.

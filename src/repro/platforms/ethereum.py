@@ -131,15 +131,29 @@ class EthereumNode(PlatformNode):
             EthereumState(storage_dir),
         )
         self.eth_config = config
+        self._storage_dir = storage_dir
+        self._recovery_epoch = 0
         self.attach_protocol(ProofOfWork(self, config.pow))
 
     def start(self) -> None:
         self.protocol.start()
 
+    def _fresh_state(self) -> EthereumState:
+        """Empty trie for cold recovery. Disk-backed nodes get a fresh
+        LSM directory — the wiped store's files are gone, and reusing
+        the old path would collide with the closed store's artifacts."""
+        path = self._storage_dir
+        if path is not None:
+            self._recovery_epoch += 1
+            path = Path(path) / f"recovery-{self._recovery_epoch}"
+        return EthereumState(path)
+
     def _on_send_tx(self, message) -> None:
         """geth admission: pool locally, gossip to a few static peers."""
         request = message.payload
         tx: Transaction = request["tx"]
+        if self._dup_reply(message, tx):
+            return
         accepted = self.mempool.add(tx, self.now)
         if accepted:
             fanout = self._gossip_targets(tx)

@@ -102,12 +102,23 @@ class HyperledgerNode(PlatformNode):
             HyperledgerState(storage_dir),
         )
         self.hlf_config = config
+        self._storage_dir = storage_dir
+        self._recovery_epoch = 0
         self.attach_protocol(
             PBFT(self, config.pbft, replicas=replicas or [node_id])
         )
 
     def start(self) -> None:
         self.protocol.start()
+
+    def _fresh_state(self) -> HyperledgerState:
+        """Empty bucket tree for cold recovery (fresh LSM directory for
+        disk-backed nodes; see EthereumNode._fresh_state)."""
+        path = self._storage_dir
+        if path is not None:
+            self._recovery_epoch += 1
+            path = Path(path) / f"recovery-{self._recovery_epoch}"
+        return HyperledgerState(path)
 
 
 @register_platform(

@@ -152,6 +152,24 @@ class ParityNode(PlatformNode):
     def start(self) -> None:
         self.protocol.start()
 
+    def _fresh_state(self) -> ParityState:
+        """Empty in-memory trie for cold recovery."""
+        return ParityState(self.parity_config.memory_cap_bytes)
+
+    def crash(self) -> None:
+        """The signing queue and its busy flag are process state."""
+        super().crash()
+        self._sign_queue.clear()
+        self._signing_busy = False
+
+    def recover(self, mode: str = "warm") -> None:
+        """Restart resets the intake bucket to its boot credit — a
+        recovered process must not inherit a huge refill window."""
+        if self.crashed:
+            self._tokens = 8.0
+            self._tokens_updated = self.now
+        super().recover(mode)
+
     # ------------------------------------------------------------------
     # Intake throttle
     # ------------------------------------------------------------------
@@ -171,6 +189,8 @@ class ParityNode(PlatformNode):
     def _on_send_tx(self, message: Message) -> None:
         request = message.payload
         tx: Transaction = request["tx"]
+        if self._dup_reply(message, tx):
+            return
         if not self._take_token():
             self.rejected_submissions += 1
             self._reply(message, {"accepted": False, "tx_id": tx.tx_id})
@@ -231,12 +251,10 @@ class ParityNode(PlatformNode):
                 self.network.send(self.node_id, peer, TX_GOSSIP, tx, tx.size_bytes())
             if self.protocol is not None:
                 self.protocol.on_new_pending_tx()
-        self.send(
-            item["client"],
-            "rpc/reply",
-            {"accepted": accepted, "tx_id": tx.tx_id, "req_id": item["req_id"]},
-            128,
-        )
+        reply = {"accepted": accepted, "tx_id": tx.tx_id, "req_id": item["req_id"]}
+        if not accepted and (tx.tx_id in self.receipts or tx.tx_id in self.mempool):
+            reply["dup"] = True
+        self.send(item["client"], "rpc/reply", reply, 128)
         self._sign_next()
 
     # ------------------------------------------------------------------

@@ -157,6 +157,10 @@ class SimNode:
         self.crashed = True
         self.inbox.clear()
         self._processing = False
+        # Work discovered mid-message dies with the process: a node
+        # recovered later must not charge the interrupted handler's
+        # deferred CPU to its first post-recovery message.
+        self._deferred_cost = 0.0
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()

@@ -107,6 +107,27 @@ def test_timer_suppressed_after_crash():
     assert fired == []
 
 
+def test_crash_discards_deferred_cost():
+    """Deferred work pending at crash time dies with the process: the
+    first post-recovery message must not be charged for it.
+
+    ``defer_cost`` called outside a message handler (a timer callback
+    discovering work, e.g. replay) parks cost until the next message
+    drain — a crash in that window must drop it."""
+    sched, net, sender, node = build(cost=0.0)
+    node.defer_cost(10.0)  # timer-context work, not yet drained
+    node.crash()
+    assert node._deferred_cost == 0.0
+    node.recover()
+    sender.send("dst", "m", "after")
+    sched.run()
+    assert node.handled[-1][1] == "after"
+    # The post-recovery message was processed without inheriting the
+    # pre-crash 10s busy window.
+    assert sched.now < 10.0
+    assert node.cpu_time == 0.0
+
+
 def test_recover_allows_new_work():
     sched, net, sender, node = build(cost=0.0)
     node.crash()

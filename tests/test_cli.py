@@ -93,6 +93,59 @@ def test_run_crash_flag_kills_quorum(capsys):
     assert payload["confirmed"] < 10 * 2 * 40
 
 
+def test_run_crash_recovery_flags_report_recovery(capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "ycsb",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "40",
+            "--duration", "16",
+            "--crash", "1",
+            "--crash-at", "5",
+            "--recover-at", "9",
+            "--recovery-mode", "cold",
+            "--failover",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["safety_violations"] == 0
+    assert "server-0" in payload["recovery_time_s"]
+    assert payload["recovery_time_s"]["server-0"] > 0
+    assert payload["sync_bytes"] > 0
+
+
+def test_run_recovery_table_has_recovery_rows(capsys):
+    code = main(
+        [
+            "run",
+            "--platform", "hyperledger",
+            "--workload", "donothing",
+            "--servers", "4",
+            "--clients", "2",
+            "--rate", "20",
+            "--duration", "14",
+            "--crash", "1",
+            "--crash-at", "4",
+            "--recover-at", "8",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recovery server-0 (s)" in out
+    assert "sync traffic" in out
+
+
+def test_run_recover_at_requires_crash(capsys):
+    code = main(["run", "--recover-at", "5"])
+    assert code == 2
+    assert "--crash" in capsys.readouterr().err
+
+
 def test_run_subscribe_on_polling_platform_fails_cleanly(capsys):
     code = main(
         [
